@@ -1,0 +1,200 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation and times the machinery behind each with Bechamel
+   (one Test.make per table/figure, all in this one executable).
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table1 fig9  # selected sections
+     dune exec bench/main.exe -- list         # section names
+
+   Sections: table1 table2 table3 fig9 fig10 pp-census parts correlation
+             ablation-pac ablation-merge ablation-stl ablation-ce micro *)
+
+module RT = Rsti_sti.Rsti_type
+module Tab = Rsti_util.Tab
+
+let sections_requested =
+  match Array.to_list Sys.argv with [] | [ _ ] -> None | _ :: rest -> Some rest
+
+let want name =
+  match sections_requested with None -> true | Some l -> List.mem name l
+
+let section title = print_endline (Tab.section title)
+
+(* Perf data is shared between fig9/fig10/correlation; collected lazily. *)
+let perf = lazy (Rsti_report.Perf.collect ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per reproduced table or
+   figure, timing the machinery that regenerates it, plus primitive
+   micro-benchmarks for the PA substrate.                              *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  (* primitives *)
+  let pac_ctx = Rsti_pa.Pac.make ~seed:7L () in
+  let qkey = Rsti_pa.Qarma.key_of_rng (Rsti_util.Splitmix.create 5L) in
+  let counter = ref 0L in
+  let t_qarma =
+    Test.make ~name:"micro: qarma-64 encrypt"
+      (Staged.stage (fun () ->
+           counter := Int64.add !counter 1L;
+           ignore (Rsti_pa.Qarma.encrypt ~key:qkey ~tweak:!counter 0xDEADBEEFL)))
+  in
+  let t_pac =
+    Test.make ~name:"micro: pac sign+auth (uncached modifier)"
+      (Staged.stage (fun () ->
+           counter := Int64.add !counter 1L;
+           let s =
+             Rsti_pa.Pac.sign pac_ctx ~key:Rsti_pa.Key.DA ~modifier:!counter
+               0x2000_0040L
+           in
+           ignore (Rsti_pa.Pac.auth pac_ctx ~key:Rsti_pa.Key.DA ~modifier:!counter s)))
+  in
+  (* Table 1: one end-to-end attack scenario (compile+instrument+run) *)
+  let t_table1 =
+    Test.make ~name:"table1: ghttpd scenario under STWC"
+      (Staged.stage (fun () ->
+           ignore (Rsti_attacks.Scenario.run Rsti_attacks.Catalog.ghttpd RT.Stwc)))
+  in
+  (* Table 2: one substitution scenario *)
+  let t_table2 =
+    Test.make ~name:"table2: same-RSTI replay under STL"
+      (Staged.stage (fun () ->
+           ignore (Rsti_attacks.Scenario.run Rsti_attacks.Substitution.same_rsti_replay RT.Stl)))
+  in
+  (* Table 3: equivalence-class analysis of one SPEC kernel *)
+  let xalan = List.nth Rsti_workloads.Spec2006.all 17 in
+  let t_table3 =
+    Test.make ~name:"table3: xalancbmk EC analysis"
+      (Staged.stage (fun () ->
+           ignore (Rsti_sti.Analysis.stats (Rsti_workloads.Run.analyze_workload xalan))))
+  in
+  (* Figure 9: one workload measured under one mechanism *)
+  let nginx = Rsti_workloads.Nginx.workload in
+  let t_fig9 =
+    Test.make ~name:"fig9: nginx overhead measurement (STWC)"
+      (Staged.stage (fun () ->
+           ignore (Rsti_workloads.Run.measure nginx [ RT.Stwc ])))
+  in
+  (* Figure 10: distribution summary over a suite's overheads *)
+  let overheads = List.init 18 (fun i -> float_of_int (i * i mod 23)) in
+  let t_fig10 =
+    Test.make ~name:"fig10: boxplot summary"
+      (Staged.stage (fun () -> ignore (Rsti_util.Stats.boxplot overheads)))
+  in
+  (* 6.2.2: pointer-to-pointer census *)
+  let pp_w = List.hd Rsti_workloads.Spec2006.all in
+  let t_census =
+    Test.make ~name:"pp-census: perlbench kernel scan"
+      (Staged.stage (fun () ->
+           ignore
+             (Rsti_sti.Analysis.pp_census (Rsti_workloads.Run.analyze_workload pp_w))))
+  in
+  (* the instrumentation pass itself *)
+  let modul = lazy (Rsti_ir.Lower.compile ~file:"b.c" pp_w.Rsti_workloads.Workload.source) in
+  let t_pass =
+    Test.make ~name:"pass: instrument perlbench kernel (STWC)"
+      (Staged.stage (fun () ->
+           let m = Lazy.force modul in
+           let anal = Rsti_sti.Analysis.analyze m in
+           ignore (Rsti_rsti.Instrument.instrument RT.Stwc anal m)))
+  in
+  Test.make_grouped ~name:"rsti"
+    [ t_qarma; t_pac; t_table1; t_table2; t_table3; t_fig9; t_fig10; t_census; t_pass ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 10) () in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  print_endline "Bechamel micro-benchmarks (monotonic clock, ns per run):\n";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%.0f" e
+        | _ -> "-"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  print_endline (Tab.render ~header:[ "benchmark"; "ns/run" ] rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  (match sections_requested with
+  | Some [ "list" ] ->
+      List.iter print_endline
+        [ "table1"; "table2"; "table3"; "fig9"; "fig10"; "pp-census"; "parts";
+          "correlation"; "ablation-pac"; "ablation-merge"; "ablation-stl";
+          "ablation-ce"; "ablation-pac-width"; "backend"; "micro" ];
+      exit 0
+  | _ -> ());
+  if want "table1" then begin
+    section "Table 1: attack catalog";
+    print_endline (Rsti_report.Security.table1 ())
+  end;
+  if want "table2" then begin
+    section "Table 2: substitution matrix";
+    print_endline (Rsti_report.Security.table2 ())
+  end;
+  if want "table3" then begin
+    section "Table 3: equivalence classes";
+    print_endline (Rsti_report.Figures.table3 ())
+  end;
+  if want "fig9" then begin
+    section "Figure 9: overheads";
+    print_endline (Rsti_report.Figures.fig9 (Lazy.force perf))
+  end;
+  if want "fig10" then begin
+    section "Figure 10: distributions";
+    print_endline (Rsti_report.Figures.fig10 (Lazy.force perf))
+  end;
+  if want "pp-census" then begin
+    section "6.2.2: pointer-to-pointer census";
+    print_endline (Rsti_report.Figures.pp_census ())
+  end;
+  if want "parts" then begin
+    section "6.3.2: PARTS comparison (nbench)";
+    print_endline (Rsti_report.Figures.parts_comparison ())
+  end;
+  if want "correlation" then begin
+    section "6.3.2: overhead/instrumentation correlation";
+    print_endline (Rsti_report.Figures.correlation (Lazy.force perf))
+  end;
+  if want "ablation-pac" then begin
+    section "Ablation: PA cost sweep";
+    print_endline (Rsti_report.Ablation.pac_cost_sweep ())
+  end;
+  if want "ablation-merge" then begin
+    section "Ablation: STC merging";
+    print_endline (Rsti_report.Ablation.merge_effect ())
+  end;
+  if want "ablation-stl" then begin
+    section "Ablation: STL argument re-signing";
+    print_endline (Rsti_report.Ablation.stl_argument_cost ())
+  end;
+  if want "ablation-ce" then begin
+    section "Ablation: CE width";
+    print_endline (Rsti_report.Ablation.ce_width ())
+  end;
+  if want "ablation-pac-width" then begin
+    section "Ablation: PAC width vs brute force";
+    print_endline (Rsti_report.Ablation.pac_brute_force ())
+  end;
+  if want "backend" then begin
+    section "Extension: shadow-MAC backend (section 7)";
+    print_endline (Rsti_report.Ablation.backend_comparison ())
+  end;
+  if want "micro" then begin
+    section "Bechamel micro-benchmarks";
+    run_bechamel ()
+  end

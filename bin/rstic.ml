@@ -1,0 +1,213 @@
+(* rstic — the RSTI "compiler driver" command-line tool.
+
+   Subcommands:
+     run       compile a MiniC file, instrument it, execute it
+     emit-ir   print the (optionally instrumented) IR
+     analyze   print the STI analysis: pointer variables, RSTI-types,
+               equivalence-class statistics, pointer-to-pointer census
+     attacks   run the paper's attack catalog
+     report    print one of the paper-reproduction reports *)
+
+open Cmdliner
+
+module RT = Rsti_sti.Rsti_type
+module Interp = Rsti_machine.Interp
+
+let mech_conv =
+  let parse = function
+    | "stwc" -> Ok RT.Stwc
+    | "stc" -> Ok RT.Stc
+    | "stl" -> Ok RT.Stl
+    | "parts" -> Ok RT.Parts
+    | "none" -> Ok RT.Nop
+    | s -> Error (`Msg (Printf.sprintf "unknown mechanism %S (stwc|stc|stl|parts|none)" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with
+      | RT.Stwc -> "stwc"
+      | RT.Stc -> "stc"
+      | RT.Stl -> "stl"
+      | RT.Parts -> "parts"
+      | RT.Nop -> "none")
+  in
+  Arg.conv (parse, print)
+
+let mech_arg =
+  Arg.(
+    value
+    & opt mech_conv RT.Stwc
+    & info [ "m"; "mechanism" ] ~docv:"MECH"
+        ~doc:"RSTI mechanism: stwc (default), stc, stl, parts, none.")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let with_frontend path f =
+  try f (read_file path)
+  with
+  | Rsti_minic.Lexer.Error (msg, loc) ->
+      Printf.eprintf "%s: lexical error: %s\n" (Rsti_minic.Loc.to_string loc) msg;
+      exit 1
+  | Rsti_minic.Parser.Error (msg, loc) ->
+      Printf.eprintf "%s: syntax error: %s\n" (Rsti_minic.Loc.to_string loc) msg;
+      exit 1
+  | Rsti_minic.Typecheck.Error (msg, loc) ->
+      Printf.eprintf "%s: type error: %s\n" (Rsti_minic.Loc.to_string loc) msg;
+      exit 1
+
+let compile_instrumented path mech =
+  with_frontend path (fun src ->
+      let m = Rsti_ir.Lower.compile ~file:path src in
+      let anal = Rsti_sti.Analysis.analyze m in
+      let r = Rsti_rsti.Instrument.instrument mech anal m in
+      (m, anal, r))
+
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let doc = "Compile, instrument, and execute a MiniC program." in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print cycle and PAC statistics.")
+  in
+  let action file mech stats =
+    let _, _, r = compile_instrumented file mech in
+    let vm = Interp.create ~pp_table:r.pp_table r.modul in
+    let o = Interp.run vm in
+    print_string o.Interp.output;
+    if stats then begin
+      Printf.printf "--- %s ---\n" (RT.mechanism_to_string mech);
+      Printf.printf "cycles: %d  instructions: %d\n" o.cycles o.counts.instrs;
+      Printf.printf "loads: %d  stores: %d\n" o.counts.loads o.counts.stores;
+      Printf.printf "pac signs: %d  auths: %d  strips: %d  pp calls: %d\n"
+        o.counts.pac_signs o.counts.pac_auths o.counts.pac_strips
+        o.counts.pp_calls;
+      let top profile =
+        profile |> List.filteri (fun i _ -> i < 8)
+        |> List.map (fun (n, c) -> Printf.sprintf "%s:%d" n c)
+        |> String.concat "  "
+      in
+      Printf.printf "hot functions: %s\n" (top o.call_profile);
+      Printf.printf "libc calls:    %s\n" (top o.extern_profile)
+    end;
+    match o.Interp.status with
+    | Interp.Exited code -> exit (Int64.to_int code land 0xFF)
+    | Interp.Trapped tr ->
+        Printf.eprintf "trap: %s\n" (Interp.trap_to_string tr);
+        exit 139
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const action $ file_arg $ mech_arg $ stats)
+
+let emit_ir_cmd =
+  let doc = "Print the (optionally instrumented) IR of a MiniC program." in
+  let action file mech =
+    let _, _, r = compile_instrumented file mech in
+    print_string (Rsti_ir.Ir.modul_to_string r.modul)
+  in
+  Cmd.v (Cmd.info "emit-ir" ~doc) Term.(const action $ file_arg $ mech_arg)
+
+let analyze_cmd =
+  let doc = "Print the STI analysis of a MiniC program." in
+  let action file =
+    let _, anal, _ = compile_instrumented file RT.Nop in
+    let vars = Rsti_sti.Analysis.pointer_vars anal in
+    Printf.printf "Pointer variables and their RSTI-types (STWC view):\n\n";
+    List.iter
+      (fun (si : Rsti_sti.Analysis.slot_info) ->
+        let rt = Rsti_sti.Analysis.rsti_of anal RT.Stwc si.slot in
+        Printf.printf "  %-28s %s\n"
+          (Rsti_ir.Ir.slot_to_string si.slot)
+          (RT.to_string rt))
+      vars;
+    let s = Rsti_sti.Analysis.stats anal in
+    Printf.printf
+      "\nNT=%d RT(STC)=%d RT(STWC)=%d NV=%d  largest ECV: STC=%d STWC=%d  \
+       largest ECT: STC=%d STWC=%d\n"
+      s.nt s.rt_stc s.rt_stwc s.nv s.largest_ecv_stc s.largest_ecv_stwc
+      s.largest_ect_stc s.largest_ect_stwc;
+    let c = Rsti_sti.Analysis.pp_census anal in
+    Printf.printf "pointer-to-pointer sites: %d (type-loss: %d)\n"
+      c.pp_total_sites
+      (List.length c.pp_special)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const action $ file_arg)
+
+let attacks_cmd =
+  let doc = "Run the paper's attack catalog (Tables 1 and 2)." in
+  let action () =
+    print_endline (Rsti_report.Security.table1 ());
+    print_endline (Rsti_report.Security.table2 ())
+  in
+  Cmd.v (Cmd.info "attacks" ~doc) Term.(const action $ const ())
+
+let report_cmd =
+  let doc = "Print a paper-reproduction report." in
+  let which =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REPORT"
+          ~doc:
+            "One of: table1, table2, table3, fig9, fig10, pp-census, parts, \
+             correlation, ablation-pac, ablation-merge, ablation-stl, \
+             ablation-ce.")
+  in
+  let action which =
+    match which with
+    | "table1" -> print_endline (Rsti_report.Security.table1 ())
+    | "table2" -> print_endline (Rsti_report.Security.table2 ())
+    | "table3" -> print_endline (Rsti_report.Figures.table3 ())
+    | "fig9" -> print_endline (Rsti_report.Figures.fig9 (Rsti_report.Perf.collect ()))
+    | "fig10" -> print_endline (Rsti_report.Figures.fig10 (Rsti_report.Perf.collect ()))
+    | "pp-census" -> print_endline (Rsti_report.Figures.pp_census ())
+    | "parts" -> print_endline (Rsti_report.Figures.parts_comparison ())
+    | "correlation" ->
+        print_endline (Rsti_report.Figures.correlation (Rsti_report.Perf.collect ()))
+    | "ablation-pac" -> print_endline (Rsti_report.Ablation.pac_cost_sweep ())
+    | "ablation-merge" -> print_endline (Rsti_report.Ablation.merge_effect ())
+    | "ablation-stl" -> print_endline (Rsti_report.Ablation.stl_argument_cost ())
+    | "ablation-ce" -> print_endline (Rsti_report.Ablation.ce_width ())
+    | "ablation-pac-width" -> print_endline (Rsti_report.Ablation.pac_brute_force ())
+    | "backend" -> print_endline (Rsti_report.Ablation.backend_comparison ())
+    | s ->
+        Printf.eprintf "unknown report %S\n" s;
+        exit 2
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const action $ which)
+
+let gen_cmd =
+  let doc = "Generate a random MiniC program (seeded, reproducible)." in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+  in
+  let structs =
+    Arg.(value & opt int 3 & info [ "structs" ] ~docv:"N" ~doc:"Struct types.")
+  in
+  let funcs =
+    Arg.(value & opt int 5 & info [ "funcs" ] ~docv:"N" ~doc:"Worker functions.")
+  in
+  let action seed structs funcs =
+    let config =
+      {
+        Rsti_workloads.Generator.default with
+        n_structs = max 1 structs;
+        n_funcs = max 1 funcs;
+        n_globals = max 2 (structs / 2 + 2);
+      }
+    in
+    print_string
+      (Rsti_workloads.Generator.generate ~config ~seed:(Int64.of_int seed) ())
+  in
+  Cmd.v (Cmd.info "gen" ~doc) Term.(const action $ seed $ structs $ funcs)
+
+let () =
+  let doc = "RSTI: runtime scope-type integrity toolchain (ASPLOS'24 reproduction)" in
+  let info = Cmd.info "rstic" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; emit_ir_cmd; analyze_cmd; attacks_cmd; report_cmd; gen_cmd ]))

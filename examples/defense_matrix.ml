@@ -1,0 +1,39 @@
+(* The full defense matrix: every attack scenario in the repository
+   (Table 1, the Table 2 substitutions, the memory-safety scenarios)
+   against every defense (none, signature-CFI, the three RSTI
+   mechanisms, PARTS).
+
+   Run with: dune exec examples/defense_matrix.exe *)
+
+module S = Rsti_attacks.Scenario
+module RT = Rsti_sti.Rsti_type
+module Tab = Rsti_util.Tab
+
+let cell = function
+  | S.Attack_succeeded -> "owned"
+  | S.Detected -> "STOPPED"
+  | S.Attack_failed -> "fizzled"
+
+let row sc =
+  let base = (S.run_baseline sc).S.verdict in
+  let cfi = (S.run_cfi sc).S.verdict in
+  let rsti = List.map (fun m -> cell (S.run sc m).S.verdict) RT.all_mechanisms in
+  let parts = (S.run sc RT.Parts).S.verdict in
+  [ sc.S.id; cell base; cell cfi ] @ rsti @ [ cell parts ]
+
+let () =
+  let scenarios =
+    Rsti_attacks.Catalog.all @ Rsti_attacks.Substitution.all
+    @ Rsti_attacks.Memory_safety.all
+  in
+  print_endline "Attack x defense matrix (20 scenarios x 6 defenses)\n";
+  print_endline
+    (Tab.render
+       ~header:[ "scenario"; "none"; "sig-CFI"; "STWC"; "STC"; "STL"; "PARTS" ]
+       (List.map row scenarios));
+  print_endline
+    "\nReading guide: 'owned' = the attacker reached their goal; 'STOPPED'\n\
+     = the defense detected the corruption. Signature-CFI never sees\n\
+     data-oriented attacks; PARTS (type-only modifiers) misses scope and\n\
+     permission violations; STL stops even the in-class replays that\n\
+     STWC/STC accept — the paper's Tables 1 and 2 in one view."

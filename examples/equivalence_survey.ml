@@ -1,0 +1,59 @@
+(* Equivalence-class survey: how the RSTI-type space grows with program
+   size (the trend behind the paper's Table 3), measured over generated
+   programs of increasing size.
+
+   Run with: dune exec examples/equivalence_survey.exe *)
+
+module Analysis = Rsti_sti.Analysis
+module Generator = Rsti_workloads.Generator
+module Tab = Rsti_util.Tab
+
+let survey_point ~structs ~funcs seed =
+  let config =
+    {
+      Generator.default with
+      n_structs = structs;
+      n_funcs = funcs;
+      n_globals = max 2 (structs / 2);
+      cast_bias = 0.3;
+      emit_main = false;
+      prefix = "p_";
+      pp_typed_rate = 0.2;
+    }
+  in
+  let src = Generator.generate ~config ~seed () in
+  let anal = Analysis.analyze (Rsti_ir.Lower.compile ~file:"survey.c" src) in
+  (Analysis.stats anal, Analysis.pp_census anal)
+
+let () =
+  print_endline "How the RSTI-type space scales with program size";
+  print_endline "(generated programs; the paper's Table 3 trend)\n";
+  let rows =
+    List.map
+      (fun (structs, funcs) ->
+        let s, census = survey_point ~structs ~funcs 42L in
+        [
+          Printf.sprintf "%d/%d" structs funcs;
+          string_of_int s.Analysis.nt;
+          string_of_int s.rt_stc;
+          string_of_int s.rt_stwc;
+          string_of_int s.nv;
+          string_of_int s.largest_ecv_stwc;
+          string_of_int s.largest_ect_stc;
+          string_of_int census.Analysis.pp_total_sites;
+        ])
+      [ (2, 4); (5, 10); (10, 25); (25, 60); (50, 120); (100, 250); (200, 500) ]
+  in
+  print_endline
+    (Tab.render
+       ~header:
+         [ "structs/funcs"; "NT"; "RT/STC"; "RT/STWC"; "NV"; "max ECV"; "max ECT";
+           "pp sites" ]
+       rows);
+  print_endline
+    "\nObservations (matching the paper): RT grows faster than NT because\n\
+     scope and permission split basic types into multiple RSTI-types;\n\
+     STC's merging keeps RT(STC) below RT(STWC); the largest equivalence\n\
+     class grows slowly, so pointer-substitution budgets stay small; and\n\
+     double-pointer sites are plentiful while type-losing ones (needing\n\
+     the CE/FE mechanism) stay rare."

@@ -1,0 +1,106 @@
+(* The paper's Figure 5 / Figure 8 walkthrough: how the three RSTI
+   mechanisms assign RSTI-types to the same code, and how STC's
+   compatible-type merging differs from STWC.
+
+   Run with: dune exec examples/mechanisms.exe *)
+
+module RT = Rsti_sti.Rsti_type
+module Analysis = Rsti_sti.Analysis
+
+(* Figure 5's example: a ctx object laundered through void*, plus a const
+   void* bystander. *)
+let fig5 =
+  {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+
+typedef struct { void (*send_file)(long x); } ctx;
+
+void do_send(long x) { printf("sent %ld\n", x); }
+
+void foo(ctx* c) { c->send_file(1); }
+void bar(ctx* c) { c->send_file(2); }
+
+void foo2(void* v_ctx) {
+  foo((ctx*) v_ctx);
+  bar((ctx*) v_ctx);
+}
+
+int main(void) {
+  ctx* c = (ctx*) malloc(sizeof(ctx));
+  c->send_file = do_send;
+  const void* v_const = malloc(sizeof(long));
+  foo2((void*) c);
+  return v_const ? 0 : 1;
+}
+|}
+
+(* Figure 8's example: three pointers, one cast. *)
+let fig8 =
+  {|
+extern int printf(const char *fmt, ...);
+void* p1_slot;
+void* p2_slot;
+long* p3_slot;
+long cell = 7;
+int main(void) {
+  p3_slot = &cell;
+  p1_slot = (void*) p3_slot;
+  p2_slot = p1_slot;
+  printf("%ld\n", *p3_slot);
+  return 0;
+}
+|}
+
+let show_types label source =
+  Printf.printf "=== %s ===\n\n" label;
+  let m = Rsti_ir.Lower.compile ~file:"fig.c" source in
+  let anal = Analysis.analyze m in
+  let vars = Analysis.pointer_vars anal in
+  List.iter
+    (fun mech ->
+      Printf.printf "%s RSTI-types:\n" (RT.mechanism_to_string mech);
+      (* group variables by RSTI-type, like the tables under Figure 5 *)
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (si : Analysis.slot_info) ->
+          let rt = RT.to_string (Analysis.rsti_of anal mech si.slot) in
+          let members = try Hashtbl.find tbl rt with Not_found -> [] in
+          Hashtbl.replace tbl rt (Rsti_ir.Ir.slot_to_string si.slot :: members))
+        vars;
+      let idx = ref 0 in
+      Hashtbl.iter
+        (fun rt members ->
+          incr idx;
+          Printf.printf "  M%d: %-52s  <- %s\n" !idx rt
+            (String.concat ", " (List.rev members)))
+        tbl;
+      print_newline ())
+    [ RT.Stwc; RT.Stc ];
+  let casts = Analysis.casts anal in
+  Printf.printf "casts in the program: %s\n\n"
+    (String.concat "; "
+       (List.map (fun (f, a, b) -> Printf.sprintf "%s: %s -> %s" f a b) casts))
+
+let show_instrumentation source =
+  Printf.printf "=== instrumentation counts for the Figure 5 program ===\n\n";
+  let m = Rsti_ir.Lower.compile ~file:"fig5.c" source in
+  let anal = Analysis.analyze m in
+  List.iter
+    (fun mech ->
+      let r = Rsti_rsti.Instrument.instrument mech anal m in
+      let c = r.Rsti_rsti.Instrument.counts in
+      Printf.printf "  %-10s signs=%d auths=%d cast-resigns=%d strips=%d\n"
+        (RT.mechanism_to_string mech)
+        c.signs c.auths c.resigns c.strips)
+    RT.all_mechanisms;
+  print_newline ()
+
+let () =
+  show_types "Figure 5: scope-type assignment" fig5;
+  show_types "Figure 8: merging across a cast" fig8;
+  show_instrumentation fig5;
+  print_endline
+    "Note how STC folds {ctx*, void*} into one RSTI-type (no cast re-signing\n\
+     needed) while STWC keeps them apart, and how the const void* keeps its\n\
+     own read-only RSTI-type under both — exactly the tables under Figure 5."

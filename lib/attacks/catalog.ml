@@ -1,0 +1,811 @@
+module Interp = Rsti_machine.Interp
+
+let info ty scope = { Scenario.ty; scope }
+
+(* Overwrite the word at [offset] of the most recent heap allocation. *)
+let smash_newest_alloc ?(offset = 0L) ~value ~note () (intr : Interp.intruder) =
+  match intr.heap_allocs () with
+  | (obj, _) :: _ ->
+      intr.note note;
+      intr.write_word (Int64.add obj offset) (value intr)
+  | [] -> ()
+
+(* ------------------------------------------------------------------ *)
+(* NEWTON CsCFI (nginx): c->send_chain -> malloc                       *)
+(* ------------------------------------------------------------------ *)
+
+let newton_cscfi =
+  {
+    Scenario.id = "newton-cscfi";
+    paper_row = "NEWTON CsCFI attack [81] (R)";
+    category = Scenario.Control_flow;
+    source = Scenario.Real;
+    corrupted = "c->send_chain";
+    target = "malloc";
+    original = info "ngx_send_chain_pt" "ngx_http_write_filter";
+    corrupted_info = info "void* (size_t size)" "libc";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+struct ngx_connection {
+  long fd;
+  long (*send_chain)(struct ngx_connection* c, long chain);
+};
+long ngx_linux_sendfile_chain(struct ngx_connection* c, long chain) {
+  printf("sent %ld bytes on fd %ld\n", chain, c->fd);
+  return chain;
+}
+struct ngx_connection* conn;
+long ngx_http_write_filter(long chain) {
+  return conn->send_chain(conn, chain);
+}
+int main(void) {
+  conn = (struct ngx_connection*) malloc(sizeof(struct ngx_connection));
+  conn->fd = 7;
+  conn->send_chain = ngx_linux_sendfile_chain;
+  ngx_http_write_filter(64);
+  ngx_http_write_filter(4096);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("ngx_http_write_filter", 2);
+          action =
+            smash_newest_alloc ~offset:8L
+              ~value:(fun intr -> intr.func_addr "malloc")
+              ~note:"overwrite conn->send_chain with &malloc" ();
+        };
+      ];
+    (* The legitimate run calls malloc exactly once; a second call means
+       the hijacked send_chain invoked it. *)
+    success = Checks.extern_called_times "malloc" 2;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* AOCR NGINX Attack 1: task->handler -> _IO_new_file_overflow         *)
+(* ------------------------------------------------------------------ *)
+
+let aocr_nginx1 =
+  {
+    Scenario.id = "aocr-nginx-1";
+    paper_row = "AOCR NGINX Attack 1 [69] (R)";
+    category = Scenario.Control_flow;
+    source = Scenario.Real;
+    corrupted = "task->handler";
+    target = "_IO_new_file_overflow";
+    original = info "void (*handler)(void *data, ngx_log_t *log)" "ngx_thread_pool_cycle";
+    corrupted_info = info "int *(File *f, int ch)" "libc";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+extern int _IO_new_file_overflow(void* f, int ch);
+struct ngx_task {
+  void (*handler)(void* data, long log);
+  void* data;
+};
+void ngx_worker(void* data, long log) {
+  printf("worker ran, log=%ld\n", log);
+}
+struct ngx_task* queue;
+void ngx_thread_pool_cycle(int rounds) {
+  for (int i = 0; i < rounds; i++) {
+    queue->handler(queue->data, 11);
+  }
+}
+int main(void) {
+  queue = (struct ngx_task*) malloc(sizeof(struct ngx_task));
+  queue->handler = ngx_worker;
+  queue->data = (void*) queue;
+  ngx_thread_pool_cycle(1);
+  ngx_thread_pool_cycle(2);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("ngx_thread_pool_cycle", 2);
+          action =
+            smash_newest_alloc
+              ~value:(fun intr -> intr.func_addr "_IO_new_file_overflow")
+              ~note:"overwrite task->handler with &_IO_new_file_overflow" ();
+        };
+      ];
+    success = Checks.extern_called "_IO_new_file_overflow";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* AOCR NGINX Attack 2: log->handler -> ngx_master_process_cycle       *)
+(* ------------------------------------------------------------------ *)
+
+let aocr_nginx2 =
+  {
+    Scenario.id = "aocr-nginx-2";
+    paper_row = "AOCR NGINX Attack 2 [69] (R)";
+    category = Scenario.Control_flow;
+    source = Scenario.Real;
+    corrupted = "p = log->handler";
+    target = "ngx_master_process_cycle";
+    original = info "ngx_log_writer_pt" "ngx_log_set_levels";
+    corrupted_info = info "void *(ngx_cycle_t *cycle)" "main";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+struct ngx_log {
+  long level;
+  void (*handler)(struct ngx_log* log, const char* msg);
+};
+void ngx_log_writer(struct ngx_log* log, const char* msg) {
+  printf("[%ld] %s\n", log->level, msg);
+}
+void ngx_master_process_cycle(struct ngx_log* cycle, const char* unused) {
+  printf("master cycle spawned!\n");
+}
+struct ngx_log* the_log;
+void ngx_log_set_levels(long level) {
+  the_log->level = level;
+  the_log->handler(the_log, "level set");
+}
+int main(void) {
+  the_log = (struct ngx_log*) malloc(sizeof(struct ngx_log));
+  the_log->handler = ngx_log_writer;
+  ngx_log_set_levels(1);
+  ngx_log_set_levels(2);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("ngx_log_set_levels", 2);
+          action =
+            smash_newest_alloc ~offset:8L
+              ~value:(fun intr -> intr.func_addr "ngx_master_process_cycle")
+              ~note:"overwrite log->handler with &ngx_master_process_cycle" ();
+        };
+      ];
+    success = Checks.func_called "ngx_master_process_cycle";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* AOCR Apache: eval->errfn -> ap_get_exec_line                        *)
+(* ------------------------------------------------------------------ *)
+
+let aocr_apache =
+  {
+    Scenario.id = "aocr-apache";
+    paper_row = "AOCR Apache Attack [69] (R)";
+    category = Scenario.Control_flow;
+    source = Scenario.Real;
+    corrupted = "eval->errfn";
+    target = "ap_get_exec_line";
+    original = info "sed_err_fn_t" "sed_reset_eval, eval_errf";
+    corrupted_info = info "char *(apr_pool_t *p, ...)" "set_bind_password";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+struct sed_eval {
+  long lineno;
+  void (*errfn)(struct sed_eval* e, const char* msg);
+};
+void sed_err_default(struct sed_eval* e, const char* msg) {
+  printf("sed error at %ld: %s\n", e->lineno, msg);
+}
+void ap_get_exec_line(struct sed_eval* p, const char* cmd) {
+  printf("executing line: %s\n", cmd);
+}
+struct sed_eval* eval;
+void sed_reset_eval(long line) {
+  eval->lineno = line;
+}
+void eval_errf(const char* msg) {
+  eval->errfn(eval, msg);
+}
+int main(void) {
+  eval = (struct sed_eval*) malloc(sizeof(struct sed_eval));
+  eval->errfn = sed_err_default;
+  sed_reset_eval(10);
+  eval_errf("bad pattern");
+  sed_reset_eval(20);
+  eval_errf("bad flags");
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("eval_errf", 2);
+          action =
+            smash_newest_alloc ~offset:8L
+              ~value:(fun intr -> intr.func_addr "ap_get_exec_line")
+              ~note:"overwrite eval->errfn with &ap_get_exec_line" ();
+        };
+      ];
+    success = Checks.func_called "ap_get_exec_line";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Control Jujutsu: ctx->output_filter -> ngx_execute_proc             *)
+(* ------------------------------------------------------------------ *)
+
+let control_jujutsu =
+  {
+    Scenario.id = "control-jujutsu";
+    paper_row = "Control Jujutsu NGINX [34] (R)";
+    category = Scenario.Control_flow;
+    source = Scenario.Real;
+    corrupted = "ctx->output_filter";
+    target = "ngx_execute_proc()";
+    original = info "ngx_output_chain_filter_pt" "ngx_output_chain";
+    corrupted_info = info "static void *(ngx_cycle_t *cycle, void* data)" "ngx_execute";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+struct ngx_chain_ctx {
+  long busy;
+  long (*output_filter)(void* ctx, long chain);
+};
+long ngx_chain_writer(void* ctx, long chain) {
+  printf("chain writer: %ld\n", chain);
+  return 0;
+}
+long ngx_execute_proc(void* cycle, long data) {
+  printf("spawned process %ld\n", data);
+  return 1;
+}
+struct ngx_chain_ctx* octx;
+long ngx_output_chain(long chain) {
+  return octx->output_filter((void*) octx, chain);
+}
+int main(void) {
+  octx = (struct ngx_chain_ctx*) malloc(sizeof(struct ngx_chain_ctx));
+  octx->output_filter = ngx_chain_writer;
+  ngx_output_chain(1);
+  ngx_output_chain(2);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("ngx_output_chain", 2);
+          action =
+            smash_newest_alloc ~offset:8L
+              ~value:(fun intr -> intr.func_addr "ngx_execute_proc")
+              ~note:"overwrite ctx->output_filter with &ngx_execute_proc" ();
+        };
+      ];
+    success = Checks.func_called "ngx_execute_proc";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* CVE (libtiff, Figure 1): tif->tif_encoderow -> arbitrary            *)
+(* ------------------------------------------------------------------ *)
+
+let cve_libtiff =
+  {
+    Scenario.id = "cve-libtiff";
+    paper_row = "CVE-2014-8668 (R)";
+    category = Scenario.Control_flow;
+    source = Scenario.Real;
+    corrupted = "tif->tif_encoderow";
+    target = "arbitrary pointer (system)";
+    original =
+      info "TIFFCodeMethod"
+        "_TIFFSetDefaultCompression, TIFFWriteScanline, TIFFOpen, main";
+    corrupted_info = info "unknown (CVE)" "unknown (CVE)";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+extern int system(const char* cmd);
+struct TIFF {
+  long tif_scanlinesize;
+  int (*tif_encoderow)(struct TIFF* tif, char* buf, long size, int sample);
+};
+int _TIFFNoRowEncode(struct TIFF* tif, char* buf, long size, int sample) {
+  printf("encoded %ld bytes\n", size);
+  return 1;
+}
+void _TIFFSetDefaultCompressionState(struct TIFF* tif) {
+  tif->tif_encoderow = _TIFFNoRowEncode;
+}
+struct TIFF* TIFFOpen(void) {
+  struct TIFF* tif = (struct TIFF*) malloc(sizeof(struct TIFF));
+  tif->tif_scanlinesize = 128;
+  _TIFFSetDefaultCompressionState(tif);
+  return tif;
+}
+int TIFFWriteScanline(struct TIFF* tif, char* buf, int sample) {
+  return tif->tif_encoderow(tif, buf, tif->tif_scanlinesize, sample);
+}
+int main(void) {
+  struct TIFF* out = TIFFOpen();
+  long uncompr_size = 64;
+  char* uncomprbuf = (char*) malloc(uncompr_size);
+  /* Unsanitized size: the overflow the attacker exploits. */
+  TIFFWriteScanline(out, uncomprbuf, 0);
+  TIFFWriteScanline(out, uncomprbuf, 1);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("TIFFWriteScanline", 2);
+          action =
+            (fun intr ->
+              (* The TIFF object is the older of the two allocations. *)
+              match intr.heap_allocs () with
+              | _ :: (tif, _) :: _ ->
+                  intr.note "heap overflow into tif->tif_encoderow";
+                  intr.write_word (Int64.add tif 8L) (intr.func_addr "system")
+              | _ -> ());
+        };
+      ];
+    success = Checks.extern_called "system";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* CVE-2014-1912 (CPython): tp->tp_hash -> arbitrary                   *)
+(* ------------------------------------------------------------------ *)
+
+let cve_python =
+  {
+    Scenario.id = "cve-python";
+    paper_row = "CVE-2014-1912 (R)";
+    category = Scenario.Control_flow;
+    source = Scenario.Real;
+    corrupted = "tp->tp_hash";
+    target = "arbitrary pointer (system)";
+    original = info "hashfunc" "inherit_slots, PyObject_Hash";
+    corrupted_info = info "unknown (CVE)" "unknown (CVE)";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+extern int system(const char* cmd);
+struct PyTypeObject {
+  long tp_basicsize;
+  long (*tp_hash)(void* obj);
+};
+long default_hash(void* obj) {
+  return ((long) obj) >> 4;
+}
+struct PyTypeObject* type_obj;
+void inherit_slots(struct PyTypeObject* base) {
+  type_obj->tp_hash = base->tp_hash;
+}
+long PyObject_Hash(void* obj) {
+  return type_obj->tp_hash(obj);
+}
+int main(void) {
+  type_obj = (struct PyTypeObject*) malloc(sizeof(struct PyTypeObject));
+  struct PyTypeObject* base = (struct PyTypeObject*) malloc(sizeof(struct PyTypeObject));
+  base->tp_hash = default_hash;
+  inherit_slots(base);
+  long h1 = PyObject_Hash((void*) base);
+  /* sock.recv_into() overflow corrupts the type object here */
+  long h2 = PyObject_Hash((void*) base);
+  printf("hashes %ld %ld\n", h1, h2);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("PyObject_Hash", 2);
+          action =
+            (fun intr ->
+              match List.rev (intr.heap_allocs ()) with
+              | (tyobj, _) :: _ ->
+                  intr.note "buffer overflow into tp->tp_hash";
+                  intr.write_word (Int64.add tyobj 8L) (intr.func_addr "system")
+              | _ -> ());
+        };
+      ];
+    success = Checks.extern_called "system";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* COOP REC-G (synthetic)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let coop_rec_g =
+  {
+    Scenario.id = "coop-rec-g";
+    paper_row = "COOP REC-G [27] (S)";
+    category = Scenario.Control_flow;
+    source = Scenario.Synthetic;
+    corrupted = "objB->unref";
+    target = "virtual ~Z()";
+    original = info "class X" "class Z";
+    corrupted_info = info "class Z" "class Z";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+/* C++-style objects: a vtable slot modeled as a function pointer. */
+struct X {
+  long refcount;
+  void (*unref)(struct X* self);
+};
+struct Z {
+  long state;
+  void (*dtor)(struct Z* self);
+};
+void X_unref(struct X* self) {
+  self->refcount = self->refcount - 1;
+  printf("X unref -> %ld\n", self->refcount);
+}
+void Z_dtor(struct Z* self) {
+  printf("~Z() gadget reached, state=%ld\n", self->state);
+}
+struct X* objB;
+void release_all(int times) {
+  for (int i = 0; i < times; i++) {
+    objB->unref(objB);
+  }
+}
+int main(void) {
+  struct Z* z = (struct Z*) malloc(sizeof(struct Z));
+  z->state = 99;
+  z->dtor = Z_dtor;
+  objB = (struct X*) malloc(sizeof(struct X));
+  objB->refcount = 2;
+  objB->unref = X_unref;
+  release_all(1);
+  release_all(1);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("release_all", 2);
+          action =
+            smash_newest_alloc ~offset:8L
+              ~value:(fun intr -> intr.func_addr "Z_dtor")
+              ~note:"counterfeit object: objB->unref = &~Z" ();
+        };
+      ];
+    success = Checks.func_called "Z_dtor";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* COOP ML-G (synthetic)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let coop_ml_g =
+  {
+    Scenario.id = "coop-ml-g";
+    paper_row = "COOP ML-G [73] (S)";
+    category = Scenario.Control_flow;
+    source = Scenario.Synthetic;
+    corrupted = "students[i]->decCourseCount()";
+    target = "virtual ~Course()";
+    original = info "void *()" "class Student, class Course";
+    corrupted_info = info "class Course" "class Course";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+struct Student {
+  long courses;
+  void (*decCourseCount)(struct Student* self);
+};
+struct Course {
+  long id;
+  void (*dtor)(struct Course* self);
+};
+void Student_decCourseCount(struct Student* self) {
+  self->courses = self->courses - 1;
+}
+void Course_dtor(struct Course* self) {
+  printf("~Course() gadget, id=%ld\n", self->id);
+}
+struct Student* students[4];
+void drop_course(int n) {
+  for (int i = 0; i < n; i++) {
+    students[i]->decCourseCount(students[i]);
+  }
+}
+int main(void) {
+  struct Course* c = (struct Course*) malloc(sizeof(struct Course));
+  c->id = 42;
+  c->dtor = Course_dtor;
+  for (int i = 0; i < 4; i++) {
+    struct Student* s = (struct Student*) malloc(sizeof(struct Student));
+    s->courses = 5;
+    s->decCourseCount = Student_decCourseCount;
+    students[i] = s;
+  }
+  drop_course(4);
+  drop_course(4);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("drop_course", 2);
+          action =
+            smash_newest_alloc ~offset:8L
+              ~value:(fun intr -> intr.func_addr "Course_dtor")
+              ~note:"main-loop gadget: student vptr slot -> ~Course" ();
+        };
+      ];
+    success = Checks.func_called "Course_dtor";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* PittyPat COOP (synthetic): signed-pointer replay between classes    *)
+(* ------------------------------------------------------------------ *)
+
+let pittypat_coop =
+  {
+    Scenario.id = "pittypat-coop";
+    paper_row = "PittyPat COOP Attack [31] (S)";
+    category = Scenario.Control_flow;
+    source = Scenario.Synthetic;
+    corrupted = "member_2->registration";
+    target = "member_1->registration";
+    original = info "void*()" "main, class Student";
+    corrupted_info = info "void*()" "main, class Teacher";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+struct Student {
+  long id;
+  void (*registration)(long id);
+};
+struct Teacher {
+  long id;
+  void (*registration)(long id);
+};
+void student_register(long id) {
+  printf("student %ld registered (privileged path!)\n", id);
+}
+void teacher_register(long id) {
+  printf("teacher %ld registered\n", id);
+}
+struct Student* member_1;
+struct Teacher* member_2;
+void do_registration(int round) {
+  member_2->registration(member_2->id);
+}
+int main(void) {
+  member_1 = (struct Student*) malloc(sizeof(struct Student));
+  member_1->id = 1;
+  member_1->registration = student_register;
+  member_2 = (struct Teacher*) malloc(sizeof(struct Teacher));
+  member_2->id = 2;
+  member_2->registration = teacher_register;
+  do_registration(1);
+  do_registration(2);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("do_registration", 2);
+          action =
+            (fun intr ->
+              (* Replay, not forgery: copy the *stored* (signed, under
+                 RSTI) word from the Student object's slot into the
+                 Teacher object's slot. Succeeds only if both slots carry
+                 the same RSTI-type. *)
+              match intr.heap_allocs () with
+              | (teacher, _) :: (student, _) :: _ ->
+                  intr.note "replay member_1->registration into member_2";
+                  intr.write_word (Int64.add teacher 8L)
+                    (intr.read_word (Int64.add student 8L))
+              | _ -> ());
+        };
+      ];
+    success = Checks.output_contains "privileged path";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* DOP ProFTPd (data-oriented): &ServerName corrupted from resp_buf    *)
+(* ------------------------------------------------------------------ *)
+
+let dop_proftpd =
+  {
+    Scenario.id = "dop-proftpd";
+    paper_row = "DOP ProFTPd Attack [44] (R)";
+    category = Scenario.Data_oriented;
+    source = Scenario.Real;
+    corrupted = "&ServerName";
+    target = "resp_buf, ssl_ctx";
+    original = info "const char*" "core_display_file";
+    corrupted_info = info "char*" "pr_response_send_raw";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+extern char* strcpy(char* dst, const char* src);
+/* The secret the DOP chain exfiltrates (stands in for the SSL key). */
+char ssl_private_key[32];
+const char* ServerName = "ProFTPD Server";
+char* resp_buf;
+void pr_response_send_raw(const char* data) {
+  strcpy(resp_buf, data);
+}
+void core_display_file(int round) {
+  /* the leak gadget: dereferences ServerName and sends it out */
+  printf("220 %s ready\n", ServerName);
+}
+int main(void) {
+  strcpy(ssl_private_key, "KEY-MAT-0xDEADBEEF");
+  resp_buf = (char*) malloc(64);
+  pr_response_send_raw("USER anonymous");
+  core_display_file(1);
+  core_display_file(2);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("core_display_file", 2);
+          action =
+            (fun intr ->
+              (* The DOP load gadget overwrites the ServerName pointer
+                 slot with the (signed) resp_buf pointer — here redirected
+                 at the secret, which the next display leaks. *)
+              intr.note "DOP: &ServerName <- pointer to ssl_private_key";
+              intr.write_word
+                (intr.global_addr "ServerName")
+                (intr.read_word (intr.global_addr "resp_buf"));
+              intr.write_string
+                (Int64.logand
+                   (intr.read_word (intr.global_addr "resp_buf"))
+                   0xFFFFFFFFFFFFL)
+                (intr.read_string (intr.global_addr "ssl_private_key")))
+        };
+      ];
+    success = Checks.output_contains "KEY-MAT";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* NEWTON CPI: v[index].get_handler -> dlopen                          *)
+(* ------------------------------------------------------------------ *)
+
+let newton_cpi =
+  {
+    Scenario.id = "newton-cpi";
+    paper_row = "NEWTON CPI Attack [81] (R)";
+    category = Scenario.Data_oriented;
+    source = Scenario.Real;
+    corrupted = "v[index].get_handler";
+    target = "dlopen";
+    original = info "ngx_http_get_variable_pt" "ngx_http_get_indexed_variable";
+    corrupted_info = info "void* (const char*, int)" "ngx_load_module";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+extern void* dlopen(const char* path, int flags);
+struct ngx_http_variable {
+  long index;
+  long (*get_handler)(long data);
+};
+long ngx_http_variable_request(long data) {
+  return data * 2;
+}
+struct ngx_http_variable* v;
+long ngx_http_get_indexed_variable(long index) {
+  return v[index].get_handler(index);
+}
+int main(void) {
+  v = (struct ngx_http_variable*) malloc(4 * sizeof(struct ngx_http_variable));
+  for (int i = 0; i < 4; i++) {
+    v[i].index = i;
+    v[i].get_handler = ngx_http_variable_request;
+  }
+  long a = ngx_http_get_indexed_variable(1);
+  long b = ngx_http_get_indexed_variable(2);
+  printf("vars %ld %ld\n", a, b);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("ngx_http_get_indexed_variable", 2);
+          action =
+            smash_newest_alloc ~offset:40L (* v[2].get_handler *)
+              ~value:(fun intr -> intr.func_addr "dlopen")
+              ~note:"overwrite v[2].get_handler with &dlopen" ();
+        };
+      ];
+    success = Checks.extern_called "dlopen";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* GHTTPD (Figure 2, data-oriented motivating example)                 *)
+(* ------------------------------------------------------------------ *)
+
+let ghttpd =
+  {
+    Scenario.id = "ghttpd";
+    paper_row = "GHTTPD data-oriented example (Fig. 2)";
+    category = Scenario.Data_oriented;
+    source = Scenario.Real;
+    corrupted = "ptr";
+    target = "crafted URL";
+    original = info "char*" "serveconnection";
+    corrupted_info = info "char*" "attacker-controlled";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+extern char* strstr(const char* hay, const char* needle);
+extern char* strcpy(char* dst, const char* src);
+extern int system(const char* cmd);
+struct request {
+  char url[64];
+  char* ptr;
+};
+void log_request(struct request* req) {
+  /* sprintf-based logging: the buffer overflow lives here */
+  printf("LOG %s\n", req->ptr);
+}
+int serveconnection(struct request* req) {
+  if (strstr(req->ptr, "/..")) {
+    return -1;
+  }
+  log_request(req);
+  if (strstr(req->ptr, "cgi-bin")) {
+    system(req->ptr);
+    return 1;
+  }
+  return 0;
+}
+int main(void) {
+  struct request* req = (struct request*) malloc(sizeof(struct request));
+  strcpy(req->url, "/index.html");
+  req->ptr = req->url;
+  int r = serveconnection(req);
+  printf("served: %d\n", r);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("log_request", 1);
+          action =
+            (fun intr ->
+              match intr.heap_allocs () with
+              | (req, _) :: _ ->
+                  intr.note "overflow in log(): req->ptr -> crafted URL";
+                  (* plant the crafted URL past the checked prefix and
+                     redirect the already-validated pointer at it *)
+                  let crafted = Int64.add req 32L in
+                  intr.write_string crafted "cgi-bin/../../../../bin/sh";
+                  intr.write_word (Int64.add req 64L) crafted
+              | [] -> ());
+        };
+      ];
+    success = Checks.extern_called "system";
+  }
+
+let table1 =
+  [
+    newton_cscfi; aocr_nginx1; aocr_nginx2; aocr_apache; control_jujutsu;
+    cve_libtiff; cve_python; coop_rec_g; coop_ml_g; pittypat_coop;
+    dop_proftpd; newton_cpi;
+  ]
+
+let all = table1 @ [ ghttpd ]

@@ -1,0 +1,58 @@
+(** Every attack of the paper's Table 1, as a runnable scenario, plus the
+    two motivating examples (Figures 1 and 2).
+
+    Each victim program is a faithful miniature of the real vulnerable
+    code path: same data-structure shape (function pointer in a heap
+    object, pointer array, data pointer guarding a check), same function
+    names as the paper's table, and a corruption step standing in for the
+    memory-corruption vulnerability (the paper's threat model grants the
+    attacker arbitrary write — section 3). *)
+
+val newton_cscfi : Scenario.t
+(** NEWTON CsCFI: nginx [c->send_chain] redirected to libc [malloc]. *)
+
+val aocr_nginx1 : Scenario.t
+(** AOCR NGINX Attack 1: [task->handler] → [_IO_new_file_overflow]. *)
+
+val aocr_nginx2 : Scenario.t
+(** AOCR NGINX Attack 2: [log->handler] → [ngx_master_process_cycle]. *)
+
+val aocr_apache : Scenario.t
+(** AOCR Apache: [eval->errfn] → [ap_get_exec_line]. *)
+
+val control_jujutsu : Scenario.t
+(** Control Jujutsu: [ctx->output_filter] → [ngx_execute_proc]. *)
+
+val cve_libtiff : Scenario.t
+(** The libtiff CVE of Figure 1: [tif->tif_encoderow] → arbitrary. *)
+
+val cve_python : Scenario.t
+(** CVE-2014-1912: CPython [tp->tp_hash] → arbitrary. *)
+
+val coop_rec_g : Scenario.t
+(** COOP REC-G (synthetic): [objB->unref] → another class's destructor. *)
+
+val coop_ml_g : Scenario.t
+(** COOP ML-G (synthetic): [students\[i\]->decCourseCount] → [~Course]. *)
+
+val pittypat_coop : Scenario.t
+(** PittyPat COOP (synthetic): replay of [member_1->registration] (class
+    Student) into [member_2->registration] (class Teacher) — a signed-
+    pointer substitution, not a raw overwrite. *)
+
+val dop_proftpd : Scenario.t
+(** DOP ProFTPd: data-oriented corruption of [&ServerName] from
+    [resp_buf]; leaks in place of the server name. *)
+
+val newton_cpi : Scenario.t
+(** NEWTON CPI: [v\[index\].get_handler] → libc [dlopen]. *)
+
+val ghttpd : Scenario.t
+(** The Figure 2 motivating example: GHTTPD's [ptr] corrupted to bypass
+    the ["/.."] check and reach [system]. *)
+
+val table1 : Scenario.t list
+(** The twelve Table 1 rows, in the paper's order. *)
+
+val all : Scenario.t list
+(** [table1] plus the motivating examples. *)

@@ -1,0 +1,28 @@
+module Interp = Rsti_machine.Interp
+
+let extern_called_times name n (o : Interp.outcome) =
+  let count =
+    List.fold_left
+      (fun acc ev ->
+        match ev with Interp.Ev_extern (m, _) when m = name -> acc + 1 | _ -> acc)
+      0 o.events
+  in
+  count >= n
+
+let extern_called name o = extern_called_times name 1 o
+
+let func_called name (o : Interp.outcome) =
+  List.exists (function Interp.Ev_call m -> m = name | _ -> false) o.events
+
+let contains_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else begin
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  end
+
+let output_contains sub (o : Interp.outcome) = contains_sub ~sub o.output
+
+let exited_zero (o : Interp.outcome) =
+  match o.status with Interp.Exited 0L -> true | _ -> false

@@ -1,0 +1,210 @@
+module Interp = Rsti_machine.Interp
+module RT = Rsti_sti.Rsti_type
+
+let info ty scope = { Scenario.ty; scope }
+
+(* ------------------------------------------------------------------ *)
+(* Spatial: overflow into an adjacent function pointer                 *)
+(* ------------------------------------------------------------------ *)
+
+let spatial_overflow =
+  {
+    Scenario.id = "mem-spatial-fp";
+    paper_row = "spatial violation into a code pointer (Table 2)";
+    category = Scenario.Control_flow;
+    source = Scenario.Synthetic;
+    corrupted = "sess->on_close";
+    target = "attacker bytes (then &system via partial overwrite)";
+    original = info "void (*)(long)" "session_close, main";
+    corrupted_info = info "raw overflow bytes" "n/a";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+extern char* strcpy(char* dst, const char* src);
+extern int system(const char* cmd);
+struct session {
+  char name[16];
+  void (*on_close)(long id);
+};
+void normal_close(long id) {
+  printf("closed %ld\n", id);
+}
+struct session* sess;
+char* request_name;
+void set_name(void) {
+  /* the real bug: unbounded strcpy into a 16-byte field */
+  strcpy(sess->name, request_name);
+}
+int main(void) {
+  sess = (struct session*) malloc(sizeof(struct session));
+  sess->on_close = normal_close;
+  request_name = (char*) malloc(64);
+  strcpy(request_name, "bob");
+  set_name();
+  sess->on_close(1);
+  set_name();
+  sess->on_close(2);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          (* The attacker only controls the *input string*: before the
+             second set_name, the request is made long enough that the
+             victim's own strcpy runs past the 16-byte field and lays the
+             little-endian bytes of a target address over on_close (a
+             classic partial overwrite: copying stops at the address's
+             first zero byte, the stale high bytes complete the value). *)
+          Interp.trigger = Interp.On_call ("set_name", 2);
+          action =
+            (fun intr ->
+              intr.note "grow request_name past the 16-byte field";
+              let target = intr.func_addr "system" in
+              let addr_bytes =
+                String.init 8 (fun i ->
+                    Char.chr
+                      (Int64.to_int
+                         (Int64.logand
+                            (Int64.shift_right_logical target (8 * i))
+                            0xFFL)))
+              in
+              let request =
+                Int64.logand (intr.read_word (intr.global_addr "request_name"))
+                  0xFFFF_FFFF_FFFFL
+              in
+              intr.write_string request (String.make 16 'A' ^ addr_bytes));
+        };
+      ];
+    success = Checks.extern_called "system";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Spatial: overflow into a same-basic-type data pointer               *)
+(* ------------------------------------------------------------------ *)
+
+let spatial_overflow_same_type =
+  {
+    Scenario.id = "mem-spatial-data";
+    paper_row = "spatial violation into a data pointer (Table 2)";
+    category = Scenario.Data_oriented;
+    source = Scenario.Synthetic;
+    corrupted = "entry->payload";
+    target = "secret_store";
+    original = info "char*" "struct entry, render";
+    corrupted_info = info "char* (other scope)" "struct vault";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+extern char* strcpy(char* dst, const char* src);
+struct entry {
+  char title[8];
+  char* payload;
+};
+struct vault {
+  char* secret;
+};
+struct entry* page;
+struct vault* safe;
+void render(int round) {
+  printf("render %d: %s\n", round, page->payload);
+}
+int main(void) {
+  safe = (struct vault*) malloc(sizeof(struct vault));
+  safe->secret = (char*) malloc(16);
+  strcpy(safe->secret, "CLASSIFIED");
+  page = (struct entry*) malloc(sizeof(struct entry));
+  page->payload = (char*) malloc(16);
+  strcpy(page->payload, "public");
+  strcpy(page->title, "home");
+  render(1);
+  render(2);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("render", 2);
+          action =
+            (fun intr ->
+              (* overflow of title into payload: replay the vault's signed
+                 secret pointer into the page's payload slot *)
+              intr.note "overflow title[] into entry->payload (replayed vault ptr)";
+              match intr.heap_allocs () with
+              | _ :: (page, _) :: _ :: (safe, _) :: _ ->
+                  intr.write_word (Int64.add page 8L) (intr.read_word safe)
+              | _ -> ());
+        };
+      ];
+    success = Checks.output_contains "render 2: CLASSIFIED";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Temporal: use-after-free respray                                    *)
+(* ------------------------------------------------------------------ *)
+
+let temporal_uaf =
+  {
+    Scenario.id = "mem-temporal-uaf";
+    paper_row = "temporal violation: use-after-free respray (Table 2)";
+    category = Scenario.Control_flow;
+    source = Scenario.Synthetic;
+    corrupted = "conn->on_data (dangling)";
+    target = "attacker-sprayed fake object";
+    original = info "void (*)(long)" "struct conn, pump";
+    corrupted_info = info "raw sprayed pointer" "n/a";
+    program =
+      {|
+extern void* malloc(long n);
+extern void free(void* p);
+extern int printf(const char *fmt, ...);
+struct conn {
+  long fd;
+  void (*on_data)(long n);
+};
+void echo_data(long n) {
+  printf("echo %ld\n", n);
+}
+struct conn* dangling;
+void pump(int round) {
+  dangling->on_data(round);
+}
+int main(void) {
+  dangling = (struct conn*) malloc(sizeof(struct conn));
+  dangling->fd = 3;
+  dangling->on_data = echo_data;
+  pump(1);
+  /* the bug: the object is freed but the global keeps pointing at it */
+  free((void*) dangling);
+  pump(2);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          (* after the free (2nd pump is about to run), the attacker
+             resprays the freed chunk with a fake object *)
+          Interp.trigger = Interp.On_extern ("free", 1);
+          action =
+            (fun intr ->
+              intr.note "respray freed conn with fake object";
+              match List.rev (intr.heap_allocs ()) with
+              | (obj, _) :: _ ->
+                  intr.write_word obj 666L;
+                  intr.write_word (Int64.add obj 8L) (intr.func_addr "system")
+              | [] -> ());
+        };
+      ];
+    success = Checks.extern_called "system";
+  }
+
+let all = [ spatial_overflow; spatial_overflow_same_type; temporal_uaf ]
+
+let expected =
+  List.map
+    (fun sc -> (sc, List.map (fun m -> (m, Scenario.Detected)) RT.all_mechanisms))
+    all

@@ -1,0 +1,29 @@
+(** The spatial- and temporal-safety rows of Table 2: RSTI does not
+    prevent memory errors, but abusing one to corrupt a pointer requires
+    the attacker to plant a value with a valid PAC for that slot's
+    RSTI-type.
+
+    Unlike the substitution scenarios, the corruptions here come from
+    genuine program bugs — a real [strcpy] overflow running inside the
+    victim, and a use-after-free whose freed object is resprayed. *)
+
+val spatial_overflow : Scenario.t
+(** A string overflow inside a struct clobbers the adjacent function
+    pointer with attacker bytes. Baseline: hijacked. All RSTI
+    mechanisms: the planted bytes carry no valid PAC — detected. *)
+
+val spatial_overflow_same_type : Scenario.t
+(** The overflow clobbers an adjacent pointer of the same basic type but
+    a different RSTI-type (other struct): detected by all three. *)
+
+val temporal_uaf : Scenario.t
+(** Use-after-free: the freed object's memory is resprayed with an
+    attacker-controlled fake object; the dangling pointer's next use
+    loads a PAC-less pointer field — detected by all three. *)
+
+val all : Scenario.t list
+
+val expected :
+  (Scenario.t * (Rsti_sti.Rsti_type.mechanism * Scenario.verdict) list) list
+(** Every mechanism detects all three (the paper's Table 2: harder/
+    impossible to abuse, never invisible). *)

@@ -1,0 +1,61 @@
+module Interp = Rsti_machine.Interp
+module Rsti_type = Rsti_sti.Rsti_type
+
+type category = Control_flow | Data_oriented
+type source = Real | Synthetic
+
+type info = { ty : string; scope : string }
+
+type t = {
+  id : string;
+  paper_row : string;
+  category : category;
+  source : source;
+  corrupted : string;
+  target : string;
+  original : info;
+  corrupted_info : info;
+  program : string;
+  attacks : Interp.attack list;
+  success : Interp.outcome -> bool;
+}
+
+type verdict = Attack_succeeded | Detected | Attack_failed
+
+let verdict_to_string = function
+  | Attack_succeeded -> "ATTACK SUCCEEDED"
+  | Detected -> "detected"
+  | Attack_failed -> "failed (no detection)"
+
+type run_result = { verdict : verdict; outcome : Interp.outcome }
+
+let run scenario mech =
+  let m = Rsti_ir.Lower.compile ~file:(scenario.id ^ ".c") scenario.program in
+  let anal = Rsti_sti.Analysis.analyze m in
+  let r = Rsti_rsti.Instrument.instrument mech anal m in
+  let vm = Interp.create ~pp_table:r.pp_table r.modul in
+  let outcome = Interp.run ~attacks:scenario.attacks vm in
+  let verdict =
+    if Interp.detected outcome then Detected
+    else if scenario.success outcome then Attack_succeeded
+    else Attack_failed
+  in
+  { verdict; outcome }
+
+let run_baseline scenario = run scenario Rsti_type.Nop
+
+(* The CFI baseline: no RSTI instrumentation, signature-based indirect-
+   call checking in the machine. The paper's introduction motivates STI
+   by the attacks this misses. *)
+let run_cfi scenario =
+  let m = Rsti_ir.Lower.compile ~file:(scenario.id ^ ".c") scenario.program in
+  let vm = Interp.create ~cfi:true m in
+  let outcome = Interp.run ~attacks:scenario.attacks vm in
+  let verdict =
+    match outcome.Interp.status with
+    | Interp.Trapped (Interp.Cfi_violation _) -> Detected
+    | _ ->
+        if scenario.success outcome then Attack_succeeded
+        else Attack_failed
+  in
+  { verdict; outcome }

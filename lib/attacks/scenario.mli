@@ -1,0 +1,58 @@
+(** The attack-scenario framework behind the paper's security evaluation
+    (section 6.1, Tables 1 and 2).
+
+    A scenario is a runnable victim program (MiniC source modelled on the
+    real vulnerable software), a memory-corruption step executed through
+    the machine's attacker API, the scope-type bookkeeping the paper's
+    Table 1 reports, and a predicate deciding whether the attacker reached
+    their goal. Running a scenario under a mechanism yields one of three
+    verdicts: the attack succeeded, RSTI detected it (PAC failure followed
+    by a fault), or it fizzled for another reason. *)
+
+type category = Control_flow | Data_oriented
+type source = Real | Synthetic
+
+type info = { ty : string; scope : string }
+(** One "scope-type information" cell of Table 1. *)
+
+type t = {
+  id : string;                     (** short slug, e.g. ["newton-cscfi"] *)
+  paper_row : string;              (** Table 1 row label *)
+  category : category;
+  source : source;
+  corrupted : string;              (** the pointer being abused *)
+  target : string;                 (** what it is redirected to *)
+  original : info;                 (** programmer-intended scope-type *)
+  corrupted_info : info;           (** scope-type after corruption *)
+  program : string;                (** MiniC victim source *)
+  attacks : Rsti_machine.Interp.attack list;
+  success : Rsti_machine.Interp.outcome -> bool;
+      (** did the attacker reach the goal (under no defense)? *)
+}
+
+type verdict =
+  | Attack_succeeded   (** goal reached, no detection *)
+  | Detected           (** PAC authentication failure stopped it *)
+  | Attack_failed      (** neither: crashed or fizzled without detection *)
+
+val verdict_to_string : verdict -> string
+
+type run_result = {
+  verdict : verdict;
+  outcome : Rsti_machine.Interp.outcome;
+}
+
+val run : t -> Rsti_sti.Rsti_type.mechanism -> run_result
+(** Compile the victim, instrument under the mechanism, execute with the
+    scenario's corruption hooks, and classify the result. *)
+
+val run_baseline : t -> run_result
+(** [run] with no instrumentation — must yield [Attack_succeeded] for a
+    well-formed scenario (checked by the test suite). *)
+
+val run_cfi : t -> run_result
+(** Run under the signature-based CFI baseline instead of RSTI
+    (uninstrumented pointers, prototype checks on indirect calls). The
+    paper's introduction claim — CFI misses data-oriented attacks and
+    same-signature code reuse — is checked by the test suite against
+    this. *)

@@ -1,0 +1,253 @@
+module Interp = Rsti_machine.Interp
+module RT = Rsti_sti.Rsti_type
+
+let info ty scope = { Scenario.ty; scope }
+
+(* Copy the signed word stored in global [src] over global [dst]. *)
+let replay_global ~src ~dst ~note trigger =
+  {
+    Interp.trigger;
+    action =
+      (fun intr ->
+        intr.note note;
+        intr.write_word (intr.global_addr dst) (intr.read_word (intr.global_addr src)));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 1. Replay within one RSTI-type (largest-ECV case)                   *)
+(* ------------------------------------------------------------------ *)
+
+let same_rsti_replay =
+  {
+    Scenario.id = "sub-same-rsti";
+    paper_row = "replay within an equivalence class (Table 2 / 6.2.1)";
+    category = Scenario.Data_oriented;
+    source = Scenario.Synthetic;
+    corrupted = "msg_b";
+    target = "msg_a";
+    original = info "char*" "main, show";
+    corrupted_info = info "char*" "main, show (same RSTI-type)";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+extern char* strcpy(char* dst, const char* src);
+/* Two pointers with identical type, scope, and permission: one
+   equivalence class of size two. */
+char* msg_a;
+char* msg_b;
+void show(int round) {
+  /* both pointers are used here, symmetrically: identical scope */
+  printf("motd: %s\n", msg_a);
+  printf("round %d: %s\n", round, msg_b);
+}
+int main(void) {
+  msg_a = (char*) malloc(32);
+  msg_b = (char*) malloc(32);
+  strcpy(msg_a, "TOP-SECRET-A");
+  strcpy(msg_b, "public-b");
+  show(1);
+  show(2);
+  return 0;
+}
+|};
+    attacks =
+      [
+        replay_global ~src:"msg_a" ~dst:"msg_b"
+          ~note:"replay signed msg_a over msg_b (same RSTI-type)"
+          (Interp.On_call ("show", 2));
+      ];
+    success = Checks.output_contains "round 2: TOP-SECRET-A";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 2. Replay across cast-merged types (STC's combining weakness)       *)
+(* ------------------------------------------------------------------ *)
+
+let cast_merged_replay =
+  {
+    Scenario.id = "sub-cast-merged";
+    paper_row = "substitution across compatible (cast-merged) types";
+    category = Scenario.Data_oriented;
+    source = Scenario.Synthetic;
+    corrupted = "session";
+    target = "scratch";
+    original = info "struct session*" "main, handle";
+    corrupted_info = info "void*" "main, handle (merged under STC)";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+struct session {
+  long uid;
+  long privileged;
+};
+struct session* session;
+void* scratch;
+void handle(int round) {
+  printf("round %d uid=%ld priv=%ld\n", round, session->uid, session->privileged);
+}
+int main(void) {
+  session = (struct session*) malloc(sizeof(struct session));
+  session->uid = 1000;
+  session->privileged = 0;
+  scratch = malloc(sizeof(struct session));
+  /* the cast that makes struct session* and void* compatible: the
+     program itself moves a session through a void* (e.g. a callback
+     context), so STC merges the two RSTI-types */
+  scratch = (void*) session;
+  scratch = malloc(16);
+  handle(1);
+  handle(2);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("handle", 2);
+          action =
+            (fun intr ->
+              (* forge a privileged session in attacker-reachable scratch
+                 memory, then replay the signed scratch pointer over the
+                 session pointer *)
+              intr.note "replay signed void* scratch over struct session*";
+              let scratch_signed = intr.read_word (intr.global_addr "scratch") in
+              let scratch_raw = Int64.logand scratch_signed 0xFFFF_FFFF_FFFFL in
+              intr.write_word scratch_raw 0L;
+              intr.write_word (Int64.add scratch_raw 8L) 1L;
+              intr.write_word (intr.global_addr "session") scratch_signed);
+        };
+      ];
+    success = Checks.output_contains "priv=1";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 3. Replay across scopes (defeats PARTS, not RSTI)                   *)
+(* ------------------------------------------------------------------ *)
+
+let cross_scope_replay =
+  {
+    Scenario.id = "sub-cross-scope";
+    paper_row = "same basic type, different scope (PARTS comparison, 6.1.2)";
+    category = Scenario.Data_oriented;
+    source = Scenario.Synthetic;
+    corrupted = "audit_log";
+    target = "user_input";
+    original = info "char*" "write_audit";
+    corrupted_info = info "char*" "read_user (different scope)";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+extern char* strcpy(char* dst, const char* src);
+/* Same basic type (char*), used in two disjoint scopes, never
+   flowing into each other. */
+char* audit_log;
+char* user_input;
+void read_user(void) {
+  strcpy(user_input, "GET /evil");
+}
+void write_audit(int round) {
+  printf("audit %d: %s\n", round, audit_log);
+}
+int main(void) {
+  audit_log = (char*) malloc(32);
+  user_input = (char*) malloc(32);
+  strcpy(audit_log, "boot ok");
+  read_user();
+  write_audit(1);
+  write_audit(2);
+  return 0;
+}
+|};
+    attacks =
+      [
+        replay_global ~src:"user_input" ~dst:"audit_log"
+          ~note:"replay signed user_input over audit_log (other scope)"
+          (Interp.On_call ("write_audit", 2));
+      ];
+    success = Checks.output_contains "audit 2: GET /evil";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 4. Replay across permissions (const vs mutable)                     *)
+(* ------------------------------------------------------------------ *)
+
+let permission_replay =
+  {
+    Scenario.id = "sub-permission";
+    paper_row = "read-only vs read-write permission substitution";
+    category = Scenario.Data_oriented;
+    source = Scenario.Synthetic;
+    corrupted = "banner (const char*)";
+    target = "netbuf (char*)";
+    original = info "const char*" "greet";
+    corrupted_info = info "char*" "greet (R/W permission)";
+    program =
+      {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+extern char* strcpy(char* dst, const char* src);
+/* Same type and same scope; only the permission differs. */
+const char* banner = "Welcome to ftpd";
+char* netbuf;
+void greet(int round) {
+  printf("banner %d: %s\n", round, banner);
+  strcpy(netbuf, "x");
+}
+int main(void) {
+  netbuf = (char*) malloc(32);
+  strcpy(netbuf, "INJECTED");
+  greet(1);
+  greet(2);
+  return 0;
+}
+|};
+    attacks =
+      [
+        {
+          Interp.trigger = Interp.On_call ("greet", 2);
+          action =
+            (fun intr ->
+              intr.note "replay signed netbuf over const banner";
+              let v = intr.read_word (intr.global_addr "netbuf") in
+              let raw = Int64.logand v 0xFFFF_FFFF_FFFFL in
+              intr.write_string raw "INJECTED";
+              intr.write_word (intr.global_addr "banner") v);
+        };
+      ];
+    success = Checks.output_contains "banner 2: INJECTED";
+  }
+
+let all = [ same_rsti_replay; cast_merged_replay; cross_scope_replay; permission_replay ]
+
+let expected =
+  [
+    ( same_rsti_replay,
+      [
+        (RT.Stwc, Scenario.Attack_succeeded);
+        (RT.Stc, Scenario.Attack_succeeded);
+        (RT.Stl, Scenario.Detected);
+      ] );
+    ( cast_merged_replay,
+      [
+        (RT.Stwc, Scenario.Detected);
+        (RT.Stc, Scenario.Attack_succeeded);
+        (RT.Stl, Scenario.Detected);
+      ] );
+    ( cross_scope_replay,
+      [
+        (RT.Stwc, Scenario.Detected);
+        (RT.Stc, Scenario.Detected);
+        (RT.Stl, Scenario.Detected);
+        (RT.Parts, Scenario.Attack_succeeded);
+      ] );
+    ( permission_replay,
+      [
+        (RT.Stwc, Scenario.Detected);
+        (RT.Stc, Scenario.Detected);
+        (RT.Stl, Scenario.Detected);
+        (RT.Parts, Scenario.Attack_succeeded);
+      ] );
+  ]

@@ -1,0 +1,28 @@
+(** Pointer-substitution (replay) micro-scenarios reproducing Table 2:
+    what each mechanism can and cannot stop when the attacker reuses a
+    *validly signed* pointer instead of forging one.
+
+    Expected matrix (checked by the test suite and printed by the bench):
+
+    - {!same_rsti_replay} — both pointers share one RSTI-type (an
+      equivalence class of size 2): STWC and STC miss it, STL detects it
+      (the location [&p] differs).
+    - {!cast_merged_replay} — the types are distinct but cast-compatible:
+      STC (which merges them) misses it, STWC and STL detect it.
+    - {!cross_scope_replay} — same basic type, different scope: all three
+      RSTI mechanisms detect it; the PARTS baseline (type-only modifier)
+      misses it — the paper's section 6.1.2 comparison.
+    - {!permission_replay} — const vs non-const: all three detect it;
+      PARTS misses it. *)
+
+val same_rsti_replay : Scenario.t
+val cast_merged_replay : Scenario.t
+val cross_scope_replay : Scenario.t
+val permission_replay : Scenario.t
+
+val all : Scenario.t list
+
+val expected :
+  (Scenario.t * (Rsti_sti.Rsti_type.mechanism * Scenario.verdict) list) list
+(** The expected verdict matrix above, used by tests and the Table 2
+    reproduction. *)

@@ -1,0 +1,60 @@
+(* Incremental construction of one IR function: fresh registers, block
+   management, instruction emission. The lowering drives this; the RSTI
+   instrumentation pass rewrites finished functions instead. *)
+
+type t = {
+  func_name : string;
+  mutable nregs : int;
+  mutable nblocks : int;
+  mutable done_blocks : Ir.block list;     (* finished, reverse order *)
+  mutable cur_label : int;
+  mutable cur_instrs : Ir.instr list;      (* reverse order *)
+  mutable cur_line : int;                  (* current !dbg line *)
+}
+
+let create ~name ~nparams =
+  {
+    func_name = name;
+    nregs = nparams;
+    nblocks = 1;
+    done_blocks = [];
+    cur_label = 0;
+    cur_instrs = [];
+    cur_line = 0;
+  }
+
+let fresh_reg b =
+  let r = b.nregs in
+  b.nregs <- r + 1;
+  r
+
+let set_line b line = b.cur_line <- line
+
+let dbg b = Some { Dinfo.dl_line = b.cur_line; dl_func = b.func_name }
+
+let emit b desc = b.cur_instrs <- { Ir.i = desc; dbg = dbg b } :: b.cur_instrs
+
+(* Reserve a label to be filled in later (forward branches). *)
+let reserve_block b =
+  let l = b.nblocks in
+  b.nblocks <- l + 1;
+  l
+
+(* Close the current block with [term] and start emitting into [label]. *)
+let seal_and_start b term label =
+  b.done_blocks <-
+    { Ir.label = b.cur_label; instrs = List.rev b.cur_instrs; term } :: b.done_blocks;
+  b.cur_label <- label;
+  b.cur_instrs <- []
+
+let finish b ~default_term =
+  b.done_blocks <-
+    { Ir.label = b.cur_label; instrs = List.rev b.cur_instrs; term = default_term }
+    :: b.done_blocks;
+  let blocks = Array.make b.nblocks { Ir.label = -1; instrs = []; term = Ir.Unreachable } in
+  List.iter (fun (blk : Ir.block) -> blocks.(blk.label) <- blk) b.done_blocks;
+  (* Labels reserved but never started become unreachable stubs. *)
+  Array.iteri
+    (fun i blk -> if blk.Ir.label = -1 then blocks.(i) <- { Ir.label = i; instrs = []; term = Ir.Unreachable })
+    blocks;
+  (blocks, b.nregs)

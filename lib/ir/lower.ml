@@ -1,0 +1,467 @@
+module Tast = Rsti_minic.Tast
+module Ctype = Rsti_minic.Ctype
+module Ast = Rsti_minic.Ast
+
+type env = {
+  modul_structs : (string * (string * Ctype.t) list) list;
+  strings : (string, int) Hashtbl.t;
+  mutable string_list : string list;  (* reverse order *)
+  var_addr : (int, Ir.value) Hashtbl.t;  (* var id -> address value *)
+  funcs : (string, unit) Hashtbl.t;      (* defined function names *)
+}
+
+let struct_lookup env name =
+  match List.assoc_opt name env.modul_structs with
+  | Some fields -> fields
+  | None -> invalid_arg ("Lower: unknown struct " ^ name)
+
+let sizeof env ty = Ctype.sizeof ~lookup:(struct_lookup env) ty
+
+let intern_string env s =
+  match Hashtbl.find_opt env.strings s with
+  | Some i -> i
+  | None ->
+      let i = Hashtbl.length env.strings in
+      Hashtbl.replace env.strings s i;
+      env.string_list <- s :: env.string_list;
+      i
+
+let is_float_ty ty = Ctype.strip_const ty = Ctype.Double
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Lower an lvalue to (address value, slot, value type). *)
+let rec lower_lval env b (l : Tast.lval) : Ir.value * Ir.slot * Ctype.t =
+  Builder.set_line b l.lloc.line;
+  match l.ldesc with
+  | Tast.Lvar v ->
+      let addr =
+        match Hashtbl.find_opt env.var_addr v.v_id with
+        | Some a -> a
+        | None -> Ir.Global v.v_name  (* extern data object *)
+      in
+      (addr, Ir.Svar v.v_id, v.v_ty)
+  | Tast.Lderef e ->
+      let p = lower_expr env b e in
+      (p, Ir.Sanon l.lty, l.lty)
+  | Tast.Lfield (base, sname, fname) ->
+      let base_addr, _, _ = lower_lval env b base in
+      let dst = Builder.fresh_reg b in
+      Builder.emit b (Ir.Gep { dst; base = base_addr; sname; field = fname });
+      (Ir.Reg dst, Ir.Sfield (sname, fname), l.lty)
+  | Tast.Lfield_ptr (e, sname, fname) ->
+      let p = lower_expr env b e in
+      let dst = Builder.fresh_reg b in
+      Builder.emit b (Ir.Gep { dst; base = p; sname; field = fname });
+      (Ir.Reg dst, Ir.Sfield (sname, fname), l.lty)
+  | Tast.Lindex (e, idx) ->
+      let p = lower_expr env b e in
+      let i = lower_expr env b idx in
+      let dst = Builder.fresh_reg b in
+      Builder.emit b (Ir.Gepidx { dst; base = p; elem = l.lty; idx = i });
+      (Ir.Reg dst, Ir.Sanon l.lty, l.lty)
+
+and lower_read env b (l : Tast.lval) : Ir.value =
+  let addr, slot, ty = lower_lval env b l in
+  match Ctype.strip_const ty with
+  | Ctype.Array _ | Ctype.Struct _ ->
+      (* Aggregates have no scalar load; their "value" is their address
+         (arrays decay; whole-struct reads are unsupported by MiniC). *)
+      addr
+  | _ ->
+      let dst = Builder.fresh_reg b in
+      Builder.emit b (Ir.Load { dst; addr; ty; slot });
+      Ir.Reg dst
+
+and lower_expr env b (e : Tast.texpr) : Ir.value =
+  Builder.set_line b e.tloc.line;
+  match e.tdesc with
+  | Tast.Tint n -> Ir.Imm n
+  | Tast.Tdouble x -> Ir.Fimm x
+  | Tast.Tstr s -> Ir.Str (intern_string env s)
+  | Tast.Tread l -> lower_read env b l
+  | Tast.Taddr l ->
+      let addr, _, _ = lower_lval env b l in
+      addr
+  | Tast.Tfunc_addr f -> Ir.Funcaddr f
+  | Tast.Tneg a ->
+      let fl = if is_float_ty a.tty then Ir.Fop else Ir.Iop in
+      let v = lower_expr env b a in
+      let dst = Builder.fresh_reg b in
+      Builder.emit b (Ir.Neg { dst; fl; src = v });
+      Ir.Reg dst
+  | Tast.Tlognot a ->
+      let v = lower_expr env b a in
+      let dst = Builder.fresh_reg b in
+      Builder.emit b (Ir.Lognot { dst; src = v });
+      Ir.Reg dst
+  | Tast.Tbitnot a ->
+      let v = lower_expr env b a in
+      let dst = Builder.fresh_reg b in
+      Builder.emit b (Ir.Bitnot { dst; src = v });
+      Ir.Reg dst
+  | Tast.Tbinop ((Ast.Logand | Ast.Logor) as op, x, y) ->
+      lower_short_circuit env b op x y
+  | Tast.Tbinop (op, x, y) -> lower_binop env b e op x y
+  | Tast.Tassign (l, r) ->
+      let rv = lower_expr env b r in
+      let addr, slot, ty = lower_lval env b l in
+      Builder.emit b (Ir.Store { src = rv; addr; ty = Ctype.strip_const ty; slot });
+      rv
+  | Tast.Tcall (callee, args) ->
+      let argvs = List.map (lower_expr env b) args in
+      let arg_tys = List.map (fun (a : Tast.texpr) -> a.tty) args in
+      let ret_ty = e.tty in
+      let dst =
+        if Ctype.strip_const ret_ty = Ctype.Void then None
+        else Some (Builder.fresh_reg b)
+      in
+      let callee_ir =
+        match callee with
+        | Tast.Cdirect f -> Ir.Direct f
+        | Tast.Cindirect f -> Ir.Indirect (lower_expr env b f)
+      in
+      Builder.emit b (Ir.Call { dst; callee = callee_ir; args = argvs; arg_tys; ret_ty });
+      (match dst with Some d -> Ir.Reg d | None -> Ir.Null)
+  | Tast.Tcast (to_ty, a) ->
+      let v = lower_expr env b a in
+      let from_ty = a.tty in
+      let fs = Ctype.strip_all_quals from_ty and ts = Ctype.strip_all_quals to_ty in
+      if Ctype.equal fs ts then v
+      else if Ctype.is_pointer fs || Ctype.is_pointer ts then begin
+        let dst = Builder.fresh_reg b in
+        Builder.emit b (Ir.Bitcast { dst; src = v; from_ty; to_ty });
+        Ir.Reg dst
+      end
+      else if ts = Ctype.Void then v
+      else begin
+        let dst = Builder.fresh_reg b in
+        Builder.emit b (Ir.Cast_num { dst; src = v; from_ty; to_ty });
+        Ir.Reg dst
+      end
+  | Tast.Tcond (c, x, y) -> lower_cond_expr env b e c x y
+
+and lower_binop env b (e : Tast.texpr) op x y =
+  let xv = lower_expr env b x in
+  let yv = lower_expr env b y in
+  let xp = Ctype.is_pointer x.tty and yp = Ctype.is_pointer y.tty in
+  match (op, xp, yp) with
+  | Ast.Add, true, false ->
+      let dst = Builder.fresh_reg b in
+      Builder.emit b
+        (Ir.Gepidx { dst; base = xv; elem = Ctype.pointee x.tty; idx = yv });
+      Ir.Reg dst
+  | Ast.Sub, true, false ->
+      let neg = Builder.fresh_reg b in
+      Builder.emit b (Ir.Neg { dst = neg; fl = Ir.Iop; src = yv });
+      let dst = Builder.fresh_reg b in
+      Builder.emit b
+        (Ir.Gepidx { dst; base = xv; elem = Ctype.pointee x.tty; idx = Ir.Reg neg });
+      Ir.Reg dst
+  | Ast.Sub, true, true ->
+      let diff = Builder.fresh_reg b in
+      Builder.emit b (Ir.Binop { dst = diff; op = Ast.Sub; fl = Ir.Iop; a = xv; b = yv });
+      let size = sizeof env (Ctype.pointee x.tty) in
+      if size = 1 then Ir.Reg diff
+      else begin
+        let dst = Builder.fresh_reg b in
+        Builder.emit b
+          (Ir.Binop
+             { dst; op = Ast.Div; fl = Ir.Iop; a = Ir.Reg diff; b = Ir.Imm (Int64.of_int size) });
+        Ir.Reg dst
+      end
+  | _ ->
+      let fl =
+        if is_float_ty x.tty || is_float_ty y.tty || is_float_ty e.tty then Ir.Fop
+        else Ir.Iop
+      in
+      (* Promote an integer operand when the other side is a double. *)
+      let promote (v : Ir.value) (ty : Ctype.t) =
+        if fl = Ir.Fop && not (is_float_ty ty) && not (Ctype.is_pointer ty) then begin
+          let dst = Builder.fresh_reg b in
+          Builder.emit b
+            (Ir.Cast_num { dst; src = v; from_ty = Ctype.Long; to_ty = Ctype.Double });
+          Ir.Reg dst
+        end
+        else v
+      in
+      let xv = promote xv x.tty and yv = promote yv y.tty in
+      let dst = Builder.fresh_reg b in
+      Builder.emit b (Ir.Binop { dst; op; fl; a = xv; b = yv });
+      Ir.Reg dst
+
+(* a && b / a || b with proper short-circuiting, through an unnamed
+   compiler temporary (no debug variable: it is not programmer intent). *)
+and lower_short_circuit env b op x y =
+  let tmp = Builder.fresh_reg b in
+  Builder.emit b (Ir.Alloca { dst = tmp; ty = Ctype.Long; dv = None });
+  let store v =
+    Builder.emit b
+      (Ir.Store { src = v; addr = Ir.Reg tmp; ty = Ctype.Long; slot = Ir.Sanon Ctype.Long })
+  in
+  let xv = lower_expr env b x in
+  let xbool = Builder.fresh_reg b in
+  Builder.emit b
+    (Ir.Binop { dst = xbool; op = Ast.Ne; fl = Ir.Iop; a = xv; b = Ir.Imm 0L });
+  let eval_y = Builder.reserve_block b in
+  let short = Builder.reserve_block b in
+  let join = Builder.reserve_block b in
+  (match op with
+  | Ast.Logand -> Builder.seal_and_start b (Ir.Condbr (Ir.Reg xbool, eval_y, short)) eval_y
+  | Ast.Logor -> Builder.seal_and_start b (Ir.Condbr (Ir.Reg xbool, short, eval_y)) eval_y
+  | _ -> assert false);
+  let yv = lower_expr env b y in
+  let ybool = Builder.fresh_reg b in
+  Builder.emit b
+    (Ir.Binop { dst = ybool; op = Ast.Ne; fl = Ir.Iop; a = yv; b = Ir.Imm 0L });
+  store (Ir.Reg ybool);
+  Builder.seal_and_start b (Ir.Br join) short;
+  store (Ir.Imm (match op with Ast.Logand -> 0L | _ -> 1L));
+  Builder.seal_and_start b (Ir.Br join) join;
+  let dst = Builder.fresh_reg b in
+  Builder.emit b
+    (Ir.Load { dst; addr = Ir.Reg tmp; ty = Ctype.Long; slot = Ir.Sanon Ctype.Long });
+  Ir.Reg dst
+
+and lower_cond_expr env b (e : Tast.texpr) c x y =
+  let ty = Ctype.strip_all_quals e.tty in
+  let tmp = Builder.fresh_reg b in
+  Builder.emit b (Ir.Alloca { dst = tmp; ty; dv = None });
+  let cv = lower_expr env b c in
+  let then_b = Builder.reserve_block b in
+  let else_b = Builder.reserve_block b in
+  let join = Builder.reserve_block b in
+  Builder.seal_and_start b (Ir.Condbr (cv, then_b, else_b)) then_b;
+  let xv = lower_expr env b x in
+  Builder.emit b (Ir.Store { src = xv; addr = Ir.Reg tmp; ty; slot = Ir.Sanon ty });
+  Builder.seal_and_start b (Ir.Br join) else_b;
+  let yv = lower_expr env b y in
+  Builder.emit b (Ir.Store { src = yv; addr = Ir.Reg tmp; ty; slot = Ir.Sanon ty });
+  Builder.seal_and_start b (Ir.Br join) join;
+  let dst = Builder.fresh_reg b in
+  Builder.emit b (Ir.Load { dst; addr = Ir.Reg tmp; ty; slot = Ir.Sanon ty });
+  Ir.Reg dst
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type loop_ctx = { break_to : int; continue_to : int }
+
+let rec lower_stmt env b loops (s : Tast.tstmt) : unit =
+  match s with
+  | Tast.Tsexpr e -> ignore (lower_expr env b e)
+  | Tast.Tsdecl (v, init) ->
+      let dst = Builder.fresh_reg b in
+      Builder.set_line b v.v_loc.line;
+      Builder.emit b
+        (Ir.Alloca { dst; ty = v.v_ty; dv = Some (Dinfo.variable_of_var v) });
+      Hashtbl.replace env.var_addr v.v_id (Ir.Reg dst);
+      Option.iter
+        (fun init ->
+          let iv = lower_expr env b init in
+          Builder.emit b
+            (Ir.Store
+               { src = iv; addr = Ir.Reg dst; ty = Ctype.strip_const v.v_ty;
+                 slot = Ir.Svar v.v_id }))
+        init
+  | Tast.Tsif (c, then_b, else_b) ->
+      let cv = lower_expr env b c in
+      let lt = Builder.reserve_block b in
+      let le = Builder.reserve_block b in
+      let join = Builder.reserve_block b in
+      Builder.seal_and_start b (Ir.Condbr (cv, lt, le)) lt;
+      List.iter (lower_stmt env b loops) then_b;
+      Builder.seal_and_start b (Ir.Br join) le;
+      List.iter (lower_stmt env b loops) else_b;
+      Builder.seal_and_start b (Ir.Br join) join
+  | Tast.Tswhile (c, body) ->
+      let head = Builder.reserve_block b in
+      let body_l = Builder.reserve_block b in
+      let exit = Builder.reserve_block b in
+      Builder.seal_and_start b (Ir.Br head) head;
+      let cv = lower_expr env b c in
+      Builder.seal_and_start b (Ir.Condbr (cv, body_l, exit)) body_l;
+      List.iter
+        (lower_stmt env b ({ break_to = exit; continue_to = head } :: loops))
+        body;
+      Builder.seal_and_start b (Ir.Br head) exit
+  | Tast.Tsdo (body, c) ->
+      let body_l = Builder.reserve_block b in
+      let head = Builder.reserve_block b in
+      let exit = Builder.reserve_block b in
+      Builder.seal_and_start b (Ir.Br body_l) body_l;
+      List.iter
+        (lower_stmt env b ({ break_to = exit; continue_to = head } :: loops))
+        body;
+      Builder.seal_and_start b (Ir.Br head) head;
+      let cv = lower_expr env b c in
+      Builder.seal_and_start b (Ir.Condbr (cv, body_l, exit)) exit
+  | Tast.Tsfor (init, cond, step, body) ->
+      Option.iter (lower_stmt env b loops) init;
+      let head = Builder.reserve_block b in
+      let body_l = Builder.reserve_block b in
+      let step_l = Builder.reserve_block b in
+      let exit = Builder.reserve_block b in
+      Builder.seal_and_start b (Ir.Br head) head;
+      (match cond with
+      | Some c ->
+          let cv = lower_expr env b c in
+          Builder.seal_and_start b (Ir.Condbr (cv, body_l, exit)) body_l
+      | None -> Builder.seal_and_start b (Ir.Br body_l) body_l);
+      List.iter
+        (lower_stmt env b ({ break_to = exit; continue_to = step_l } :: loops))
+        body;
+      Builder.seal_and_start b (Ir.Br step_l) step_l;
+      Option.iter (fun e -> ignore (lower_expr env b e)) step;
+      Builder.seal_and_start b (Ir.Br head) exit
+  | Tast.Tsswitch (e, arms) ->
+      let v = lower_expr env b e in
+      let exit = Builder.reserve_block b in
+      let body_labels = List.map (fun _ -> Builder.reserve_block b) arms in
+      let default_target =
+        match
+          List.find_map
+            (fun ((a : Tast.tcase), l) -> if a.tc_default then Some l else None)
+            (List.combine arms body_labels)
+        with
+        | Some l -> l
+        | None -> exit
+      in
+      (* dispatch chain: one comparison per case label *)
+      List.iter2
+        (fun (a : Tast.tcase) label ->
+          List.iter
+            (fun value ->
+              let cmp = Builder.fresh_reg b in
+              Builder.emit b
+                (Ir.Binop
+                   { dst = cmp; op = Rsti_minic.Ast.Eq; fl = Ir.Iop; a = v;
+                     b = Ir.Imm value });
+              let next = Builder.reserve_block b in
+              Builder.seal_and_start b (Ir.Condbr (Ir.Reg cmp, label, next)) next)
+            a.tc_labels)
+        arms body_labels;
+      (* no label matched *)
+      (match body_labels with
+      | first :: _ -> Builder.seal_and_start b (Ir.Br default_target) first
+      | [] -> Builder.seal_and_start b (Ir.Br default_target) exit);
+      (* arm bodies with C fallthrough; break exits, continue passes
+         through to the enclosing loop *)
+      let switch_loops =
+        match loops with
+        | f :: _ -> { break_to = exit; continue_to = f.continue_to } :: loops
+        | [] -> [ { break_to = exit; continue_to = exit } ]
+      in
+      let rec emit_bodies arms labels =
+        match (arms, labels) with
+        | [], [] -> ()
+        | [ (a : Tast.tcase) ], [ _ ] ->
+            List.iter (lower_stmt env b switch_loops) a.tc_body;
+            Builder.seal_and_start b (Ir.Br exit) exit
+        | (a : Tast.tcase) :: rest, _ :: (next :: _ as rest_labels) ->
+            List.iter (lower_stmt env b switch_loops) a.tc_body;
+            Builder.seal_and_start b (Ir.Br next) next;
+            emit_bodies rest rest_labels
+        | _ -> invalid_arg "Lower: switch arm/label mismatch"
+      in
+      (match body_labels with
+      | [] -> () (* empty switch body: already positioned at exit *)
+      | _ -> emit_bodies arms body_labels)
+  | Tast.Tsreturn None ->
+      let dead = Builder.reserve_block b in
+      Builder.seal_and_start b (Ir.Ret None) dead
+  | Tast.Tsreturn (Some e) ->
+      let v = lower_expr env b e in
+      let dead = Builder.reserve_block b in
+      Builder.seal_and_start b (Ir.Ret (Some v)) dead
+  | Tast.Tsblock body -> List.iter (lower_stmt env b loops) body
+  | Tast.Tsbreak -> (
+      match loops with
+      | { break_to; _ } :: _ ->
+          let dead = Builder.reserve_block b in
+          Builder.seal_and_start b (Ir.Br break_to) dead
+      | [] -> invalid_arg "Lower: break outside loop")
+  | Tast.Tscontinue -> (
+      match loops with
+      | { continue_to; _ } :: _ ->
+          let dead = Builder.reserve_block b in
+          Builder.seal_and_start b (Ir.Br continue_to) dead
+      | [] -> invalid_arg "Lower: continue outside loop")
+
+(* ------------------------------------------------------------------ *)
+(* Functions and module                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lower_func env (fn : Tast.tfunc) : Ir.func =
+  let b = Builder.create ~name:fn.tf_name ~nparams:(List.length fn.tf_params) in
+  (* Spill incoming parameters (registers 0..n-1) to parameter slots,
+     mirroring clang -O0; their allocas carry the DILocalVariable. *)
+  List.iteri
+    (fun i (p : Tast.var) ->
+      let dst = Builder.fresh_reg b in
+      Builder.set_line b fn.tf_loc.line;
+      Builder.emit b
+        (Ir.Alloca { dst; ty = p.v_ty; dv = Some (Dinfo.variable_of_var p) });
+      Hashtbl.replace env.var_addr p.v_id (Ir.Reg dst);
+      Builder.emit b
+        (Ir.Store
+           { src = Ir.Reg i; addr = Ir.Reg dst; ty = Ctype.strip_const p.v_ty;
+             slot = Ir.Svar p.v_id }))
+    fn.tf_params;
+  List.iter (lower_stmt env b []) fn.tf_body;
+  let default_term =
+    if Ctype.strip_const fn.tf_ret = Ctype.Void then Ir.Ret None
+    else Ir.Ret (Some (Ir.Imm 0L))
+  in
+  let blocks, nregs = Builder.finish b ~default_term in
+  { Ir.name = fn.tf_name; ret = fn.tf_ret; params = fn.tf_params; blocks; nregs;
+    loc = fn.tf_loc }
+
+let lower (prog : Tast.program) : Ir.modul =
+  let env =
+    {
+      modul_structs = prog.structs;
+      strings = Hashtbl.create 16;
+      string_list = [];
+      var_addr = Hashtbl.create 64;
+      funcs = Hashtbl.create 16;
+    }
+  in
+  List.iter (fun (f : Tast.tfunc) -> Hashtbl.replace env.funcs f.tf_name ()) prog.funcs;
+  (* Globals live at symbolic addresses. *)
+  List.iter
+    (fun ((v : Tast.var), _) -> Hashtbl.replace env.var_addr v.v_id (Ir.Global v.v_name))
+    prog.globals;
+  (* Synthesize __rsti_global_init running the initializers in order. *)
+  let init_func =
+    let b = Builder.create ~name:Ir.global_init_name ~nparams:0 in
+    List.iter
+      (fun ((v : Tast.var), init) ->
+        Option.iter
+          (fun init ->
+            Builder.set_line b v.v_loc.line;
+            let iv = lower_expr env b init in
+            Builder.emit b
+              (Ir.Store
+                 { src = iv; addr = Ir.Global v.v_name;
+                   ty = Ctype.strip_const v.v_ty; slot = Ir.Svar v.v_id }))
+          init)
+      prog.globals;
+    let blocks, nregs = Builder.finish b ~default_term:(Ir.Ret None) in
+    { Ir.name = Ir.global_init_name; ret = Ctype.Void; params = []; blocks; nregs;
+      loc = Rsti_minic.Loc.dummy }
+  in
+  let funcs = init_func :: List.map (lower_func env) prog.funcs in
+  {
+    Ir.m_structs = prog.structs;
+    m_globals = List.map (fun (v, _) -> { Ir.gvar = v }) prog.globals;
+    m_funcs = funcs;
+    m_strings = Array.of_list (List.rev env.string_list);
+    m_externs = prog.externs;
+  }
+
+let compile ?(file = "<string>") src =
+  lower (Rsti_minic.Typecheck.check_source ~file src)

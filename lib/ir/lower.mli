@@ -1,0 +1,12 @@
+(** Lowering from the typed MiniC AST to the IR — the [clang -g] analogue:
+    alloca-based locals carrying [!DILocalVariable]-style metadata, loads
+    and stores annotated with their slot and [!dbg] location, explicit
+    bitcasts at every pointer cast, and a synthesized
+    [__rsti_global_init] function that runs global initializers before
+    [main]. *)
+
+val lower : Rsti_minic.Tast.program -> Ir.modul
+(** Lower a whole checked program. *)
+
+val compile : ?file:string -> string -> Ir.modul
+(** Parse, type-check, and lower a source string. *)

@@ -1,0 +1,32 @@
+type t = {
+  alu : int;
+  load : int;
+  store : int;
+  gep : int;
+  branch : int;
+  call : int;
+  extern_call : int;
+  pac : int;
+  strip : int;
+  pp : int;
+  pac_spill : int;
+}
+
+let default =
+  {
+    alu = 1;
+    load = 3;
+    store = 2;
+    gep = 1;
+    branch = 1;
+    call = 6;
+    extern_call = 8;
+    pac = 7;
+    strip = 1;
+    pp = 14;
+    pac_spill = 0;
+  }
+
+let with_pac t pac = { t with pac }
+
+let parts_codegen = { default with pac_spill = 6 }

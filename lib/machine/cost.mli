@@ -1,0 +1,36 @@
+(** The cycle cost model used by the performance evaluation.
+
+    The paper measures wall-clock on an Apple M1 and, for C++, emulates
+    one PA instruction with seven XOR instructions ("measured and
+    confirmed in previous works" — section 6.3.1). We adopt that same
+    equivalence: a single-cycle ALU baseline with [pac = 7]. Overheads in
+    Figure 9/10 are ratios of cycle totals, so only relative costs
+    matter; the ablation bench sweeps [pac] over 3..12. *)
+
+type t = {
+  alu : int;       (** arithmetic / logic / bitcast / numeric cast *)
+  load : int;      (** memory load *)
+  store : int;     (** memory store *)
+  gep : int;       (** address computation *)
+  branch : int;    (** (conditional) branch *)
+  call : int;      (** call + return bookkeeping *)
+  extern_call : int;  (** call into the simulated libc *)
+  pac : int;       (** one pac*/aut* instruction *)
+  strip : int;     (** xpac *)
+  pp : int;        (** one pointer-to-pointer runtime library call *)
+  pac_spill : int; (** extra per-PA-op cost for codegen that cannot keep
+                       the value in registers (models PARTS' unoptimized
+                       instrumentation, paper section 6.3.2) *)
+}
+
+val default : t
+(** alu 1, load 3, store 2, gep 1, branch 1, call 6, extern 8, pac 7,
+    strip 1, pp 14, pac_spill 0. *)
+
+val with_pac : t -> int -> t
+(** Override the PA instruction cost (ablation). *)
+
+val parts_codegen : t
+(** {!default} plus [pac_spill = 6]: PARTS emits its checks without the
+    backend-intrinsic/LTO optimisations the paper credits for RSTI's
+    lower overhead. *)

@@ -1,0 +1,927 @@
+module Ctype = Rsti_minic.Ctype
+module Ir = Rsti_ir.Ir
+module Ast = Rsti_minic.Ast
+
+type event =
+  | Ev_call of string
+  | Ev_extern of string * int64 list
+  | Ev_auth_fail of { func : string; modifier : int64; ptr : int64 }
+  | Ev_attack of string
+  | Ev_output of string
+
+type trap =
+  | Mem_fault of { fault : string; func : string; after_auth_fail : bool }
+  | Bad_indirect_call of { target : int64; func : string; after_auth_fail : bool }
+  | Div_by_zero of string
+  | Stack_overflow
+  | Step_limit_exceeded
+  | Unknown_function of string
+  | Pac_auth_failure of { func : string; modifier : int64; ptr : int64 }
+  | Cfi_violation of { func : string; target : string }
+
+let trap_to_string = function
+  | Mem_fault { fault; func; after_auth_fail } ->
+      Printf.sprintf "memory fault in %s: %s%s" func fault
+        (if after_auth_fail then " [after PAC authentication failure]" else "")
+  | Bad_indirect_call { target; func; after_auth_fail } ->
+      Printf.sprintf "indirect call to invalid target 0x%Lx in %s%s" target func
+        (if after_auth_fail then " [after PAC authentication failure]" else "")
+  | Div_by_zero f -> "division by zero in " ^ f
+  | Pac_auth_failure { func; modifier; ptr } ->
+      Printf.sprintf
+        "PAC authentication failure in %s (modifier 0x%Lx, pointer 0x%Lx): FPAC trap"
+        func modifier ptr
+  | Cfi_violation { func; target } ->
+      Printf.sprintf "CFI violation in %s: indirect call to %s with mismatched signature"
+        func target
+  | Stack_overflow -> "stack overflow"
+  | Step_limit_exceeded -> "step limit exceeded"
+  | Unknown_function f -> "unknown function " ^ f
+
+type status = Exited of int64 | Trapped of trap
+
+type counts = {
+  mutable instrs : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable pac_signs : int;
+  mutable pac_auths : int;
+  mutable pac_strips : int;
+  mutable pp_calls : int;
+}
+
+type outcome = {
+  status : status;
+  cycles : int;
+  counts : counts;
+  events : event list;
+  output : string;
+  call_profile : (string * int) list;
+      (* defined-function call counts, descending *)
+  extern_profile : (string * int) list;
+      (* simulated-libc call counts, descending *)
+}
+
+let detected (o : outcome) =
+  match o.status with
+  | Trapped (Mem_fault { after_auth_fail = true; _ })
+  | Trapped (Bad_indirect_call { after_auth_fail = true; _ })
+  | Trapped (Pac_auth_failure _) ->
+      true
+  | _ -> false
+
+type intruder = {
+  read_word : int64 -> int64;
+  write_word : int64 -> int64 -> unit;
+  read_string : int64 -> string;
+  write_string : int64 -> string -> unit;
+  global_addr : string -> int64;
+  func_addr : string -> int64;
+  heap_allocs : unit -> (int64 * int) list;
+  note : string -> unit;
+}
+
+type trigger = On_call of string * int | On_extern of string * int
+
+type attack = { trigger : trigger; action : intruder -> unit }
+
+(* ------------------------------------------------------------------ *)
+(* Machine state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  m : Ir.modul;
+  mem : Memory.t;
+  pac : Rsti_pa.Pac.ctx;
+  costs : Cost.t;
+  funcs_by_name : (string, Ir.func) Hashtbl.t;
+  func_addrs : (string, int64) Hashtbl.t;    (* defined + libc *)
+  code_map : (int64, [ `Defined of Ir.func | `Libc of string ]) Hashtbl.t;
+  global_addrs : (string, int64) Hashtbl.t;
+  string_addrs : int64 array;
+  mutable heap_ptr : int64;
+  mutable allocs : (int64 * int) list;
+  mutable sp : int64;
+  mutable cycles : int;
+  counts : counts;
+  mutable events : event list;  (* reverse *)
+  out : Buffer.t;
+  mutable steps : int;
+  mutable step_limit : int;
+  mutable auth_failed : bool;   (* any auth failure so far *)
+  mutable call_counts : (string, int) Hashtbl.t;
+  mutable extern_counts : (string, int) Hashtbl.t;
+  mutable attacks : attack list;
+  mutable rng : Rsti_util.Splitmix.t;
+  mutable ran : bool;
+  fpac : bool;
+  cfi : bool;
+  backend : [ `Pac | `Shadow_mac ];
+  (* the shadow-MAC backend's table: slot address -> 64-bit MAC, held by
+     the trusted runtime (CCFI stores it in protected memory) *)
+  shadow : (int64, int64) Hashtbl.t;
+}
+
+exception Trap_exn of trap
+exception Exit_exn of int64
+
+let emit_event t ev = t.events <- ev :: t.events
+
+let builtin_names =
+  [
+    "malloc"; "calloc"; "free"; "printf"; "puts"; "putchar"; "strlen"; "strcmp";
+    "strncmp"; "strcpy"; "strncpy"; "strcat"; "memcpy"; "memset"; "memmove";
+    "strstr"; "strchr"; "atoi"; "abs"; "exit"; "rand"; "srand"; "system";
+    "mprotect"; "dlopen"; "mmap"; "socket"; "send"; "recv"; "open"; "read";
+    "write"; "close"; "getenv"; "snprintf"; "fprintf"; "qsort"; "log"; "strdup";
+    "sqrt"; "fabs"; "floor"; "ceil"; "pow"; "exec";
+  ]
+
+let create ?(costs = Cost.default) ?(seed = 0xC0FFEEL) ?(pp_table = []) ?(fpac = true)
+    ?(cfi = false) ?(backend = `Pac) (m : Ir.modul) =
+  let mem = Memory.create () in
+  let pac = Rsti_pa.Pac.make ~seed () in
+  let funcs_by_name = Hashtbl.create 64 in
+  let func_addrs = Hashtbl.create 64 in
+  let code_map = Hashtbl.create 64 in
+  List.iteri
+    (fun i (f : Ir.func) ->
+      let addr = Layout.code_addr_of_index Layout.text_base i in
+      Hashtbl.replace funcs_by_name f.name f;
+      Hashtbl.replace func_addrs f.name addr;
+      Hashtbl.replace code_map addr (`Defined f))
+    m.m_funcs;
+  (* Externs and built-ins live in the simulated libc. *)
+  let libc_syms =
+    List.sort_uniq compare (builtin_names @ List.map fst m.m_externs)
+  in
+  List.iteri
+    (fun i name ->
+      if not (Hashtbl.mem func_addrs name) then begin
+        let addr = Layout.code_addr_of_index Layout.libc_base i in
+        Hashtbl.replace func_addrs name addr;
+        Hashtbl.replace code_map addr (`Libc name)
+      end)
+    libc_syms;
+  (* Globals. *)
+  let global_addrs = Hashtbl.create 32 in
+  let gp = ref Layout.globals_base in
+  List.iter
+    (fun (g : Ir.global_def) ->
+      let size = max 8 (Ir.sizeof m g.gvar.v_ty) in
+      Memory.map mem ~addr:!gp ~size;
+      Hashtbl.replace global_addrs g.gvar.Rsti_minic.Tast.v_name !gp;
+      gp := Int64.add !gp (Int64.of_int ((size + 7) / 8 * 8)))
+    m.m_globals;
+  (* Extern data objects (rare) get zeroed storage too. *)
+  List.iter
+    (fun (name, ty) ->
+      match ty with
+      | Ctype.Func _ -> ()
+      | _ ->
+          if not (Hashtbl.mem global_addrs name) then begin
+            let size = max 8 (try Ir.sizeof m ty with _ -> 8) in
+            Memory.map mem ~addr:!gp ~size;
+            Hashtbl.replace global_addrs name !gp;
+            gp := Int64.add !gp (Int64.of_int ((size + 7) / 8 * 8))
+          end)
+    m.m_externs;
+  (* Strings in read-only data. *)
+  let sp = ref Layout.rodata_base in
+  let string_addrs =
+    Array.map
+      (fun s ->
+        let addr = !sp in
+        Memory.map mem ~addr ~size:(String.length s + 1);
+        Memory.write_cstring mem addr s;
+        sp := Int64.add !sp (Int64.of_int ((String.length s + 8) / 8 * 8));
+        addr)
+      m.m_strings
+  in
+  (* Pointer-to-pointer CE->FE metadata: read-only, as the paper requires. *)
+  let pp_base = Int64.add Layout.rodata_base 0x8000L in
+  if pp_table <> [] then begin
+    Memory.map mem ~addr:pp_base ~size:(256 * 8);
+    List.iter
+      (fun (ce, fe_mod) ->
+        Memory.write_u64_raw mem (Int64.add pp_base (Int64.of_int (ce * 8))) fe_mod)
+      pp_table;
+    Memory.protect mem ~addr:pp_base ~size:(256 * 8)
+  end;
+  {
+    m;
+    mem;
+    pac;
+    costs;
+    funcs_by_name;
+    func_addrs;
+    code_map;
+    global_addrs;
+    string_addrs;
+    heap_ptr = Layout.heap_base;
+    allocs = [];
+    sp = Layout.stack_top;
+    cycles = 0;
+    counts =
+      { instrs = 0; loads = 0; stores = 0; pac_signs = 0; pac_auths = 0;
+        pac_strips = 0; pp_calls = 0 };
+    events = [];
+    out = Buffer.create 256;
+    steps = 0;
+    step_limit = 200_000_000;
+    auth_failed = false;
+    call_counts = Hashtbl.create 16;
+    extern_counts = Hashtbl.create 16;
+    attacks = [];
+    rng = Rsti_util.Splitmix.create seed;
+    ran = false;
+    fpac;
+    cfi;
+    backend;
+    shadow = Hashtbl.create 256;
+  }
+
+let pp_meta_base = Int64.add Layout.rodata_base 0x8000L
+
+let pac_ctx t = t.pac
+
+let global_addr t name =
+  match Hashtbl.find_opt t.global_addrs name with
+  | Some a -> a
+  | None -> invalid_arg ("Interp.global_addr: unknown global " ^ name)
+
+let func_addr t name =
+  match Hashtbl.find_opt t.func_addrs name with
+  | Some a -> a
+  | None -> invalid_arg ("Interp.func_addr: unknown function " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* Attacker hooks                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let intruder_of t =
+  {
+    read_word = (fun a -> Memory.read_u64 t.mem a);
+    write_word = (fun a v -> Memory.write_u64_raw t.mem a v);
+    read_string = (fun a -> Memory.read_cstring t.mem a);
+    write_string = (fun a s -> Memory.write_cstring t.mem a s);
+    global_addr = (fun n -> global_addr t n);
+    func_addr = (fun n -> func_addr t n);
+    heap_allocs = (fun () -> t.allocs);
+    note = (fun s -> emit_event t (Ev_attack s));
+  }
+
+let bump _t tbl name =
+  let n = (match Hashtbl.find_opt tbl name with Some n -> n | None -> 0) + 1 in
+  Hashtbl.replace tbl name n;
+  n
+
+let fire_attacks t trig =
+  List.iter
+    (fun atk -> if atk.trigger = trig then atk.action (intruder_of t))
+    t.attacks
+
+(* ------------------------------------------------------------------ *)
+(* Value and memory helpers                                            *)
+(* ------------------------------------------------------------------ *)
+
+let charge t c = t.cycles <- t.cycles + c
+
+let step t =
+  t.steps <- t.steps + 1;
+  t.counts.instrs <- t.counts.instrs + 1;
+  if t.steps > t.step_limit then raise (Trap_exn Step_limit_exceeded)
+
+let guard_mem t func f =
+  try f ()
+  with Memory.Fault fault ->
+    raise
+      (Trap_exn
+         (Mem_fault
+            {
+              fault = Memory.fault_to_string fault;
+              func;
+              after_auth_fail = t.auth_failed;
+            }))
+
+(* Loads and stores honour the C type's width: char is one byte,
+   everything else a 64-bit word. *)
+let load_typed t func ty addr =
+  guard_mem t func (fun () ->
+      match Ctype.strip_const ty with
+      | Ctype.Char -> Int64.of_int (Memory.read_u8 t.mem addr)
+      | _ -> Memory.read_u64 t.mem addr)
+
+let store_typed t func ty addr v =
+  guard_mem t func (fun () ->
+      match Ctype.strip_const ty with
+      | Ctype.Char -> Memory.write_u8 t.mem addr (Int64.to_int (Int64.logand v 0xFFL))
+      | _ -> Memory.write_u64 t.mem addr v)
+
+let malloc t size =
+  if size < 0 || size > 0x1000000 then 0L (* 16 MiB cap: huge requests fail *)
+  else begin
+  let size = max 1 size in
+  let addr = t.heap_ptr in
+  Memory.map t.mem ~addr ~size;
+  t.heap_ptr <- Int64.add t.heap_ptr (Int64.of_int ((size + 15) / 16 * 16));
+  t.allocs <- (addr, size) :: t.allocs;
+  addr
+  end
+
+(* ------------------------------------------------------------------ *)
+(* printf                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let format_printf t fmt args =
+  let buf = Buffer.create (String.length fmt + 16) in
+  let args = ref args in
+  let next () =
+    match !args with
+    | [] -> 0L
+    | a :: rest ->
+        args := rest;
+        a
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    let c = fmt.[!i] in
+    if c = '%' && !i + 1 < n then begin
+      incr i;
+      (* skip width/flags *)
+      while !i < n && (match fmt.[!i] with '0' .. '9' | '-' | '.' | 'l' -> true | _ -> false) do
+        incr i
+      done;
+      (match fmt.[!i] with
+      | 'd' | 'i' | 'u' -> Buffer.add_string buf (Int64.to_string (next ()))
+      | 'x' -> Buffer.add_string buf (Printf.sprintf "%Lx" (next ()))
+      | 'p' -> Buffer.add_string buf (Printf.sprintf "0x%Lx" (next ()))
+      | 'c' -> Buffer.add_char buf (Char.chr (Int64.to_int (Int64.logand (next ()) 0xFFL))
+                                    )
+      | 's' -> Buffer.add_string buf (Memory.read_cstring t.mem (next ()))
+      | 'f' | 'g' ->
+          Buffer.add_string buf (Printf.sprintf "%g" (Int64.float_of_bits (next ())))
+      | '%' -> Buffer.add_char buf '%'
+      | c -> Buffer.add_char buf c);
+      incr i
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Builtins (the simulated libc)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec run_builtin t name (args : int64 list) : int64 =
+  let n = bump t t.extern_counts name in
+  emit_event t (Ev_extern (name, args));
+  charge t t.costs.extern_call;
+  let result = run_builtin_body t name args in
+  (* Hooks fire after the call completes, so "on the nth malloc" sees the
+     allocation it corrupts. *)
+  fire_attacks t (On_extern (name, n));
+  result
+
+and run_builtin_body t name (args : int64 list) : int64 =
+  let arg i = match List.nth_opt args i with Some v -> v | None -> 0L in
+  let sarg i = Memory.read_cstring t.mem (arg i) in
+  match name with
+  | "malloc" -> malloc t (Int64.to_int (arg 0))
+  | "calloc" -> malloc t (Int64.to_int (arg 0) * Int64.to_int (arg 1))
+  | "mmap" -> malloc t (Int64.to_int (arg 1))
+  | "free" -> 0L
+  | "printf" | "fprintf" ->
+      let off = if name = "fprintf" then 1 else 0 in
+      let s = format_printf t (sarg off) (List.filteri (fun i _ -> i > off) args) in
+      Buffer.add_string t.out s;
+      emit_event t (Ev_output s);
+      Int64.of_int (String.length s)
+  | "snprintf" ->
+      let s = format_printf t (sarg 2) (List.filteri (fun i _ -> i > 2) args) in
+      let cap = Int64.to_int (arg 1) in
+      let s' = if String.length s >= cap && cap > 0 then String.sub s 0 (cap - 1) else s in
+      Memory.write_cstring t.mem (arg 0) s';
+      Int64.of_int (String.length s)
+  | "puts" ->
+      let s = sarg 0 ^ "\n" in
+      Buffer.add_string t.out s;
+      emit_event t (Ev_output s);
+      0L
+  | "putchar" ->
+      Buffer.add_char t.out (Char.chr (Int64.to_int (Int64.logand (arg 0) 0xFFL)));
+      arg 0
+  | "strlen" -> Int64.of_int (String.length (sarg 0))
+  | "strcmp" -> Int64.of_int (compare (sarg 0) (sarg 1))
+  | "strncmp" ->
+      let cap s n = if String.length s > n then String.sub s 0 n else s in
+      let n = Int64.to_int (arg 2) in
+      Int64.of_int (compare (cap (sarg 0) n) (cap (sarg 1) n))
+  | "strcpy" ->
+      (* Deliberately unsafe, like the real thing: this is the classic
+         buffer-overflow vector the attack scenarios exploit. *)
+      Memory.write_cstring t.mem (arg 0) (sarg 1);
+      arg 0
+  | "strncpy" ->
+      let s = sarg 1 and n = Int64.to_int (arg 2) in
+      let s = if String.length s > n then String.sub s 0 n else s in
+      Memory.write_cstring t.mem (arg 0) s;
+      arg 0
+  | "strcat" ->
+      Memory.write_cstring t.mem
+        (Int64.add (arg 0) (Int64.of_int (String.length (sarg 0))))
+        (sarg 1);
+      arg 0
+  | "memcpy" | "memmove" ->
+      let n = Int64.to_int (arg 2) in
+      let b = Memory.read_bytes t.mem (arg 1) n in
+      Memory.write_bytes t.mem (arg 0) b;
+      arg 0
+  | "memset" ->
+      let v = Int64.to_int (Int64.logand (arg 1) 0xFFL) in
+      let n = Int64.to_int (arg 2) in
+      for i = 0 to n - 1 do
+        Memory.write_u8 t.mem (Int64.add (arg 0) (Int64.of_int i)) v
+      done;
+      arg 0
+  | "strstr" -> (
+      let hay = sarg 0 and needle = sarg 1 in
+      if needle = "" then arg 0
+      else
+        let hl = String.length hay and nl = String.length needle in
+        let rec find i =
+          if i + nl > hl then 0L
+          else if String.sub hay i nl = needle then Int64.add (arg 0) (Int64.of_int i)
+          else find (i + 1)
+        in
+        find 0)
+  | "strchr" -> (
+      let s = sarg 0 and c = Char.chr (Int64.to_int (Int64.logand (arg 1) 0xFFL)) in
+      match String.index_opt s c with
+      | Some i -> Int64.add (arg 0) (Int64.of_int i)
+      | None -> 0L)
+  | "atoi" -> ( try Int64.of_string (String.trim (sarg 0)) with _ -> 0L)
+  | "abs" -> Int64.abs (arg 0)
+  | "exit" -> raise (Exit_exn (arg 0))
+  | "rand" -> Int64.of_int (Rsti_util.Splitmix.int t.rng 0x7FFFFFFF)
+  | "srand" ->
+      t.rng <- Rsti_util.Splitmix.create (arg 0);
+      0L
+  | "sqrt" -> Int64.bits_of_float (sqrt (Int64.float_of_bits (arg 0)))
+  | "fabs" -> Int64.bits_of_float (Float.abs (Int64.float_of_bits (arg 0)))
+  | "floor" -> Int64.bits_of_float (Float.floor (Int64.float_of_bits (arg 0)))
+  | "ceil" -> Int64.bits_of_float (Float.ceil (Int64.float_of_bits (arg 0)))
+  | "pow" ->
+      Int64.bits_of_float
+        (Float.pow (Int64.float_of_bits (arg 0)) (Int64.float_of_bits (arg 1)))
+  | "log" -> Int64.bits_of_float (Float.log (Int64.float_of_bits (arg 0)))
+  | "getenv" -> 0L
+  | "strdup" ->
+      let s = sarg 0 in
+      let p = malloc t (String.length s + 1) in
+      if p <> 0L then Memory.write_cstring t.mem p s;
+      p
+  | "qsort" ->
+      (* A real qsort: the library calls back *into* the (instrumented)
+         program through the comparator pointer — the uninstrumented-
+         library boundary case of section 4.6. Insertion sort keeps the
+         comparator call count deterministic. *)
+      let base = arg 0 in
+      let n = Int64.to_int (arg 1) in
+      let size = Int64.to_int (arg 2) in
+      let cmp_ptr = arg 3 in
+      let call_cmp a b =
+        match Hashtbl.find_opt t.code_map cmp_ptr with
+        | Some (`Defined f) -> call_function t f [ a; b ]
+        | Some (`Libc nm) -> run_builtin t nm [ a; b ]
+        | None ->
+            raise
+              (Trap_exn
+                 (Bad_indirect_call
+                    { target = cmp_ptr; func = "qsort"; after_auth_fail = t.auth_failed }))
+      in
+      if n > 1 && size > 0 && size <= 4096 then begin
+        let elem i = Int64.add base (Int64.of_int (i * size)) in
+        let buf = Bytes.create size in
+        for i = 1 to n - 1 do
+          Bytes.blit (Memory.read_bytes t.mem (elem i) size) 0 buf 0 size;
+          let j = ref (i - 1) in
+          let continue_ = ref true in
+          while !j >= 0 && !continue_ do
+            (* compare element j with the held element: the comparator
+               receives the *addresses*, C-style *)
+            Memory.write_bytes t.mem (elem (!j + 1)) buf;
+            let held_addr = elem (!j + 1) in
+            if Int64.compare (call_cmp (elem !j) held_addr) 0L > 0 then begin
+              Memory.write_bytes t.mem (elem (!j + 1))
+                (Memory.read_bytes t.mem (elem !j) size);
+              decr j
+            end
+            else continue_ := false
+          done;
+          Memory.write_bytes t.mem (elem (!j + 1)) buf
+        done
+      end;
+      0L
+  | "system" | "mprotect" | "dlopen" | "exec" | "socket" | "send" | "recv"
+  | "open" | "read" | "write" | "close" ->
+      (* Security-sensitive sinks: reaching one of these with attacker-
+         controlled state is what scenarios check for in the event list. *)
+      0L
+  | _ ->
+      (* A declared extern we have no model for behaves as a generic libc
+         stub: it runs (the event is recorded above) and returns 0. This
+         is what attack scenarios that redirect control into arbitrary
+         libc functions (AOCR's _IO_new_file_overflow, etc.) rely on. *)
+      if Hashtbl.mem t.func_addrs name then 0L
+      else raise (Trap_exn (Unknown_function name))
+
+(* ------------------------------------------------------------------ *)
+(* Instruction execution                                               *)
+(* ------------------------------------------------------------------ *)
+
+and eval t (regs : int64 array) (v : Ir.value) : int64 =
+  match v with
+  | Ir.Imm n -> n
+  | Ir.Fimm x -> Int64.bits_of_float x
+  | Ir.Reg r -> regs.(r)
+  | Ir.Global g -> global_addr t g
+  | Ir.Funcaddr f -> func_addr t f
+  | Ir.Str i -> t.string_addrs.(i)
+  | Ir.Null -> 0L
+
+and modifier_value t regs (m : Ir.modifier) (slot_addr : Ir.value) : int64 =
+  match m with
+  | Ir.Mconst c -> c
+  | Ir.Mloc c -> Int64.logxor c (eval t regs slot_addr)
+
+and mac_of t key ~modifier value =
+  Rsti_pa.Qarma.encrypt
+    ~key:(Rsti_pa.Key.lookup (Rsti_pa.Pac.keys t.pac) key)
+    ~tweak:modifier value
+
+and exec_shadow_mac t fname regs (p : Ir.pac) =
+  (* section 7: the same scope-type modifiers enforced through a
+     CCFI-style MAC stored beside the object instead of in pointer bits.
+     Pointers stay raw; each op pays the MAC plus a shadow access. *)
+  let src = eval t regs p.p_src in
+  let m = modifier_value t regs p.p_mod p.p_slot_addr in
+  let slot = eval t regs p.p_slot_addr in
+  match p.p_kind with
+  | Ir.Ksign ->
+      charge t (t.costs.pac + t.costs.load + t.costs.store);
+      t.counts.pac_signs <- t.counts.pac_signs + 1;
+      if Int64.equal src 0L then Hashtbl.remove t.shadow slot
+      else Hashtbl.replace t.shadow slot (mac_of t p.p_key ~modifier:m src);
+      regs.(p.p_dst) <- src
+  | Ir.Kauth ->
+      charge t (t.costs.pac + t.costs.load);
+      t.counts.pac_auths <- t.counts.pac_auths + 1;
+      let ok =
+        if Int64.equal src 0L then not (Hashtbl.mem t.shadow slot)
+        else
+          match Hashtbl.find_opt t.shadow slot with
+          | Some expected -> Int64.equal expected (mac_of t p.p_key ~modifier:m src)
+          | None -> false
+      in
+      if ok then regs.(p.p_dst) <- src
+      else begin
+        t.auth_failed <- true;
+        emit_event t (Ev_auth_fail { func = fname; modifier = m; ptr = src });
+        if t.fpac then
+          raise (Trap_exn (Pac_auth_failure { func = fname; modifier = m; ptr = src }));
+        regs.(p.p_dst) <- Rsti_pa.Vaddr.corrupt (Rsti_pa.Pac.layout t.pac) src
+      end
+  | Ir.Kresign ->
+      (* casts carry no per-slot state under the shadow backend *)
+      charge t (2 * t.costs.pac);
+      t.counts.pac_auths <- t.counts.pac_auths + 1;
+      t.counts.pac_signs <- t.counts.pac_signs + 1;
+      regs.(p.p_dst) <- src
+  | Ir.Kstrip ->
+      charge t t.costs.strip;
+      t.counts.pac_strips <- t.counts.pac_strips + 1;
+      regs.(p.p_dst) <- src
+
+and exec_pac t fname regs (p : Ir.pac) =
+  if t.backend = `Shadow_mac then exec_shadow_mac t fname regs p
+  else begin
+  let src = eval t regs p.p_src in
+  let key = p.p_key in
+  let record_fail modifier ptr =
+    t.auth_failed <- true;
+    emit_event t (Ev_auth_fail { func = fname; modifier; ptr });
+    (* ARMv8.6 FPAC (implemented by the M1): a failing aut* traps
+       synchronously instead of leaving a corrupted pointer behind.
+       Without it, a later xpac strip could launder the corruption. *)
+    if t.fpac then
+      raise (Trap_exn (Pac_auth_failure { func = fname; modifier; ptr }))
+  in
+  match p.p_kind with
+  | Ir.Ksign ->
+      charge t (t.costs.pac + t.costs.pac_spill);
+      t.counts.pac_signs <- t.counts.pac_signs + 1;
+      let m = modifier_value t regs p.p_mod p.p_slot_addr in
+      regs.(p.p_dst) <- Rsti_pa.Pac.sign t.pac ~key ~modifier:m src
+  | Ir.Kauth -> (
+      charge t (t.costs.pac + t.costs.pac_spill);
+      t.counts.pac_auths <- t.counts.pac_auths + 1;
+      let m = modifier_value t regs p.p_mod p.p_slot_addr in
+      match Rsti_pa.Pac.auth t.pac ~key ~modifier:m src with
+      | Ok v -> regs.(p.p_dst) <- v
+      | Error corrupted ->
+          record_fail m src;
+          regs.(p.p_dst) <- corrupted)
+  | Ir.Kresign -> (
+      charge t (2 * (t.costs.pac + t.costs.pac_spill));
+      t.counts.pac_auths <- t.counts.pac_auths + 1;
+      t.counts.pac_signs <- t.counts.pac_signs + 1;
+      (* Fused aut+pac. In this codebase's discipline in-flight values are
+         raw (canonical), so the pair acts as a checked identity; a signed
+         value (the pp mechanism) gets a real authenticate + re-sign. *)
+      if not (Rsti_pa.Pac.is_signed t.pac src) then regs.(p.p_dst) <- src
+      else begin
+        let mf = modifier_value t regs p.p_mod_from p.p_slot_addr in
+        let mt = modifier_value t regs p.p_mod p.p_slot_addr in
+        match Rsti_pa.Pac.auth t.pac ~key ~modifier:mf src with
+        | Ok v -> regs.(p.p_dst) <- Rsti_pa.Pac.sign t.pac ~key ~modifier:mt v
+        | Error corrupted ->
+            record_fail mf src;
+            regs.(p.p_dst) <- corrupted
+      end)
+  | Ir.Kstrip ->
+      charge t t.costs.strip;
+      t.counts.pac_strips <- t.counts.pac_strips + 1;
+      regs.(p.p_dst) <- Rsti_pa.Pac.strip t.pac src
+  end
+
+and exec_pp t fname regs (pp : Ir.pp_call) =
+  charge t t.costs.pp;
+  t.counts.pp_calls <- t.counts.pp_calls + 1;
+  let fe_modifier ce =
+    Memory.read_u64 t.mem (Int64.add pp_meta_base (Int64.of_int (ce * 8)))
+  in
+  match pp with
+  | Ir.Pp_add _ -> () (* table is static in our model; cost only *)
+  | Ir.Pp_sign { dst; src; ce; slot_addr } ->
+      let m = Int64.logxor (fe_modifier ce) (eval t regs slot_addr) in
+      t.counts.pac_signs <- t.counts.pac_signs + 1;
+      regs.(dst) <- Rsti_pa.Pac.sign t.pac ~key:Rsti_pa.Key.DA ~modifier:m
+                      (eval t regs src)
+  | Ir.Pp_add_tbi { dst; src; ce } ->
+      regs.(dst) <- Rsti_pa.Vaddr.with_top_byte (eval t regs src) ce
+  | Ir.Pp_auth { dst; src; slot_addr } -> (
+      let v = eval t regs src in
+      let ce = Rsti_pa.Vaddr.top_byte v in
+      let m = Int64.logxor (fe_modifier ce) (eval t regs slot_addr) in
+      t.counts.pac_auths <- t.counts.pac_auths + 1;
+      match Rsti_pa.Pac.auth t.pac ~key:Rsti_pa.Key.DA ~modifier:m v with
+      | Ok ok -> regs.(dst) <- Rsti_pa.Vaddr.with_top_byte ok 0
+      | Error corrupted ->
+          t.auth_failed <- true;
+          emit_event t (Ev_auth_fail { func = fname; modifier = m; ptr = v });
+          if t.fpac then
+            raise (Trap_exn (Pac_auth_failure { func = fname; modifier = m; ptr = v }));
+          regs.(dst) <- corrupted)
+
+and binop_int op a b fname =
+  match op with
+  | Ast.Add -> Int64.add a b
+  | Ast.Sub -> Int64.sub a b
+  | Ast.Mul -> Int64.mul a b
+  | Ast.Div ->
+      if b = 0L then raise (Trap_exn (Div_by_zero fname)) else Int64.div a b
+  | Ast.Mod ->
+      if b = 0L then raise (Trap_exn (Div_by_zero fname)) else Int64.rem a b
+  | Ast.Eq -> if Int64.equal a b then 1L else 0L
+  | Ast.Ne -> if Int64.equal a b then 0L else 1L
+  | Ast.Lt -> if Int64.compare a b < 0 then 1L else 0L
+  | Ast.Le -> if Int64.compare a b <= 0 then 1L else 0L
+  | Ast.Gt -> if Int64.compare a b > 0 then 1L else 0L
+  | Ast.Ge -> if Int64.compare a b >= 0 then 1L else 0L
+  | Ast.Bitand -> Int64.logand a b
+  | Ast.Bitor -> Int64.logor a b
+  | Ast.Bitxor -> Int64.logxor a b
+  | Ast.Shl -> Int64.shift_left a (Int64.to_int b land 63)
+  | Ast.Shr -> Int64.shift_right a (Int64.to_int b land 63)
+  | Ast.Logand -> if a <> 0L && b <> 0L then 1L else 0L
+  | Ast.Logor -> if a <> 0L || b <> 0L then 1L else 0L
+
+and binop_float op a b fname =
+  let x = Int64.float_of_bits a and y = Int64.float_of_bits b in
+  let bool v = if v then 1L else 0L in
+  match op with
+  | Ast.Add -> Int64.bits_of_float (x +. y)
+  | Ast.Sub -> Int64.bits_of_float (x -. y)
+  | Ast.Mul -> Int64.bits_of_float (x *. y)
+  | Ast.Div -> Int64.bits_of_float (x /. y)
+  | Ast.Mod -> Int64.bits_of_float (Float.rem x y)
+  | Ast.Eq -> bool (x = y)
+  | Ast.Ne -> bool (x <> y)
+  | Ast.Lt -> bool (x < y)
+  | Ast.Le -> bool (x <= y)
+  | Ast.Gt -> bool (x > y)
+  | Ast.Ge -> bool (x >= y)
+  | Ast.Bitand | Ast.Bitor | Ast.Bitxor | Ast.Shl | Ast.Shr | Ast.Logand
+  | Ast.Logor ->
+      ignore fname;
+      binop_int op a b fname
+
+(* Signature-based CFI (the LLVM cfi-icall / vfGuard style baseline the
+   paper's introduction contrasts RSTI with): an indirect call may only
+   land on a function whose prototype matches the call site's static
+   signature. It sees nothing of data pointers. *)
+and signatures_match (arg_tys : Ctype.t list) (param_tys : Ctype.t list) variadic =
+  let rec go a p =
+    match (a, p) with
+    | [], [] -> true
+    | _ :: _, [] -> variadic
+    | [], _ :: _ -> false
+    | ta :: a', tp :: p' ->
+        Ctype.equal (Ctype.strip_all_quals ta) (Ctype.strip_all_quals tp) && go a' p'
+  in
+  go arg_tys param_tys
+
+and check_cfi _t caller arg_tys (f : Ir.func) =
+  let param_tys = List.map (fun (p : Rsti_minic.Tast.var) -> p.v_ty) f.params in
+  if not (signatures_match arg_tys param_tys false) then
+    raise (Trap_exn (Cfi_violation { func = caller; target = f.name }))
+
+and check_cfi_libc t caller arg_tys name =
+  match List.assoc_opt name t.m.Ir.m_externs with
+  | Some (Ctype.Func sg) ->
+      if not (signatures_match arg_tys sg.Ctype.params sg.Ctype.variadic) then
+        raise (Trap_exn (Cfi_violation { func = caller; target = name }))
+  | _ -> () (* unknown prototype: coarse CFI allows it *)
+
+and call_function t (fn : Ir.func) (args : int64 list) : int64 =
+  let n = bump t t.call_counts fn.name in
+  emit_event t (Ev_call fn.name);
+  fire_attacks t (On_call (fn.name, n));
+  charge t t.costs.call;
+  let regs = Array.make (max fn.nregs (List.length args)) 0L in
+  List.iteri (fun i a -> if i < Array.length regs then regs.(i) <- a) args;
+  let saved_sp = t.sp in
+  let result = exec_blocks t fn regs in
+  t.sp <- saved_sp;
+  result
+
+and exec_blocks t (fn : Ir.func) regs : int64 =
+  let rec run_block label =
+    let blk = fn.blocks.(label) in
+    List.iter (exec_instr t fn regs) blk.instrs;
+    match blk.term with
+    | Ir.Ret None ->
+        charge t t.costs.branch;
+        0L
+    | Ir.Ret (Some v) ->
+        charge t t.costs.branch;
+        eval t regs v
+    | Ir.Br l ->
+        charge t t.costs.branch;
+        step t;
+        run_block l
+    | Ir.Condbr (c, a, b) ->
+        charge t t.costs.branch;
+        step t;
+        run_block (if eval t regs c <> 0L then a else b)
+    | Ir.Unreachable -> raise (Trap_exn (Unknown_function (fn.name ^ ":unreachable")))
+  in
+  run_block 0
+
+and exec_instr t (fn : Ir.func) regs (ins : Ir.instr) : unit =
+  step t;
+  match ins.i with
+  | Ir.Alloca { dst; ty; _ } ->
+      charge t t.costs.alu;
+      let size = max 8 (Ir.sizeof t.m ty) in
+      let aligned = (size + 15) / 16 * 16 in
+      t.sp <- Int64.sub t.sp (Int64.of_int aligned);
+      if t.sp < Layout.stack_limit then raise (Trap_exn Stack_overflow);
+      Memory.map t.mem ~addr:t.sp ~size:aligned;
+      regs.(dst) <- t.sp
+  | Ir.Load { dst; addr; ty; _ } ->
+      charge t t.costs.load;
+      t.counts.loads <- t.counts.loads + 1;
+      regs.(dst) <- load_typed t fn.name ty (eval t regs addr)
+  | Ir.Store { src; addr; ty; _ } ->
+      charge t t.costs.store;
+      t.counts.stores <- t.counts.stores + 1;
+      store_typed t fn.name ty (eval t regs addr) (eval t regs src)
+  | Ir.Gep { dst; base; sname; field } ->
+      charge t t.costs.gep;
+      let off, _ = Ir.field_offset t.m sname field in
+      regs.(dst) <- Int64.add (eval t regs base) (Int64.of_int off)
+  | Ir.Gepidx { dst; base; elem; idx } ->
+      charge t t.costs.gep;
+      let size = Int64.of_int (Ir.sizeof t.m elem) in
+      regs.(dst) <- Int64.add (eval t regs base) (Int64.mul size (eval t regs idx))
+  | Ir.Bitcast { dst; src; _ } ->
+      charge t t.costs.alu;
+      regs.(dst) <- eval t regs src
+  | Ir.Binop { dst; op; fl; a; b } ->
+      charge t t.costs.alu;
+      let va = eval t regs a and vb = eval t regs b in
+      regs.(dst) <-
+        (match fl with
+        | Ir.Iop -> binop_int op va vb fn.name
+        | Ir.Fop -> binop_float op va vb fn.name)
+  | Ir.Neg { dst; fl; src } ->
+      charge t t.costs.alu;
+      let v = eval t regs src in
+      regs.(dst) <-
+        (match fl with
+        | Ir.Iop -> Int64.neg v
+        | Ir.Fop -> Int64.bits_of_float (-.Int64.float_of_bits v))
+  | Ir.Lognot { dst; src } ->
+      charge t t.costs.alu;
+      regs.(dst) <- (if eval t regs src = 0L then 1L else 0L)
+  | Ir.Bitnot { dst; src } ->
+      charge t t.costs.alu;
+      regs.(dst) <- Int64.lognot (eval t regs src)
+  | Ir.Cast_num { dst; src; from_ty; to_ty } ->
+      charge t t.costs.alu;
+      let v = eval t regs src in
+      let f = Ctype.strip_all_quals from_ty and g = Ctype.strip_all_quals to_ty in
+      regs.(dst) <-
+        (match (f, g) with
+        | (Ctype.Char | Ctype.Int | Ctype.Long), Ctype.Double ->
+            Int64.bits_of_float (Int64.to_float v)
+        | Ctype.Double, (Ctype.Char | Ctype.Int | Ctype.Long) ->
+            Int64.of_float (Int64.float_of_bits v)
+        | _, Ctype.Char -> Int64.logand v 0xFFL
+        | _, Ctype.Int | _, Ctype.Long | _, _ -> v)
+  | Ir.Call { dst; callee; args; arg_tys; _ } ->
+      let arg_tys_of_call = arg_tys in
+      let argv = List.map (eval t regs) args in
+      let result =
+        match callee with
+        | Ir.Direct name -> dispatch_call t fn.name name argv
+        | Ir.Indirect c -> (
+            let target = eval t regs c in
+            match Hashtbl.find_opt t.code_map target with
+            | Some (`Defined f) ->
+                if t.cfi then check_cfi t fn.name arg_tys_of_call f;
+                call_function t f argv
+            | Some (`Libc name) ->
+                if t.cfi then check_cfi_libc t fn.name arg_tys_of_call name;
+                run_builtin t name argv
+            | None ->
+                raise
+                  (Trap_exn
+                     (Bad_indirect_call
+                        { target; func = fn.name; after_auth_fail = t.auth_failed })))
+      in
+      (match dst with Some d -> regs.(d) <- result | None -> ())
+  | Ir.Pac p -> exec_pac t fn.name regs p
+  | Ir.Pp pp -> exec_pp t fn.name regs pp
+
+and dispatch_call t caller name argv =
+  match Hashtbl.find_opt t.funcs_by_name name with
+  | Some f -> call_function t f argv
+  | None ->
+      if List.mem name builtin_names || Hashtbl.mem t.func_addrs name then
+        run_builtin t name argv
+      else begin
+        ignore caller;
+        raise (Trap_exn (Unknown_function name))
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Entry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(attacks = []) ?step_limit ?(entry = "main") t =
+  if t.ran then invalid_arg "Interp.run: machine already ran; create a fresh one";
+  t.ran <- true;
+  t.attacks <- attacks;
+  Option.iter (fun l -> t.step_limit <- l) step_limit;
+  let status =
+    try
+      (match Hashtbl.find_opt t.funcs_by_name Ir.global_init_name with
+      | Some init -> ignore (call_function t init [])
+      | None -> ());
+      match Hashtbl.find_opt t.funcs_by_name entry with
+      | Some f -> Exited (call_function t f [])
+      | None -> Trapped (Unknown_function entry)
+    with
+    | Trap_exn tr -> Trapped tr
+    | Exit_exn code -> Exited code
+  in
+  let profile tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  {
+    status;
+    cycles = t.cycles;
+    counts = t.counts;
+    events = List.rev t.events;
+    output = Buffer.contents t.out;
+    call_profile = profile t.call_counts;
+    extern_profile = profile t.extern_counts;
+  }

@@ -1,0 +1,124 @@
+(** The virtual machine: executes (possibly RSTI-instrumented) IR over the
+    simulated address space with real PA semantics, counts cycles under
+    {!Cost}, and exposes the attacker API the security evaluation uses.
+
+    Faithful PA behaviour: a failed [aut*] does not trap — it leaves a
+    corrupted (non-canonical) pointer behind, and the subsequent
+    dereference or indirect call faults, exactly as on ARMv8.3 hardware
+    (paper section 2.4). The machine records the original auth failure so
+    scenarios can attribute the crash. *)
+
+type event =
+  | Ev_call of string                       (** defined function entered *)
+  | Ev_extern of string * int64 list        (** simulated-libc call *)
+  | Ev_auth_fail of { func : string; modifier : int64; ptr : int64 }
+      (** an aut*/resign/pp_auth whose PAC check failed *)
+  | Ev_attack of string                     (** attacker action (from hooks) *)
+  | Ev_output of string                     (** program output *)
+
+type trap =
+  | Mem_fault of { fault : string; func : string; after_auth_fail : bool }
+  | Bad_indirect_call of { target : int64; func : string; after_auth_fail : bool }
+  | Div_by_zero of string
+  | Stack_overflow
+  | Step_limit_exceeded
+  | Unknown_function of string
+  | Pac_auth_failure of { func : string; modifier : int64; ptr : int64 }
+      (** a failing [aut*] under FPAC (the default machine config) *)
+  | Cfi_violation of { func : string; target : string }
+      (** signature-based CFI baseline rejected an indirect call *)
+
+val trap_to_string : trap -> string
+
+type status = Exited of int64 | Trapped of trap
+
+type counts = {
+  mutable instrs : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable pac_signs : int;
+  mutable pac_auths : int;      (** auths + the auth halves of resigns *)
+  mutable pac_strips : int;
+  mutable pp_calls : int;
+}
+
+type outcome = {
+  status : status;
+  cycles : int;
+  counts : counts;
+  events : event list;       (** chronological *)
+  output : string;           (** everything the program printed *)
+  call_profile : (string * int) list;
+      (** defined-function call counts, most-called first *)
+  extern_profile : (string * int) list;
+      (** simulated-libc call counts, most-called first *)
+}
+
+val detected : outcome -> bool
+(** True when execution ended in a trap that followed a PAC authentication
+    failure — i.e. RSTI detected and stopped an attack. *)
+
+type t
+(** A loaded machine instance (module + memory image + PA keys). *)
+
+(** The corruption primitive handed to attack scenarios: what a real
+    attacker gets from a memory-corruption vulnerability (arbitrary
+    read/write) plus the address-space knowledge (infoleak) the paper's
+    threat model grants. It cannot forge PACs: signing needs the kernel's
+    keys. *)
+type intruder = {
+  read_word : int64 -> int64;
+  write_word : int64 -> int64 -> unit;
+  read_string : int64 -> string;
+  write_string : int64 -> string -> unit;
+  global_addr : string -> int64;
+  func_addr : string -> int64;         (** includes simulated-libc symbols *)
+  heap_allocs : unit -> (int64 * int) list;  (** (address, size), newest first *)
+  note : string -> unit;               (** record an [Ev_attack] event *)
+}
+
+type trigger =
+  | On_call of string * int    (** nth (1-based) entry to a defined function *)
+  | On_extern of string * int  (** nth call of a libc function *)
+
+type attack = { trigger : trigger; action : intruder -> unit }
+
+val create :
+  ?costs:Cost.t ->
+  ?seed:int64 ->
+  ?pp_table:(int * int64) list ->
+  ?fpac:bool ->
+  ?cfi:bool ->
+  ?backend:[ `Pac | `Shadow_mac ] ->
+  Rsti_ir.Ir.modul ->
+  t
+(** Load a module: lay out globals/strings/code, generate PA keys from
+    [seed], install the read-only pointer-to-pointer metadata table.
+    [fpac] (default true) selects ARMv8.6 FPAC semantics — a failing
+    [aut*] traps synchronously, as on the Apple M1 the paper evaluates
+    on; with [fpac:false] the failure only corrupts the pointer and the
+    crash happens at the subsequent dereference (plain ARMv8.3).
+    [cfi] (default false) enables the signature-based CFI baseline the
+    paper's introduction contrasts RSTI with: indirect calls must match
+    the target's prototype; data pointers are not checked at all.
+    [backend] selects the enforcement substrate (section 7): [`Pac]
+    (default) keeps the code in pointer bits; [`Shadow_mac] is the
+    CCFI-style alternative — a full-width MAC of (pointer, modifier)
+    held in a runtime-protected shadow table keyed by the slot address,
+    with pointers left raw. Same STI policy, different mechanism. *)
+
+val pac_ctx : t -> Rsti_pa.Pac.ctx
+(** The machine's PA context (tests use it to forge/inspect PACs). *)
+
+val global_addr : t -> string -> int64
+val func_addr : t -> string -> int64
+
+val run :
+  ?attacks:attack list ->
+  ?step_limit:int ->
+  ?entry:string ->
+  t ->
+  outcome
+(** Execute [__rsti_global_init] then [entry] (default ["main"]).
+    [step_limit] bounds interpreted instructions (default 200 million).
+    A machine can be run only once; create a fresh one per run. *)

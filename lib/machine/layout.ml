@@ -1,0 +1,23 @@
+(* The simulated process address-space layout. All segments sit inside the
+   48-bit canonical low half, so every legitimate pointer has zero PAC
+   bits — exactly the property ARM PA exploits. *)
+
+let text_base = 0x0000_0000_0040_0000L (* defined functions, 16 bytes apart *)
+let rodata_base = 0x0000_0000_0060_0000L (* string literals, pp metadata *)
+let libc_base = 0x0000_0000_00f0_0000L (* external/builtin functions *)
+let globals_base = 0x0000_0000_1000_0000L
+let heap_base = 0x0000_0000_2000_0000L
+let stack_top = 0x0000_7fff_ff00_0000L (* grows down *)
+
+(* 16 MiB of simulated stack: enough for any workload, small enough that
+   runaway recursion hits Stack_overflow quickly. *)
+let stack_limit = 0x0000_7fff_fe00_0000L
+
+let func_slot_size = 16L
+
+let code_addr_of_index base i =
+  Int64.add base (Int64.mul (Int64.of_int i) func_slot_size)
+
+let is_text a = a >= text_base && a < rodata_base
+let is_libc a = a >= libc_base && a < globals_base
+let is_stack a = a >= stack_limit && a <= stack_top

@@ -1,0 +1,68 @@
+type unop = Neg | Lognot | Bitnot | AddrOf | Deref
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Logand | Logor
+  | Bitand | Bitor | Bitxor | Shl | Shr
+
+type expr = { desc : expr_desc; loc : Loc.t }
+
+and expr_desc =
+  | Int_lit of int64
+  | Float_lit of float
+  | Char_lit of char
+  | Str_lit of string
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr
+  | Call of expr * expr list
+  | Cast of Ctype.t * expr
+  | Member of expr * string
+  | Arrow of expr * string
+  | Index of expr * expr
+  | Sizeof_type of Ctype.t
+  | Sizeof_expr of expr
+  | Cond of expr * expr * expr
+
+type decl = { d_name : string; d_ty : Ctype.t; d_init : expr option; d_loc : Loc.t }
+
+type stmt = { s : stmt_desc; s_loc : Loc.t }
+
+and stmt_desc =
+  | Sexpr of expr
+  | Sdecl of decl
+  | Sif of expr * block * block
+  | Swhile of expr * block
+  | Sdo of block * expr
+  | Sfor of stmt option * expr option * expr option * block
+  | Sswitch of expr * switch_case list
+  | Sreturn of expr option
+  | Sblock of block
+  | Sbreak
+  | Scontinue
+
+and switch_case = { c_labels : int64 list; c_default : bool; c_body : block }
+
+and block = stmt list
+
+type struct_def = { s_name : string; s_fields : (string * Ctype.t) list; s_loc : Loc.t }
+
+type func_def = {
+  f_name : string;
+  f_ret : Ctype.t;
+  f_params : (string * Ctype.t) list;
+  f_body : block;
+  f_loc : Loc.t;
+}
+
+type global =
+  | Gstruct of struct_def
+  | Gfunc of func_def
+  | Gvar of decl
+  | Gextern of string * Ctype.t * Loc.t
+
+type program = global list
+
+let mk loc desc = { desc; loc }

@@ -1,0 +1,84 @@
+(** Untyped MiniC abstract syntax, as produced by the parser. The type
+    checker ({!Typecheck}) turns this into the typed form ({!Tast}). *)
+
+type unop =
+  | Neg        (** [-e] *)
+  | Lognot     (** [!e] *)
+  | Bitnot     (** [~e] *)
+  | AddrOf     (** [&e] *)
+  | Deref      (** [*e] *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Logand | Logor
+  | Bitand | Bitor | Bitxor | Shl | Shr
+
+type expr = { desc : expr_desc; loc : Loc.t }
+
+and expr_desc =
+  | Int_lit of int64
+  | Float_lit of float
+  | Char_lit of char
+  | Str_lit of string
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr            (** lvalue = rvalue *)
+  | Call of expr * expr list         (** callee may be any expression *)
+  | Cast of Ctype.t * expr
+  | Member of expr * string          (** [e.f] *)
+  | Arrow of expr * string           (** [e->f] *)
+  | Index of expr * expr             (** [e\[i\]] *)
+  | Sizeof_type of Ctype.t
+  | Sizeof_expr of expr
+  | Cond of expr * expr * expr       (** [c ? a : b] *)
+
+type decl = { d_name : string; d_ty : Ctype.t; d_init : expr option; d_loc : Loc.t }
+
+type stmt = { s : stmt_desc; s_loc : Loc.t }
+
+and stmt_desc =
+  | Sexpr of expr
+  | Sdecl of decl
+  | Sif of expr * block * block
+  | Swhile of expr * block
+  | Sdo of block * expr              (** do { .. } while (e); *)
+  | Sfor of stmt option * expr option * expr option * block
+      (** kept structured (not desugared) so [continue] can target the
+          step expression during lowering *)
+  | Sswitch of expr * switch_case list
+      (** C switch with fallthrough; [break] exits *)
+  | Sreturn of expr option
+  | Sblock of block
+  | Sbreak
+  | Scontinue
+
+and switch_case = {
+  c_labels : int64 list;   (** constant labels sharing this arm *)
+  c_default : bool;        (** the arm also carries [default:] *)
+  c_body : block;          (** falls through into the next arm *)
+}
+
+and block = stmt list
+
+type struct_def = { s_name : string; s_fields : (string * Ctype.t) list; s_loc : Loc.t }
+
+type func_def = {
+  f_name : string;
+  f_ret : Ctype.t;
+  f_params : (string * Ctype.t) list;
+  f_body : block;
+  f_loc : Loc.t;
+}
+
+type global =
+  | Gstruct of struct_def
+  | Gfunc of func_def
+  | Gvar of decl
+  | Gextern of string * Ctype.t * Loc.t  (** extern declaration, no body *)
+
+type program = global list
+
+val mk : Loc.t -> expr_desc -> expr
+(** Attach a location to an expression node. *)

@@ -1,0 +1,246 @@
+exception Error of string * Loc.t
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the beginning of the current line *)
+}
+
+let loc st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+
+let error st msg = raise (Error (msg, loc st))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let keywords =
+  [
+    ("void", Token.KW_void); ("char", Token.KW_char); ("int", Token.KW_int);
+    ("long", Token.KW_long); ("double", Token.KW_double);
+    ("struct", Token.KW_struct); ("const", Token.KW_const);
+    ("extern", Token.KW_extern); ("typedef", Token.KW_typedef);
+    ("if", Token.KW_if); ("else", Token.KW_else); ("while", Token.KW_while);
+    ("for", Token.KW_for); ("do", Token.KW_do); ("return", Token.KW_return);
+    ("break", Token.KW_break); ("continue", Token.KW_continue);
+    ("sizeof", Token.KW_sizeof); ("NULL", Token.KW_null);
+    ("switch", Token.KW_switch); ("case", Token.KW_case);
+    ("default", Token.KW_default);
+    (* Accepted and ignored qualifiers common in the paper's C snippets. *)
+    ("unsigned", Token.KW_int); ("static", Token.KW_extern);
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let skip_space_and_comments st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\r' | '\n') ->
+        advance st;
+        go ()
+    | Some '/' when peek2 st = Some '/' ->
+        while peek st <> None && peek st <> Some '\n' do
+          advance st
+        done;
+        go ()
+    | Some '/' when peek2 st = Some '*' ->
+        advance st;
+        advance st;
+        let rec skip () =
+          match (peek st, peek2 st) with
+          | Some '*', Some '/' ->
+              advance st;
+              advance st
+          | None, _ -> error st "unterminated block comment"
+          | _ ->
+              advance st;
+              skip ()
+        in
+        skip ();
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match List.assoc_opt s keywords with Some kw -> kw | None -> Token.IDENT s
+
+let lex_number st =
+  let start = st.pos in
+  if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+    advance st;
+    advance st;
+    while (match peek st with Some c -> is_hex c | None -> false) do
+      advance st
+    done;
+    let s = String.sub st.src start (st.pos - start) in
+    try Token.INT (Int64.of_string s) with _ -> error st ("bad hex literal " ^ s)
+  end
+  else begin
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    (* Decimal point (not followed by another '.') makes it a float. *)
+    let is_float =
+      match (peek st, peek2 st) with
+      | Some '.', Some '.' -> false
+      | Some '.', _ ->
+          advance st;
+          while (match peek st with Some c -> is_digit c | None -> false) do
+            advance st
+          done;
+          (match (peek st, peek2 st) with
+          | Some ('e' | 'E'), Some c when is_digit c || c = '-' || c = '+' ->
+              advance st;
+              advance st;
+              while (match peek st with Some c -> is_digit c | None -> false) do
+                advance st
+              done
+          | _ -> ());
+          true
+      | _ -> false
+    in
+    let numeral = String.sub st.src start (st.pos - start) in
+    if is_float then
+      try Token.FLOAT (float_of_string numeral)
+      with _ -> error st ("bad float literal " ^ numeral)
+    else begin
+      (* Accept and drop C integer suffixes (1024UL etc.). *)
+      while (match peek st with Some ('u' | 'U' | 'l' | 'L') -> true | _ -> false) do
+        advance st
+      done;
+      try Token.INT (Int64.of_string numeral)
+      with _ -> error st ("bad integer literal " ^ numeral)
+    end
+  end
+
+let lex_escape st =
+  match peek st with
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some '0' -> advance st; '\000'
+  | Some '\\' -> advance st; '\\'
+  | Some '\'' -> advance st; '\''
+  | Some '"' -> advance st; '"'
+  | Some c -> error st (Printf.sprintf "unknown escape '\\%c'" c)
+  | None -> error st "unterminated escape"
+
+let lex_char st =
+  advance st (* opening quote *);
+  let c =
+    match peek st with
+    | Some '\\' ->
+        advance st;
+        lex_escape st
+    | Some c ->
+        advance st;
+        c
+    | None -> error st "unterminated character literal"
+  in
+  (match peek st with
+  | Some '\'' -> advance st
+  | _ -> error st "unterminated character literal");
+  Token.CHARLIT c
+
+let lex_string st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        Buffer.add_char buf (lex_escape st);
+        go ()
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+    | None -> error st "unterminated string literal"
+  in
+  go ();
+  Token.STRING (Buffer.contents buf)
+
+let lex_op st =
+  let one tok = advance st; tok in
+  let two tok = advance st; advance st; tok in
+  let three tok = advance st; advance st; advance st; tok in
+  match (peek st, peek2 st) with
+  | Some '-', Some '>' -> two Token.ARROW
+  | Some '-', Some '-' -> two Token.MINUSMINUS
+  | Some '-', Some '=' -> two Token.MINUSEQ
+  | Some '-', _ -> one Token.MINUS
+  | Some '+', Some '+' -> two Token.PLUSPLUS
+  | Some '+', Some '=' -> two Token.PLUSEQ
+  | Some '+', _ -> one Token.PLUS
+  | Some '*', Some '=' -> two Token.STAREQ
+  | Some '*', _ -> one Token.STAR
+  | Some '/', Some '=' -> two Token.SLASHEQ
+  | Some '/', _ -> one Token.SLASH
+  | Some '%', _ -> one Token.PERCENT
+  | Some '&', Some '&' -> two Token.ANDAND
+  | Some '&', _ -> one Token.AMP
+  | Some '|', Some '|' -> two Token.OROR
+  | Some '|', _ -> one Token.PIPE
+  | Some '^', _ -> one Token.CARET
+  | Some '~', _ -> one Token.TILDE
+  | Some '!', Some '=' -> two Token.NEQ
+  | Some '!', _ -> one Token.BANG
+  | Some '<', Some '<' -> two Token.SHL
+  | Some '<', Some '=' -> two Token.LE
+  | Some '<', _ -> one Token.LT
+  | Some '>', Some '>' -> two Token.SHR
+  | Some '>', Some '=' -> two Token.GE
+  | Some '>', _ -> one Token.GT
+  | Some '=', Some '=' -> two Token.EQEQ
+  | Some '=', _ -> one Token.ASSIGN
+  | Some '(', _ -> one Token.LPAREN
+  | Some ')', _ -> one Token.RPAREN
+  | Some '{', _ -> one Token.LBRACE
+  | Some '}', _ -> one Token.RBRACE
+  | Some '[', _ -> one Token.LBRACK
+  | Some ']', _ -> one Token.RBRACK
+  | Some ';', _ -> one Token.SEMI
+  | Some ',', _ -> one Token.COMMA
+  | Some '.', Some '.' when st.pos + 2 < String.length st.src && st.src.[st.pos + 2] = '.'
+    -> three Token.ELLIPSIS
+  | Some '.', _ -> one Token.DOT
+  | Some '?', _ -> one Token.QUESTION
+  | Some ':', _ -> one Token.COLON
+  | Some c, _ -> error st (Printf.sprintf "unexpected character %C" c)
+  | None, _ -> error st "unexpected end of input"
+
+let tokenize ~file src =
+  let st = { src; file; pos = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    skip_space_and_comments st;
+    let l = loc st in
+    match peek st with
+    | None -> List.rev ((Token.EOF, l) :: acc)
+    | Some c when is_ident_start c -> go ((lex_ident st, l) :: acc)
+    | Some c when is_digit c -> go ((lex_number st, l) :: acc)
+    | Some '\'' -> go ((lex_char st, l) :: acc)
+    | Some '"' -> go ((lex_string st, l) :: acc)
+    | Some _ -> go ((lex_op st, l) :: acc)
+  in
+  go []

@@ -1,0 +1,10 @@
+(** Hand-written lexer for MiniC. Handles line comments ([//]), block
+    comments, decimal/hex integer literals, character and string literals
+    with the usual escapes. *)
+
+exception Error of string * Loc.t
+(** Lexical error with a message and the offending position. *)
+
+val tokenize : file:string -> string -> (Token.t * Loc.t) list
+(** Turn a whole source string into tokens; the final element is always
+    [(EOF, _)]. Raises {!Error} on malformed input. *)

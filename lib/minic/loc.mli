@@ -1,0 +1,11 @@
+(** Source positions for diagnostics. The STI analysis also uses line
+    numbers to mirror the paper's [!DILocation] debug metadata. *)
+
+type t = { file : string; line : int; col : int }
+
+val dummy : t
+(** Position for synthesized nodes (the workload generator, desugaring). *)
+
+val make : file:string -> line:int -> col:int -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,787 @@
+exception Error of string * Loc.t
+
+type state = {
+  mutable toks : (Token.t * Loc.t) list;
+  typedefs : (string, Ctype.t) Hashtbl.t;
+}
+
+let error st msg =
+  let loc = match st.toks with (_, l) :: _ -> l | [] -> Loc.dummy in
+  raise (Error (msg, loc))
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Token.EOF
+
+let peek2 st = match st.toks with _ :: (t, _) :: _ -> t | _ -> Token.EOF
+
+let cur_loc st = match st.toks with (_, l) :: _ -> l | [] -> Loc.dummy
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s" (Token.to_string tok)
+         (Token.to_string (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | t -> error st ("expected identifier but found " ^ Token.to_string t)
+
+(* ---------------------------------------------------------------- *)
+(* Types and declarators                                             *)
+(* ---------------------------------------------------------------- *)
+
+let is_typedef st name = Hashtbl.mem st.typedefs name
+
+(* Does the current token start a type? Used to disambiguate casts and to
+   recognize declarations. *)
+let starts_type st =
+  match peek st with
+  | Token.KW_void | Token.KW_char | Token.KW_int | Token.KW_long
+  | Token.KW_double | Token.KW_struct | Token.KW_const ->
+      true
+  | Token.IDENT name -> is_typedef st name
+  | _ -> false
+
+(* base-type := ['const'] (void|char|int|long|double|struct IDENT|typedef-name) ['const'] *)
+let parse_base_type st =
+  let const_before =
+    if peek st = Token.KW_const then (advance st; true) else false
+  in
+  let base =
+    match peek st with
+    | Token.KW_void -> advance st; Ctype.Void
+    | Token.KW_char -> advance st; Ctype.Char
+    | Token.KW_int -> advance st; Ctype.Int
+    | Token.KW_long ->
+        advance st;
+        (* accept "long long" and "long int" *)
+        (match peek st with
+        | Token.KW_long | Token.KW_int -> advance st
+        | _ -> ());
+        Ctype.Long
+    | Token.KW_double -> advance st; Ctype.Double
+    | Token.KW_struct ->
+        advance st;
+        let name = expect_ident st in
+        Ctype.Struct name
+    | Token.IDENT name when is_typedef st name ->
+        advance st;
+        Hashtbl.find st.typedefs name
+    | t -> error st ("expected a type but found " ^ Token.to_string t)
+  in
+  let const_after =
+    if peek st = Token.KW_const then (advance st; true) else false
+  in
+  if const_before || const_after then Ctype.Const base else base
+
+(* declarator := '*' ['const'] declarator | direct-declarator
+   direct     := IDENT suffix* | '(' declarator ')' suffix* | suffix*
+   suffix     := '[' INT ']' | '(' params ')'
+   Returns the (optional) declared name and a function building the full
+   type from the base type, composing inside-out as C requires. *)
+let rec parse_declarator st : string option * (Ctype.t -> Ctype.t) =
+  match peek st with
+  | Token.STAR ->
+      advance st;
+      let ptr_const =
+        if peek st = Token.KW_const then (advance st; true) else false
+      in
+      let name, wrap = parse_declarator st in
+      let build base =
+        let p = Ctype.Ptr base in
+        wrap (if ptr_const then Ctype.Const p else p)
+      in
+      (name, build)
+  | _ -> parse_direct_declarator st
+
+and parse_direct_declarator st =
+  let name, wrap_core =
+    match peek st with
+    | Token.IDENT n ->
+        advance st;
+        (Some n, fun (base : Ctype.t) -> base)
+    | Token.LPAREN
+      when (match peek2 st with
+           | Token.STAR | Token.IDENT _ | Token.LPAREN -> true
+           | _ -> false) ->
+        advance st;
+        let name, wrap = parse_declarator st in
+        expect st Token.RPAREN;
+        (name, wrap)
+    | _ -> (None, fun (base : Ctype.t) -> base)
+  in
+  let rec suffixes wrap =
+    match peek st with
+    | Token.LBRACK ->
+        advance st;
+        let n =
+          match peek st with
+          | Token.INT n ->
+              advance st;
+              Int64.to_int n
+          | Token.RBRACK -> 0 (* incomplete array: treated as size 0 *)
+          | t -> error st ("expected array size but found " ^ Token.to_string t)
+        in
+        expect st Token.RBRACK;
+        suffixes (fun base -> wrap (Ctype.Array (base, n)))
+    | Token.LPAREN ->
+        advance st;
+        let params, variadic = parse_param_types st in
+        expect st Token.RPAREN;
+        suffixes (fun base ->
+            wrap (Ctype.Func { ret = base; params; variadic }))
+    | _ -> wrap
+  in
+  (name, suffixes wrap_core)
+
+and parse_param_types st =
+  (* Used for function-pointer suffixes; names are allowed and dropped. *)
+  if peek st = Token.RPAREN then ([], false)
+  else if peek st = Token.KW_void && peek2 st = Token.RPAREN then begin
+    advance st;
+    ([], false)
+  end
+  else begin
+    let rec go acc =
+      if peek st = Token.ELLIPSIS then begin
+        advance st;
+        (List.rev acc, true)
+      end
+      else begin
+        let base = parse_base_type st in
+        let _name, wrap = parse_declarator st in
+        let ty = wrap base in
+        if peek st = Token.COMMA then begin
+          advance st;
+          go (ty :: acc)
+        end
+        else (List.rev (ty :: acc), false)
+      end
+    in
+    go []
+  end
+
+(* A full type with abstract declarator, for casts and sizeof. *)
+and parse_type_name st =
+  let base = parse_base_type st in
+  let _name, wrap = parse_declarator st in
+  wrap base
+
+(* ---------------------------------------------------------------- *)
+(* Expressions (precedence climbing)                                 *)
+(* ---------------------------------------------------------------- *)
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  let loc = cur_loc st in
+  match peek st with
+  | Token.ASSIGN ->
+      advance st;
+      let rhs = parse_assign st in
+      Ast.mk loc (Ast.Assign (lhs, rhs))
+  | Token.PLUSEQ | Token.MINUSEQ | Token.STAREQ | Token.SLASHEQ ->
+      let op =
+        match peek st with
+        | Token.PLUSEQ -> Ast.Add
+        | Token.MINUSEQ -> Ast.Sub
+        | Token.STAREQ -> Ast.Mul
+        | Token.SLASHEQ -> Ast.Div
+        | _ -> assert false
+      in
+      advance st;
+      let rhs = parse_assign st in
+      Ast.mk loc (Ast.Assign (lhs, Ast.mk loc (Ast.Binop (op, lhs, rhs))))
+  | _ -> lhs
+
+and parse_cond st =
+  let c = parse_binop st 0 in
+  if peek st = Token.QUESTION then begin
+    let loc = cur_loc st in
+    advance st;
+    let a = parse_expr st in
+    expect st Token.COLON;
+    let b = parse_cond st in
+    Ast.mk loc (Ast.Cond (c, a, b))
+  end
+  else c
+
+(* Precedence table, loosest first. *)
+and binop_of_token = function
+  | Token.OROR -> Some (0, Ast.Logor)
+  | Token.ANDAND -> Some (1, Ast.Logand)
+  | Token.PIPE -> Some (2, Ast.Bitor)
+  | Token.CARET -> Some (3, Ast.Bitxor)
+  | Token.AMP -> Some (4, Ast.Bitand)
+  | Token.EQEQ -> Some (5, Ast.Eq)
+  | Token.NEQ -> Some (5, Ast.Ne)
+  | Token.LT -> Some (6, Ast.Lt)
+  | Token.LE -> Some (6, Ast.Le)
+  | Token.GT -> Some (6, Ast.Gt)
+  | Token.GE -> Some (6, Ast.Ge)
+  | Token.SHL -> Some (7, Ast.Shl)
+  | Token.SHR -> Some (7, Ast.Shr)
+  | Token.PLUS -> Some (8, Ast.Add)
+  | Token.MINUS -> Some (8, Ast.Sub)
+  | Token.STAR -> Some (9, Ast.Mul)
+  | Token.SLASH -> Some (9, Ast.Div)
+  | Token.PERCENT -> Some (9, Ast.Mod)
+  | _ -> None
+
+and parse_binop st min_prec =
+  let lhs = ref (parse_unary st) in
+  let rec go () =
+    match binop_of_token (peek st) with
+    | Some (prec, op) when prec >= min_prec ->
+        let loc = cur_loc st in
+        advance st;
+        let rhs = parse_binop st (prec + 1) in
+        lhs := Ast.mk loc (Ast.Binop (op, !lhs, rhs));
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_unary st =
+  let loc = cur_loc st in
+  match peek st with
+  | Token.MINUS ->
+      advance st;
+      Ast.mk loc (Ast.Unop (Ast.Neg, parse_unary st))
+  | Token.BANG ->
+      advance st;
+      Ast.mk loc (Ast.Unop (Ast.Lognot, parse_unary st))
+  | Token.TILDE ->
+      advance st;
+      Ast.mk loc (Ast.Unop (Ast.Bitnot, parse_unary st))
+  | Token.AMP ->
+      advance st;
+      Ast.mk loc (Ast.Unop (Ast.AddrOf, parse_unary st))
+  | Token.STAR ->
+      advance st;
+      Ast.mk loc (Ast.Unop (Ast.Deref, parse_unary st))
+  | Token.PLUSPLUS ->
+      advance st;
+      let e = parse_unary st in
+      Ast.mk loc (Ast.Assign (e, Ast.mk loc (Ast.Binop (Ast.Add, e, Ast.mk loc (Ast.Int_lit 1L)))))
+  | Token.MINUSMINUS ->
+      advance st;
+      let e = parse_unary st in
+      Ast.mk loc (Ast.Assign (e, Ast.mk loc (Ast.Binop (Ast.Sub, e, Ast.mk loc (Ast.Int_lit 1L)))))
+  | Token.KW_sizeof ->
+      advance st;
+      if peek st = Token.LPAREN then begin
+        advance st;
+        if starts_type st then begin
+          let ty = parse_type_name st in
+          expect st Token.RPAREN;
+          Ast.mk loc (Ast.Sizeof_type ty)
+        end
+        else begin
+          let e = parse_expr st in
+          expect st Token.RPAREN;
+          Ast.mk loc (Ast.Sizeof_expr e)
+        end
+      end
+      else Ast.mk loc (Ast.Sizeof_expr (parse_unary st))
+  | Token.LPAREN when (match peek2 st with
+                      | Token.KW_void | Token.KW_char | Token.KW_int
+                      | Token.KW_long | Token.KW_double | Token.KW_struct
+                      | Token.KW_const -> true
+                      | Token.IDENT n -> is_typedef st n
+                      | _ -> false) ->
+      advance st;
+      let ty = parse_type_name st in
+      expect st Token.RPAREN;
+      let e = parse_unary st in
+      Ast.mk loc (Ast.Cast (ty, e))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let rec go () =
+    let loc = cur_loc st in
+    match peek st with
+    | Token.LPAREN ->
+        advance st;
+        let args = parse_args st in
+        expect st Token.RPAREN;
+        e := Ast.mk loc (Ast.Call (!e, args));
+        go ()
+    | Token.LBRACK ->
+        advance st;
+        let i = parse_expr st in
+        expect st Token.RBRACK;
+        e := Ast.mk loc (Ast.Index (!e, i));
+        go ()
+    | Token.DOT ->
+        advance st;
+        let f = expect_ident st in
+        e := Ast.mk loc (Ast.Member (!e, f));
+        go ()
+    | Token.ARROW ->
+        advance st;
+        let f = expect_ident st in
+        e := Ast.mk loc (Ast.Arrow (!e, f));
+        go ()
+    | Token.PLUSPLUS ->
+        advance st;
+        e := Ast.mk loc (Ast.Assign (!e, Ast.mk loc (Ast.Binop (Ast.Add, !e, Ast.mk loc (Ast.Int_lit 1L)))));
+        go ()
+    | Token.MINUSMINUS ->
+        advance st;
+        e := Ast.mk loc (Ast.Assign (!e, Ast.mk loc (Ast.Binop (Ast.Sub, !e, Ast.mk loc (Ast.Int_lit 1L)))));
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !e
+
+and parse_args st =
+  if peek st = Token.RPAREN then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        go (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    go []
+  end
+
+and parse_primary st =
+  let loc = cur_loc st in
+  match peek st with
+  | Token.INT n ->
+      advance st;
+      Ast.mk loc (Ast.Int_lit n)
+  | Token.FLOAT x ->
+      advance st;
+      Ast.mk loc (Ast.Float_lit x)
+  | Token.CHARLIT c ->
+      advance st;
+      Ast.mk loc (Ast.Char_lit c)
+  | Token.STRING s ->
+      advance st;
+      Ast.mk loc (Ast.Str_lit s)
+  | Token.KW_null ->
+      advance st;
+      Ast.mk loc (Ast.Cast (Ctype.Ptr Ctype.Void, Ast.mk loc (Ast.Int_lit 0L)))
+  | Token.IDENT n ->
+      advance st;
+      Ast.mk loc (Ast.Var n)
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      e
+  | t -> error st ("expected expression but found " ^ Token.to_string t)
+
+(* ---------------------------------------------------------------- *)
+(* Statements                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let rec parse_stmt st : Ast.stmt =
+  let loc = cur_loc st in
+  match peek st with
+  | Token.LBRACE ->
+      let b = parse_block st in
+      { Ast.s = Ast.Sblock b; s_loc = loc }
+  | Token.KW_if ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let then_b = parse_stmt_as_block st in
+      let else_b =
+        if peek st = Token.KW_else then begin
+          advance st;
+          parse_stmt_as_block st
+        end
+        else []
+      in
+      { Ast.s = Ast.Sif (cond, then_b, else_b); s_loc = loc }
+  | Token.KW_while ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let body = parse_stmt_as_block st in
+      { Ast.s = Ast.Swhile (cond, body); s_loc = loc }
+  | Token.KW_do ->
+      advance st;
+      let body = parse_stmt_as_block st in
+      expect st Token.KW_while;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      expect st Token.SEMI;
+      { Ast.s = Ast.Sdo (body, cond); s_loc = loc }
+  | Token.KW_for ->
+      advance st;
+      expect st Token.LPAREN;
+      let init =
+        if peek st = Token.SEMI then begin
+          advance st;
+          None
+        end
+        else if starts_type st then begin
+          let d = parse_local_decl st in
+          Some { Ast.s = Ast.Sdecl d; s_loc = loc }
+        end
+        else begin
+          let e = parse_expr st in
+          expect st Token.SEMI;
+          Some { Ast.s = Ast.Sexpr e; s_loc = loc }
+        end
+      in
+      let cond =
+        if peek st = Token.SEMI then None else Some (parse_expr st)
+      in
+      expect st Token.SEMI;
+      let step =
+        if peek st = Token.RPAREN then None else Some (parse_expr st)
+      in
+      expect st Token.RPAREN;
+      let body = parse_stmt_as_block st in
+      { Ast.s = Ast.Sfor (init, cond, step, body); s_loc = loc }
+  | Token.KW_switch ->
+      advance st;
+      expect st Token.LPAREN;
+      let scrutinee = parse_expr st in
+      expect st Token.RPAREN;
+      expect st Token.LBRACE;
+      (* arms: one or more labels, then statements up to the next label *)
+      let parse_labels () =
+        let rec go labels is_default =
+          match peek st with
+          | Token.KW_case ->
+              advance st;
+              let v =
+                match peek st with
+                | Token.INT n -> advance st; n
+                | Token.CHARLIT c -> advance st; Int64.of_int (Char.code c)
+                | Token.MINUS -> (
+                    advance st;
+                    match peek st with
+                    | Token.INT n -> advance st; Int64.neg n
+                    | t -> error st ("expected case constant, found " ^ Token.to_string t))
+                | t -> error st ("expected case constant, found " ^ Token.to_string t)
+              in
+              expect st Token.COLON;
+              go (v :: labels) is_default
+          | Token.KW_default ->
+              advance st;
+              expect st Token.COLON;
+              go labels true
+          | _ -> (List.rev labels, is_default)
+        in
+        go [] false
+      in
+      let rec parse_arms acc =
+        if peek st = Token.RBRACE then begin
+          advance st;
+          List.rev acc
+        end
+        else begin
+          let labels, is_default = parse_labels () in
+          if labels = [] && not is_default then
+            error st "expected 'case' or 'default' in switch body";
+          let rec body acc =
+            match peek st with
+            | Token.KW_case | Token.KW_default | Token.RBRACE -> List.rev acc
+            | _ -> body (parse_stmt st :: acc)
+          in
+          let b = body [] in
+          parse_arms ({ Ast.c_labels = labels; c_default = is_default; c_body = b } :: acc)
+        end
+      in
+      let arms = parse_arms [] in
+      { Ast.s = Ast.Sswitch (scrutinee, arms); s_loc = loc }
+  | Token.KW_return ->
+      advance st;
+      let e = if peek st = Token.SEMI then None else Some (parse_expr st) in
+      expect st Token.SEMI;
+      { Ast.s = Ast.Sreturn e; s_loc = loc }
+  | Token.KW_break ->
+      advance st;
+      expect st Token.SEMI;
+      { Ast.s = Ast.Sbreak; s_loc = loc }
+  | Token.KW_continue ->
+      advance st;
+      expect st Token.SEMI;
+      { Ast.s = Ast.Scontinue; s_loc = loc }
+  | _ when starts_type st ->
+      let d = parse_local_decl st in
+      { Ast.s = Ast.Sdecl d; s_loc = loc }
+  | _ ->
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      { Ast.s = Ast.Sexpr e; s_loc = loc }
+
+and parse_stmt_as_block st : Ast.block =
+  match parse_stmt st with { Ast.s = Ast.Sblock b; _ } -> b | s -> [ s ]
+
+and parse_block st : Ast.block =
+  expect st Token.LBRACE;
+  let rec go acc =
+    if peek st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* local-decl := base-type declarator ['=' expr] (',' declarator ['=' expr])* ';'
+   Multi-declarator lines are rejected for simplicity (one per line). *)
+and parse_local_decl st : Ast.decl =
+  let loc = cur_loc st in
+  let base = parse_base_type st in
+  let name, wrap = parse_declarator st in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> error st "declaration without a name"
+  in
+  let ty = wrap base in
+  let init =
+    if peek st = Token.ASSIGN then begin
+      advance st;
+      Some (parse_expr st)
+    end
+    else None
+  in
+  (match peek st with
+  | Token.COMMA ->
+      error st "multiple declarators per declaration are not supported; split the line"
+  | _ -> ());
+  expect st Token.SEMI;
+  { Ast.d_name = name; d_ty = ty; d_init = init; d_loc = loc }
+
+(* ---------------------------------------------------------------- *)
+(* Globals                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let parse_struct_body st =
+  expect st Token.LBRACE;
+  let rec go acc =
+    if peek st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else begin
+      let base = parse_base_type st in
+      let name, wrap = parse_declarator st in
+      let name =
+        match name with
+        | Some n -> n
+        | None -> error st "struct field without a name"
+      in
+      expect st Token.SEMI;
+      go ((name, wrap base) :: acc)
+    end
+  in
+  go []
+
+let rec parse_global st : Ast.global list =
+  let loc = cur_loc st in
+  match peek st with
+  | Token.KW_typedef ->
+      advance st;
+      (* typedef struct [tag] { .. } Name;  or  typedef <type> Name; *)
+      if peek st = Token.KW_struct then begin
+        advance st;
+        let tag =
+          match peek st with
+          | Token.IDENT t ->
+              advance st;
+              Some t
+          | _ -> None
+        in
+        if peek st = Token.LBRACE then begin
+          let fields = parse_struct_body st in
+          let name = expect_ident st in
+          expect st Token.SEMI;
+          let sname = match tag with Some t -> t | None -> name in
+          Hashtbl.replace st.typedefs name (Ctype.Struct sname);
+          [ Ast.Gstruct { s_name = sname; s_fields = fields; s_loc = loc } ]
+        end
+        else begin
+          let name = expect_ident st in
+          expect st Token.SEMI;
+          let sname = match tag with Some t -> t | None -> name in
+          Hashtbl.replace st.typedefs name (Ctype.Struct sname);
+          []
+        end
+      end
+      else begin
+        let base = parse_base_type st in
+        let name, wrap = parse_declarator st in
+        let name =
+          match name with
+          | Some n -> n
+          | None -> error st "typedef without a name"
+        in
+        expect st Token.SEMI;
+        Hashtbl.replace st.typedefs name (wrap base);
+        []
+      end
+  | Token.KW_struct when peek2 st <> Token.LBRACE && (
+      match st.toks with
+      | _ :: _ :: (Token.LBRACE, _) :: _ -> true
+      | _ -> false) ->
+      (* struct NAME { ... };  definition *)
+      advance st;
+      let name = expect_ident st in
+      let fields = parse_struct_body st in
+      expect st Token.SEMI;
+      [ Ast.Gstruct { s_name = name; s_fields = fields; s_loc = loc } ]
+  | Token.KW_extern ->
+      advance st;
+      let base = parse_base_type st in
+      let name, wrap = parse_declarator st in
+      let name =
+        match name with
+        | Some n -> n
+        | None -> error st "extern declaration without a name"
+      in
+      expect st Token.SEMI;
+      [ Ast.Gextern (name, wrap base, loc) ]
+  | _ ->
+      (* function definition, function prototype, or global variable *)
+      let base = parse_base_type st in
+      let name, wrap = parse_declarator_with_params st in
+      (match name with
+      | None -> error st "global declaration without a name"
+      | Some (n, params) -> (
+          let ty = wrap base in
+          match (ty, params) with
+          | Ctype.Func sg, Some named_params when peek st = Token.LBRACE ->
+              let body = parse_block st in
+              [ Ast.Gfunc
+                  {
+                    f_name = n;
+                    f_ret = sg.ret;
+                    f_params = named_params;
+                    f_body = body;
+                    f_loc = loc;
+                  } ]
+          | Ctype.Func _, _ ->
+              (* prototype: record as extern *)
+              expect st Token.SEMI;
+              [ Ast.Gextern (n, ty, loc) ]
+          | _ ->
+              let init =
+                if peek st = Token.ASSIGN then begin
+                  advance st;
+                  Some (parse_expr st)
+                end
+                else None
+              in
+              expect st Token.SEMI;
+              [ Ast.Gvar { d_name = n; d_ty = ty; d_init = init; d_loc = loc } ]))
+
+(* Like parse_declarator but, for the outermost function suffix, keeps the
+   parameter names so function definitions get named parameters. *)
+and parse_declarator_with_params st :
+    (string * (string * Ctype.t) list option) option * (Ctype.t -> Ctype.t) =
+  match peek st with
+  | Token.STAR ->
+      advance st;
+      let name, wrap = parse_declarator_with_params st in
+      (name, fun base -> wrap (Ctype.Ptr base))
+  | Token.IDENT n -> (
+      advance st;
+      match peek st with
+      | Token.LPAREN ->
+          advance st;
+          let params, variadic = parse_named_params st in
+          expect st Token.RPAREN;
+          ( Some (n, Some params),
+            fun base ->
+              Ctype.Func { ret = base; params = List.map snd params; variadic } )
+      | Token.LBRACK ->
+          let rec arrays wrap =
+            if peek st = Token.LBRACK then begin
+              advance st;
+              let size =
+                match peek st with
+                | Token.INT k ->
+                    advance st;
+                    Int64.to_int k
+                | _ -> 0
+              in
+              expect st Token.RBRACK;
+              arrays (fun base -> wrap (Ctype.Array (base, size)))
+            end
+            else wrap
+          in
+          let wrap = arrays (fun (base : Ctype.t) -> base) in
+          (Some (n, None), wrap)
+      | _ -> (Some (n, None), fun (base : Ctype.t) -> base))
+  | Token.LPAREN ->
+      (* parenthesized declarator, e.g. a global function pointer
+         "int ( *handler)(int)"; fall back to the plain declarator parser. *)
+      let name, wrap = parse_declarator st in
+      (Option.map (fun n -> (n, None)) name, wrap)
+  | t -> error st ("expected declarator but found " ^ Token.to_string t)
+
+and parse_named_params st : (string * Ctype.t) list * bool =
+  if peek st = Token.RPAREN then ([], false)
+  else if peek st = Token.KW_void && peek2 st = Token.RPAREN then begin
+    advance st;
+    ([], false)
+  end
+  else begin
+    let rec go acc =
+      if peek st = Token.ELLIPSIS then begin
+        advance st;
+        (List.rev acc, true)
+      end
+      else begin
+        let base = parse_base_type st in
+        let name, wrap = parse_declarator st in
+        let name =
+          match name with
+          | Some n -> n
+          | None -> error st "unnamed parameter in function definition"
+        in
+        let p = (name, wrap base) in
+        if peek st = Token.COMMA then begin
+          advance st;
+          go (p :: acc)
+        end
+        else (List.rev (p :: acc), false)
+      end
+    in
+    go []
+  end
+
+let parse ~file src =
+  let toks = Lexer.tokenize ~file src in
+  let st = { toks; typedefs = Hashtbl.create 16 } in
+  let rec go acc =
+    if peek st = Token.EOF then List.rev acc
+    else begin
+      let gs = parse_global st in
+      go (List.rev_append gs acc)
+    end
+  in
+  go []
+
+let parse_expr_string src =
+  let toks = Lexer.tokenize ~file:"<expr>" src in
+  let st = { toks; typedefs = Hashtbl.create 4 } in
+  let e = parse_expr st in
+  expect st Token.EOF;
+  e

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for MiniC.
+
+    Supported surface (everything the paper's code figures need): struct
+    definitions, typedefs of structs, global and local variable
+    declarations with initializers, full declarator syntax including
+    function-pointer declarators ("int ( *f)(int)" — star inside
+    parentheses), const
+    qualification, casts, [sizeof], the usual expression operators,
+    [if]/[while]/[do]/[for]/[break]/[continue]/[return], address-of,
+    dereference, member access ([.], [->]) and indexing.
+
+    Deliberate simplifications (documented in README): compound
+    assignment and [++]/[--] are desugared to plain assignment with
+    new-value semantics; no preprocessor; no [switch]; no unions. *)
+
+exception Error of string * Loc.t
+
+val parse : file:string -> string -> Ast.program
+(** Parse a whole translation unit. Raises {!Error} or {!Lexer.Error}. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a single expression — convenient in tests. *)

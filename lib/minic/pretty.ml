@@ -1,0 +1,151 @@
+let unop_str = function
+  | Ast.Neg -> "-"
+  | Ast.Lognot -> "!"
+  | Ast.Bitnot -> "~"
+  | Ast.AddrOf -> "&"
+  | Ast.Deref -> "*"
+
+let binop_str = function
+  | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Eq -> "==" | Ast.Ne -> "!=" | Ast.Lt -> "<" | Ast.Le -> "<="
+  | Ast.Gt -> ">" | Ast.Ge -> ">="
+  | Ast.Logand -> "&&" | Ast.Logor -> "||"
+  | Ast.Bitand -> "&" | Ast.Bitor -> "|" | Ast.Bitxor -> "^"
+  | Ast.Shl -> "<<" | Ast.Shr -> ">>"
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\000' -> Buffer.add_string buf "\\0"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Declarations need C's inside-out declarator syntax: [decl ty "x"] gives
+   e.g. "int (*x)(int)" for a function-pointer variable x. *)
+let rec decl_string ty name =
+  match ty with
+  | Ctype.Func s ->
+      Printf.sprintf "%s %s(%s)" (Ctype.to_string s.ret) name
+        (Ctype.params_string s)
+  | Ctype.Ptr (Ctype.Func s) ->
+      Printf.sprintf "%s (*%s)(%s)" (Ctype.to_string s.ret) name
+        (Ctype.params_string s)
+  | Ctype.Array (t, n) -> Printf.sprintf "%s %s[%d]" (Ctype.to_string t) name n
+  | Ctype.Const inner ->
+      (* const binds to the base in our rendering: "const T x" *)
+      "const " ^ decl_string inner name
+  | t -> Printf.sprintf "%s %s" (Ctype.to_string t) name
+
+let rec expr_to_string (e : Ast.expr) =
+  match e.desc with
+  | Ast.Int_lit n -> Int64.to_string n
+  | Ast.Float_lit x ->
+      let s = Printf.sprintf "%.17g" x in
+      if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+  | Ast.Char_lit c -> Printf.sprintf "'%s'" (escape_string (String.make 1 c))
+  | Ast.Str_lit s -> Printf.sprintf "\"%s\"" (escape_string s)
+  | Ast.Var v -> v
+  | Ast.Unop (op, a) -> Printf.sprintf "(%s%s)" (unop_str op) (expr_to_string a)
+  | Ast.Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_str op) (expr_to_string b)
+  | Ast.Assign (l, r) -> Printf.sprintf "%s = %s" (expr_to_string l) (expr_to_string r)
+  | Ast.Call (f, args) ->
+      Printf.sprintf "%s(%s)" (expr_to_string f)
+        (String.concat ", " (List.map expr_to_string args))
+  | Ast.Cast (ty, a) -> Printf.sprintf "((%s)%s)" (Ctype.to_string ty) (expr_to_string a)
+  | Ast.Member (a, f) -> Printf.sprintf "%s.%s" (expr_to_string a) f
+  | Ast.Arrow (a, f) -> Printf.sprintf "%s->%s" (expr_to_string a) f
+  | Ast.Index (a, i) -> Printf.sprintf "%s[%s]" (expr_to_string a) (expr_to_string i)
+  | Ast.Sizeof_type ty -> Printf.sprintf "sizeof(%s)" (Ctype.to_string ty)
+  | Ast.Sizeof_expr a -> Printf.sprintf "sizeof(%s)" (expr_to_string a)
+  | Ast.Cond (c, a, b) ->
+      Printf.sprintf "(%s ? %s : %s)" (expr_to_string c) (expr_to_string a)
+        (expr_to_string b)
+
+let rec stmt_to_string ?(indent = 0) (s : Ast.stmt) =
+  let pad = String.make (indent * 2) ' ' in
+  let block_str b = block_to_string ~indent b in
+  match s.s with
+  | Ast.Sexpr e -> pad ^ expr_to_string e ^ ";"
+  | Ast.Sdecl d -> (
+      match d.d_init with
+      | None -> pad ^ decl_string d.d_ty d.d_name ^ ";"
+      | Some e -> pad ^ decl_string d.d_ty d.d_name ^ " = " ^ expr_to_string e ^ ";")
+  | Ast.Sif (c, t, []) ->
+      Printf.sprintf "%sif (%s) {\n%s\n%s}" pad (expr_to_string c) (block_str t) pad
+  | Ast.Sif (c, t, e) ->
+      Printf.sprintf "%sif (%s) {\n%s\n%s} else {\n%s\n%s}" pad (expr_to_string c)
+        (block_str t) pad (block_str e) pad
+  | Ast.Swhile (c, b) ->
+      Printf.sprintf "%swhile (%s) {\n%s\n%s}" pad (expr_to_string c) (block_str b) pad
+  | Ast.Sdo (b, c) ->
+      Printf.sprintf "%sdo {\n%s\n%s} while (%s);" pad (block_str b) pad
+        (expr_to_string c)
+  | Ast.Sfor (init, cond, step, b) ->
+      let init_s =
+        match init with
+        | None -> ""
+        | Some s -> (
+            let raw = stmt_to_string ~indent:0 s in
+            (* drop the trailing ';' duplication inside for-header *)
+            match String.index_opt raw ';' with
+            | Some _ -> String.sub raw 0 (String.length raw - 1)
+            | None -> raw)
+      in
+      let cond_s = match cond with None -> "" | Some e -> expr_to_string e in
+      let step_s = match step with None -> "" | Some e -> expr_to_string e in
+      Printf.sprintf "%sfor (%s; %s; %s) {\n%s\n%s}" pad init_s cond_s step_s
+        (block_str b) pad
+  | Ast.Sswitch (e, arms) ->
+      let arm_str (a : Ast.switch_case) =
+        let labels =
+          List.map (fun v -> Printf.sprintf "%scase %Ld:" pad v) a.c_labels
+          @ (if a.c_default then [ pad ^ "default:" ] else [])
+        in
+        String.concat "\n" (labels @ [ block_to_string ~indent a.c_body ])
+      in
+      Printf.sprintf "%sswitch (%s) {\n%s\n%s}" pad (expr_to_string e)
+        (String.concat "\n" (List.map arm_str arms))
+        pad
+  | Ast.Sreturn None -> pad ^ "return;"
+  | Ast.Sreturn (Some e) -> pad ^ "return " ^ expr_to_string e ^ ";"
+  | Ast.Sblock b -> Printf.sprintf "%s{\n%s\n%s}" pad (block_str b) pad
+  | Ast.Sbreak -> pad ^ "break;"
+  | Ast.Scontinue -> pad ^ "continue;"
+
+and block_to_string ~indent b =
+  String.concat "\n" (List.map (stmt_to_string ~indent:(indent + 1)) b)
+
+let global_to_string = function
+  | Ast.Gstruct sd ->
+      let fields =
+        sd.Ast.s_fields
+        |> List.map (fun (n, ty) -> "  " ^ decl_string ty n ^ ";")
+        |> String.concat "\n"
+      in
+      Printf.sprintf "struct %s {\n%s\n};" sd.Ast.s_name fields
+  | Ast.Gfunc f ->
+      let params =
+        match f.Ast.f_params with
+        | [] -> "void"
+        | ps -> String.concat ", " (List.map (fun (n, ty) -> decl_string ty n) ps)
+      in
+      Printf.sprintf "%s %s(%s) {\n%s\n}" (Ctype.to_string f.Ast.f_ret) f.Ast.f_name
+        params
+        (block_to_string ~indent:0 f.Ast.f_body)
+  | Ast.Gvar d -> (
+      match d.Ast.d_init with
+      | None -> decl_string d.Ast.d_ty d.Ast.d_name ^ ";"
+      | Some e -> decl_string d.Ast.d_ty d.Ast.d_name ^ " = " ^ expr_to_string e ^ ";")
+  | Ast.Gextern (n, ty, _) -> "extern " ^ decl_string ty n ^ ";"
+
+let program_to_string prog = String.concat "\n\n" (List.map global_to_string prog)

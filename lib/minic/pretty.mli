@@ -1,0 +1,11 @@
+(** Pretty-printer from the MiniC AST back to compilable source. Used by
+    the workload generator (programs are generated as ASTs, printed, and
+    fed back through the full front end — which also round-trip-tests the
+    parser) and for diagnostics. *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val program_to_string : Ast.program -> string
+
+val binop_str : Ast.binop -> string
+(** Operator spelling, shared with the IR printer. *)

@@ -1,0 +1,125 @@
+(* Typed abstract syntax, the output of {!Typecheck} and the input of the
+   IR lowering. Pure data; every node carries its type and location, and
+   every variable occurrence is resolved to a unique [var] so the STI
+   analysis can key scope information by variable identity. *)
+
+type var_kind =
+  | Klocal   (* function-local variable *)
+  | Kparam   (* function parameter *)
+  | Kglobal  (* file-scope variable *)
+
+type var = {
+  v_id : int;           (* unique across the program *)
+  v_name : string;
+  v_ty : Ctype.t;
+  v_kind : var_kind;
+  v_func : string option;  (* containing function; [None] for globals *)
+  v_loc : Loc.t;
+}
+
+type lval = { ldesc : lval_desc; lty : Ctype.t; lloc : Loc.t }
+
+and lval_desc =
+  | Lvar of var
+  | Lderef of texpr                          (* *e *)
+  | Lfield of lval * string * string         (* l.f   (struct name, field) *)
+  | Lfield_ptr of texpr * string * string    (* e->f  (struct name, field) *)
+  | Lindex of texpr * texpr                  (* e[i], e decayed to pointer *)
+
+and texpr = { tdesc : tdesc; tty : Ctype.t; tloc : Loc.t }
+
+and tdesc =
+  | Tint of int64
+  | Tdouble of float
+  | Tstr of string                 (* string literal, typed char* *)
+  | Tread of lval                  (* rvalue read *)
+  | Taddr of lval                  (* &lval *)
+  | Tfunc_addr of string           (* function designator used as a value *)
+  | Tneg of texpr
+  | Tlognot of texpr
+  | Tbitnot of texpr
+  | Tbinop of Ast.binop * texpr * texpr
+  | Tassign of lval * texpr        (* value is the stored value *)
+  | Tcall of callee * texpr list
+  | Tcast of Ctype.t * texpr
+  | Tcond of texpr * texpr * texpr
+
+and callee =
+  | Cdirect of string              (* defined function or extern *)
+  | Cindirect of texpr             (* call through a function pointer *)
+
+type tstmt =
+  | Tsexpr of texpr
+  | Tsdecl of var * texpr option
+  | Tsif of texpr * tstmt list * tstmt list
+  | Tswhile of texpr * tstmt list
+  | Tsdo of tstmt list * texpr
+  | Tsfor of tstmt option * texpr option * texpr option * tstmt list
+  | Tsswitch of texpr * tcase list
+  | Tsreturn of texpr option
+  | Tsblock of tstmt list
+  | Tsbreak
+  | Tscontinue
+
+and tcase = { tc_labels : int64 list; tc_default : bool; tc_body : tstmt list }
+
+type tfunc = {
+  tf_name : string;
+  tf_ret : Ctype.t;
+  tf_params : var list;
+  tf_body : tstmt list;
+  tf_loc : Loc.t;
+}
+
+type program = {
+  structs : (string * (string * Ctype.t) list) list;  (* declaration order *)
+  globals : (var * texpr option) list;
+  externs : (string * Ctype.t) list;
+  funcs : tfunc list;
+}
+
+(* Iterators used by several analyses. *)
+
+let rec iter_texpr f (e : texpr) =
+  f e;
+  match e.tdesc with
+  | Tint _ | Tdouble _ | Tstr _ | Tfunc_addr _ -> ()
+  | Tread l | Taddr l -> iter_lval f l
+  | Tneg a | Tlognot a | Tbitnot a | Tcast (_, a) -> iter_texpr f a
+  | Tbinop (_, a, b) -> iter_texpr f a; iter_texpr f b
+  | Tassign (l, r) -> iter_lval f l; iter_texpr f r
+  | Tcall (callee, args) ->
+      (match callee with Cdirect _ -> () | Cindirect c -> iter_texpr f c);
+      List.iter (iter_texpr f) args
+  | Tcond (c, a, b) -> iter_texpr f c; iter_texpr f a; iter_texpr f b
+
+and iter_lval f (l : lval) =
+  match l.ldesc with
+  | Lvar _ -> ()
+  | Lderef e -> iter_texpr f e
+  | Lfield (base, _, _) -> iter_lval f base
+  | Lfield_ptr (e, _, _) -> iter_texpr f e
+  | Lindex (e, i) -> iter_texpr f e; iter_texpr f i
+
+let rec iter_stmt ~expr ~stmt (s : tstmt) =
+  stmt s;
+  let on_block = List.iter (iter_stmt ~expr ~stmt) in
+  match s with
+  | Tsexpr e -> iter_texpr expr e
+  | Tsdecl (_, init) -> Option.iter (iter_texpr expr) init
+  | Tsif (c, a, b) -> iter_texpr expr c; on_block a; on_block b
+  | Tswhile (c, b) -> iter_texpr expr c; on_block b
+  | Tsdo (b, c) -> on_block b; iter_texpr expr c
+  | Tsfor (init, cond, step, b) ->
+      Option.iter (iter_stmt ~expr ~stmt) init;
+      Option.iter (iter_texpr expr) cond;
+      Option.iter (iter_texpr expr) step;
+      on_block b
+  | Tsswitch (e, arms) ->
+      iter_texpr expr e;
+      List.iter (fun a -> on_block a.tc_body) arms
+  | Tsreturn e -> Option.iter (iter_texpr expr) e
+  | Tsblock b -> on_block b
+  | Tsbreak | Tscontinue -> ()
+
+let iter_func ~expr ~stmt (fn : tfunc) = List.iter (iter_stmt ~expr ~stmt) fn.tf_body

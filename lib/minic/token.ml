@@ -1,0 +1,56 @@
+type t =
+  | IDENT of string
+  | INT of int64
+  | FLOAT of float
+  | CHARLIT of char
+  | STRING of string
+  | KW_void | KW_char | KW_int | KW_long | KW_double
+  | KW_struct | KW_const | KW_extern | KW_typedef
+  | KW_if | KW_else | KW_while | KW_for | KW_do
+  | KW_return | KW_break | KW_continue | KW_sizeof | KW_null
+  | KW_switch | KW_case | KW_default
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACK | RBRACK
+  | SEMI | COMMA | DOT | ARROW | ELLIPSIS
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LT | GT | LE | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | SHL | SHR
+  | ASSIGN
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ
+  | PLUSPLUS | MINUSMINUS
+  | QUESTION | COLON
+  | EOF
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %Ld" n
+  | FLOAT x -> Printf.sprintf "float %g" x
+  | CHARLIT c -> Printf.sprintf "char %C" c
+  | STRING s -> Printf.sprintf "string %S" s
+  | KW_void -> "'void'" | KW_char -> "'char'" | KW_int -> "'int'"
+  | KW_long -> "'long'" | KW_double -> "'double'"
+  | KW_struct -> "'struct'" | KW_const -> "'const'"
+  | KW_extern -> "'extern'" | KW_typedef -> "'typedef'"
+  | KW_if -> "'if'" | KW_else -> "'else'" | KW_while -> "'while'"
+  | KW_for -> "'for'" | KW_do -> "'do'"
+  | KW_return -> "'return'" | KW_break -> "'break'"
+  | KW_continue -> "'continue'" | KW_sizeof -> "'sizeof'" | KW_null -> "'NULL'"
+  | KW_switch -> "'switch'" | KW_case -> "'case'" | KW_default -> "'default'"
+  | LPAREN -> "'('" | RPAREN -> "')'" | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACK -> "'['" | RBRACK -> "']'"
+  | SEMI -> "';'" | COMMA -> "','" | DOT -> "'.'" | ARROW -> "'->'"
+  | ELLIPSIS -> "'...'"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'" | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | AMP -> "'&'" | PIPE -> "'|'" | CARET -> "'^'" | TILDE -> "'~'"
+  | BANG -> "'!'"
+  | LT -> "'<'" | GT -> "'>'" | LE -> "'<='" | GE -> "'>='"
+  | EQEQ -> "'=='" | NEQ -> "'!='"
+  | ANDAND -> "'&&'" | OROR -> "'||'"
+  | SHL -> "'<<'" | SHR -> "'>>'"
+  | ASSIGN -> "'='"
+  | PLUSEQ -> "'+='" | MINUSEQ -> "'-='" | STAREQ -> "'*='" | SLASHEQ -> "'/='"
+  | PLUSPLUS -> "'++'" | MINUSMINUS -> "'--'"
+  | QUESTION -> "'?'" | COLON -> "':'"
+  | EOF -> "end of input"

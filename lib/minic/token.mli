@@ -1,0 +1,30 @@
+(** Lexical tokens of MiniC. *)
+
+type t =
+  | IDENT of string
+  | INT of int64
+  | FLOAT of float
+  | CHARLIT of char
+  | STRING of string
+  (* keywords *)
+  | KW_void | KW_char | KW_int | KW_long | KW_double
+  | KW_struct | KW_const | KW_extern | KW_typedef
+  | KW_if | KW_else | KW_while | KW_for | KW_do
+  | KW_return | KW_break | KW_continue | KW_sizeof | KW_null
+  | KW_switch | KW_case | KW_default
+  (* punctuation / operators *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACK | RBRACK
+  | SEMI | COMMA | DOT | ARROW | ELLIPSIS
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LT | GT | LE | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | SHL | SHR
+  | ASSIGN
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ       (** compound assignment *)
+  | PLUSPLUS | MINUSMINUS                     (** ++/-- (pre and post) *)
+  | QUESTION | COLON
+  | EOF
+
+val to_string : t -> string
+(** Human-readable token name for error messages. *)

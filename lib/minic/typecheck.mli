@@ -1,0 +1,17 @@
+(** The MiniC semantic analysis: resolves names to uniquely-identified
+    variables, computes a type for every expression, enforces C-like
+    typing (with explicit casts required for incompatible pointer
+    conversions) and const-ness, and produces the typed AST the IR
+    lowering and the STI analysis consume.
+
+    Checking is two-pass — struct/function/global signatures first, then
+    bodies — so forward references work without prototypes. *)
+
+exception Error of string * Loc.t
+
+val check : Ast.program -> Tast.program
+(** Type-check a parsed translation unit. Raises {!Error} with a
+    diagnostic on the first violation. *)
+
+val check_source : ?file:string -> string -> Tast.program
+(** Convenience: parse then check a source string. *)

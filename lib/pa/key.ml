@@ -1,0 +1,37 @@
+type which = IA | IB | DA | DB | GA
+
+type t = { ia : Qarma.key; ib : Qarma.key; da : Qarma.key; db : Qarma.key; ga : Qarma.key }
+
+let generate ~seed =
+  let rng = Rsti_util.Splitmix.create seed in
+  let next () = Qarma.key_of_rng rng in
+  let ia = next () in
+  let ib = next () in
+  let da = next () in
+  let db = next () in
+  let ga = next () in
+  { ia; ib; da; db; ga }
+
+let lookup t = function
+  | IA -> t.ia
+  | IB -> t.ib
+  | DA -> t.da
+  | DB -> t.db
+  | GA -> t.ga
+
+let which_to_string = function
+  | IA -> "ia"
+  | IB -> "ib"
+  | DA -> "da"
+  | DB -> "db"
+  | GA -> "ga"
+
+let which_of_int = function
+  | 0 -> IA
+  | 1 -> IB
+  | 2 -> DA
+  | 3 -> DB
+  | 4 -> GA
+  | n -> invalid_arg (Printf.sprintf "Key.which_of_int: %d is not a PA key" n)
+
+let int_of_which = function IA -> 0 | IB -> 1 | DA -> 2 | DB -> 3 | GA -> 4

@@ -1,0 +1,29 @@
+(** The five ARMv8.3 Pointer Authentication keys. The kernel generates and
+    owns them (threat model section 3: keys are trusted); user code only
+    names which key an instruction uses. *)
+
+type which =
+  | IA  (** instruction key A — code pointers ([pacia]/[autia]) *)
+  | IB  (** instruction key B *)
+  | DA  (** data key A — RSTI signs data pointers with [pacda]/[autda] *)
+  | DB  (** data key B *)
+  | GA  (** generic key ([pacga]) *)
+
+type t
+(** A full key bank: one 128-bit QARMA-like key per slot. *)
+
+val generate : seed:int64 -> t
+(** Deterministically generate a bank from a seed; the simulated kernel
+    does this once per process. *)
+
+val lookup : t -> which -> Qarma.key
+(** Fetch the cipher key for a slot. *)
+
+val which_to_string : which -> string
+
+val which_of_int : int -> which
+(** Decode the integer key operand of the LLVM ptrauth intrinsics:
+    0 = IA, 1 = IB, 2 = DA, 3 = DB, 4 = GA (the paper's examples sign data
+    pointers with key 2). Raises [Invalid_argument] on anything else. *)
+
+val int_of_which : which -> int

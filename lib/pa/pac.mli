@@ -1,0 +1,46 @@
+(** Semantics of the Pointer Authentication instructions ([pac*], [aut*],
+    [xpac]) the RSTI pass emits, executed over the simulated address layout
+    ({!Vaddr}) with the QARMA-like cipher ({!Qarma}).
+
+    Signing computes [PAC = truncate(QARMA(key, tweak=modifier, address))]
+    and stores it in the pointer's unused bits; authentication recomputes
+    it, strips it on a match and corrupts the pointer on a mismatch —
+    exactly the behaviour of Figure 3 in the paper. *)
+
+type ctx
+(** Everything an instruction needs: the kernel's key bank, the machine's
+    address layout, and a memoization cache for the simulator. *)
+
+val keys : ctx -> Key.t
+val layout : ctx -> Vaddr.config
+
+val make : ?layout:Vaddr.config -> seed:int64 -> unit -> ctx
+(** Fresh context with deterministically generated keys. The layout
+    defaults to {!Vaddr.default} (48-bit VA, TBI on). *)
+
+val compute_pac : ctx -> key:Key.which -> modifier:int64 -> int64 -> int64
+(** The raw truncated PAC for a canonical pointer — exposed for analysis
+    and tests; instructions below use it internally. *)
+
+val sign : ctx -> key:Key.which -> modifier:int64 -> int64 -> int64
+(** [pacia]/[pacda...]: sign a pointer. NULL (zero) is never signed and
+    always authenticates — zero-initialised memory holds valid null
+    pointers, as in deployed PA-based schemes. The pointer is canonicalised
+    first (signing an already-signed pointer signs the *stripped* address,
+    as hardware effectively garbles; we canonicalise for determinism — the
+    RSTI pass never double-signs). Under TBI the top byte is excluded from
+    the PAC input, so a CE tag can be added after signing without
+    invalidating the signature. *)
+
+val auth : ctx -> key:Key.which -> modifier:int64 -> int64 -> (int64, int64) result
+(** [autia]/[autda...]: authenticate. [Ok p] is the stripped canonical
+    pointer; [Error p] is the corrupted pointer hardware leaves behind on
+    a PAC mismatch (top two PAC bits flipped — dereferencing it faults). *)
+
+val strip : ctx -> int64 -> int64
+(** [xpac]: remove the PAC without authenticating (used when calling into
+    uninstrumented external libraries, section 4.6). *)
+
+val is_signed : ctx -> int64 -> bool
+(** Whether any PAC bits are present (true for signed or corrupted
+    pointers; a heuristic only — a PAC can coincidentally be zero). *)

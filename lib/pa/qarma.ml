@@ -1,0 +1,178 @@
+module Bits = Rsti_util.Bits
+
+type key = { k0 : int64; w0 : int64 }
+
+let key_of_rng rng =
+  { k0 = Rsti_util.Splitmix.next64 rng; w0 = Rsti_util.Splitmix.next64 rng }
+
+let rounds = 7
+
+(* ------------------------------------------------------------------ *)
+(* Cell representation: the 64-bit state is sixteen 4-bit cells, cell 0
+   being the most significant nibble (QARMA's convention).              *)
+(* ------------------------------------------------------------------ *)
+
+let get_cell x i = Int64.to_int (Bits.field x ~lo:(60 - (4 * i)) ~width:4)
+let set_cell x i v = Bits.set_field x ~lo:(60 - (4 * i)) ~width:4 (Int64.of_int v)
+
+let map_cells f x =
+  let acc = ref 0L in
+  for i = 0 to 15 do
+    acc := set_cell !acc i (f (get_cell x i))
+  done;
+  !acc
+
+let permute_cells perm x =
+  (* new cell i takes the value of old cell perm.(i) *)
+  let acc = ref 0L in
+  for i = 0 to 15 do
+    acc := set_cell !acc i (get_cell x perm.(i))
+  done;
+  !acc
+
+let invert_perm perm =
+  let inv = Array.make 16 0 in
+  Array.iteri (fun i p -> inv.(p) <- i) perm;
+  inv
+
+(* ------------------------------------------------------------------ *)
+(* Components                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* 4-bit S-box (sigma-1 from the QARMA family) and its inverse. *)
+let sbox = [| 10; 13; 14; 6; 15; 7; 3; 5; 9; 8; 0; 12; 11; 1; 2; 4 |]
+
+let sbox_inv =
+  let inv = Array.make 16 0 in
+  Array.iteri (fun i s -> inv.(s) <- i) sbox;
+  inv
+
+(* Cell shuffle (QARMA's tau) and its inverse. *)
+let tau = [| 0; 11; 6; 13; 10; 1; 12; 7; 5; 14; 3; 8; 15; 4; 9; 2 |]
+let tau_inv = invert_perm tau
+
+(* Tweak-update cell permutation (QARMA's h). *)
+let h = [| 6; 5; 14; 15; 0; 1; 2; 3; 7; 12; 13; 4; 8; 9; 10; 11 |]
+
+(* Cells whose nibble runs through the tweak LFSR each round. *)
+let lfsr_cells = [| 0; 1; 3; 4; 8; 11; 13 |]
+
+(* 4-bit LFSR: (b3,b2,b1,b0) -> (b0 xor b1, b3, b2, b1). *)
+let lfsr n =
+  let b0 = n land 1 and b1 = (n lsr 1) land 1 in
+  let b2 = (n lsr 2) land 1 and b3 = (n lsr 3) land 1 in
+  ((b0 lxor b1) lsl 3) lor (b3 lsl 2) lor (b2 lsl 1) lor b1
+
+(* Rotate a 4-bit value left. *)
+let rot4 n r =
+  let r = r land 3 in
+  ((n lsl r) lor (n lsr (4 - r))) land 0xF
+
+(* Involutory MixColumns-like step. The state is viewed as a 4x4 cell
+   matrix (row-major: cell index = 4*row + col). Each output cell XORs the
+   other three cells of its column rotated by the circulant (0,1,2,1),
+   QARMA's M_{4,2}. circ(0,1,2,1) is an involution over nibbles, so this
+   step is its own inverse. *)
+let mix_rot = [| 0; 1; 2; 1 |]
+
+let mix_columns x =
+  let acc = ref 0L in
+  for col = 0 to 3 do
+    for row = 0 to 3 do
+      let v = ref 0 in
+      for j = 1 to 3 do
+        let src = ((row + j) mod 4 * 4) + col in
+        v := !v lxor rot4 (get_cell x src) mix_rot.(j)
+      done;
+      acc := set_cell !acc ((row * 4) + col) !v
+    done
+  done;
+  !acc
+
+(* Round constants: digits of a fixed pseudo-random stream (splitmix of a
+   nothing-up-my-sleeve seed), one per forward round plus one for the
+   reflector. *)
+let round_constants =
+  let rng = Rsti_util.Splitmix.create 0x5254495F51524D41L (* "RTI_QRMA" *) in
+  Array.init (rounds + 1) (fun _ -> Rsti_util.Splitmix.next64 rng)
+
+let update_tweak t =
+  let t = permute_cells h t in
+  Array.fold_left (fun t i -> set_cell t i (lfsr (get_cell t i))) t lfsr_cells
+
+(* Precompute the per-round tweaks; the backward half replays them in
+   reverse order, as in QARMA. *)
+let tweak_schedule tweak =
+  let ts = Array.make rounds 0L in
+  let t = ref tweak in
+  for i = 0 to rounds - 1 do
+    ts.(i) <- !t;
+    t := update_tweak !t
+  done;
+  ts
+
+(* Derived keys for the reflector and the backward half. *)
+let w1_of w0 = Int64.logxor (Bits.rotr w0 1) (Int64.shift_right_logical w0 63)
+let k1_of k0 = mix_columns k0
+
+(* ------------------------------------------------------------------ *)
+(* Rounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let forward_round ~k ~tweak ~const state =
+  let state = Int64.logxor state (Int64.logxor k (Int64.logxor tweak const)) in
+  let state = permute_cells tau state in
+  let state = mix_columns state in
+  map_cells (fun c -> sbox.(c)) state
+
+let backward_round ~k ~tweak ~const state =
+  let state = map_cells (fun c -> sbox_inv.(c)) state in
+  let state = mix_columns state in
+  let state = permute_cells tau_inv state in
+  Int64.logxor state (Int64.logxor k (Int64.logxor tweak const))
+
+let reflector ~w1 ~k1 state =
+  let state = Int64.logxor state w1 in
+  let state = mix_columns state in
+  Int64.logxor state k1
+
+let encrypt ~key ~tweak block =
+  let ts = tweak_schedule tweak in
+  let w1 = w1_of key.w0 and k1 = k1_of key.k0 in
+  let state = ref (Int64.logxor block key.w0) in
+  for i = 0 to rounds - 1 do
+    state := forward_round ~k:key.k0 ~tweak:ts.(i) ~const:round_constants.(i) !state
+  done;
+  state := reflector ~w1 ~k1 !state;
+  for i = 0 to rounds - 1 do
+    state :=
+      backward_round ~k:key.k0 ~tweak:ts.(rounds - 1 - i)
+        ~const:round_constants.(rounds) !state
+  done;
+  Int64.logxor !state key.w0
+
+let decrypt ~key ~tweak block =
+  let ts = tweak_schedule tweak in
+  let w1 = w1_of key.w0 and k1 = k1_of key.k0 in
+  let state = ref (Int64.logxor block key.w0) in
+  (* Undo the backward half: it is forward_round-shaped with the pieces in
+     the opposite order, so its inverse is built from the same components. *)
+  for i = rounds - 1 downto 0 do
+    let k = key.k0 and tweak = ts.(rounds - 1 - i) and const = round_constants.(rounds) in
+    let s = Int64.logxor !state (Int64.logxor k (Int64.logxor tweak const)) in
+    let s = permute_cells tau s in
+    let s = mix_columns s in
+    state := map_cells (fun c -> sbox.(c)) s
+  done;
+  (* The reflector is an involution up to its key material. *)
+  state := Int64.logxor !state k1;
+  state := mix_columns !state;
+  state := Int64.logxor !state w1;
+  for i = rounds - 1 downto 0 do
+    let k = key.k0 and tweak = ts.(i) and const = round_constants.(i) in
+    let s = map_cells (fun c -> sbox_inv.(c)) !state in
+    let s = mix_columns s in
+    let s = permute_cells tau_inv s in
+    state := Int64.logxor s (Int64.logxor k (Int64.logxor tweak const))
+  done;
+  Int64.logxor !state key.w0

@@ -1,0 +1,31 @@
+(** Ablation benches for the design choices DESIGN.md calls out. *)
+
+val pac_cost_sweep : unit -> string
+(** Sweep the modelled PA-instruction cost over 3..12 cycles (the paper
+    adopts the 7-XOR equivalence) and report the SPEC2006 geomean per
+    mechanism at each cost. *)
+
+val merge_effect : unit -> string
+(** Effect of STC's compatible-type merging: RSTI-type counts and static
+    instrumentation sites with (STC) and without (STWC) combining, per
+    SPEC2006 benchmark. *)
+
+val stl_argument_cost : unit -> string
+(** How much of STL's instrumentation is attributable to location
+    re-binding at calls: static re-sign sites under STL vs STWC. *)
+
+val ce_width : unit -> string
+(** Pointer-to-pointer CE capacity: distinct original types needing a CE
+    across all suites versus the 8-bit (255-entry) budget. *)
+
+val pac_brute_force : unit -> string
+(** PAC width vs forgery resistance, measured: an attacker who cannot
+    sign guesses pointers with random PAC bits; the measured acceptance
+    rate must track 2^-width (7 usable bits under TBI, 15 without — the
+    paper's section 6.2.1 cites prior work that the PAC length suffices;
+    this makes the claim quantitative). *)
+
+val backend_comparison : unit -> string
+(** Section 7's "RSTI with mechanisms other than PAC", made concrete:
+    the STWC policy enforced through a CCFI-style shadow MAC, compared
+    against the PAC backend on the pointer-active SPEC2006 kernels. *)

@@ -1,0 +1,213 @@
+module RT = Rsti_sti.Rsti_type
+module Run = Rsti_workloads.Run
+module Stats = Rsti_util.Stats
+module Tab = Rsti_util.Tab
+
+let mechs = RT.all_mechanisms
+
+let pct x = Printf.sprintf "%.2f%%" x
+
+let overhead_for ms mech name =
+  List.find_map
+    (fun (m : Run.measurement) ->
+      if m.mech = mech && m.workload.Rsti_workloads.Workload.name = name then
+        Some m.overhead_pct
+      else None)
+    ms
+
+let geomean_of ms mech =
+  Stats.geomean_overhead (Perf.overheads (Perf.of_mech ms mech))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig9_rows (p : Perf.t) =
+  let bench_rows =
+    List.map
+      (fun (w : Rsti_workloads.Workload.t) ->
+        ( w.name,
+          List.map
+            (fun mech ->
+              match overhead_for p.spec2017 mech w.name with
+              | Some x -> (mech, x)
+              | None -> (mech, nan))
+            mechs ))
+      Rsti_workloads.Spec2017.all
+  in
+  let agg label ms = (label, List.map (fun mech -> (mech, geomean_of ms mech)) mechs) in
+  bench_rows
+  @ [
+      agg "Geomean-SPEC2017" p.spec2017;
+      agg "Geomean-SPEC2006" p.spec2006;
+      agg "Geomean-nbench" p.nbench;
+      agg "Geomean-CPython" p.pytorch;
+      agg "NGINX" p.nginx;
+      agg "Geomean-all" (Perf.all p);
+    ]
+
+let fig9 p =
+  let rows =
+    fig9_rows p
+    |> List.map (fun (name, per_mech) ->
+           name :: List.map (fun (_, x) -> pct x) per_mech)
+  in
+  "Figure 9: performance overhead, three RSTI mechanisms\n"
+  ^ "(paper overall geomeans: STWC 5.29%, STC 2.97%, STL 11.12%)\n\n"
+  ^ Tab.render ~header:[ "Benchmark"; "RSTI-STWC"; "RSTI-STC"; "RSTI-STL" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 (p : Perf.t) =
+  let suites =
+    [ ("SPEC 2006", p.spec2006); ("nbench", p.nbench); ("PyTorch", p.pytorch) ]
+  in
+  let rows =
+    List.concat_map
+      (fun (label, ms) ->
+        List.map
+          (fun mech ->
+            let b = Stats.boxplot (Perf.overheads (Perf.of_mech ms mech)) in
+            [
+              label;
+              RT.mechanism_to_string mech;
+              pct b.Stats.minimum;
+              pct b.Stats.q1;
+              pct b.Stats.median;
+              pct b.Stats.q3;
+              pct b.Stats.maximum;
+              string_of_int (List.length b.Stats.outliers);
+              pct b.Stats.geomean;
+            ])
+          mechs)
+      suites
+  in
+  "Figure 10: overhead distributions (box-plot summaries)\n\n"
+  ^ Tab.render
+      ~header:
+        [ "Suite"; "Mechanism"; "min"; "q1"; "median"; "q3"; "max"; "#outliers"; "geomean" ]
+      rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 3                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  let rows =
+    List.map
+      (fun (w : Rsti_workloads.Workload.t) ->
+        let anal = Run.analyze_workload w in
+        let s = Rsti_sti.Analysis.stats anal in
+        [
+          w.name;
+          string_of_int s.nt;
+          string_of_int s.rt_stc;
+          string_of_int s.rt_stwc;
+          string_of_int s.nv;
+          string_of_int s.largest_ecv_stc;
+          string_of_int s.largest_ecv_stwc;
+          string_of_int s.largest_ect_stc;
+          string_of_int s.largest_ect_stwc;
+        ])
+      Rsti_workloads.Spec2006.all
+  in
+  "Table 3: SPEC2006 equivalence classes\n"
+  ^ "(NT: basic types; RT: RSTI-types; NV: pointer variables; ECV/ECT: \
+     largest equivalence class of variables / types)\n\n"
+  ^ Tab.render
+      ~header:
+        [ "BM"; "NT"; "RT/STC"; "RT/STWC"; "NV"; "ECV/STC"; "ECV/STWC";
+          "ECT/STC"; "ECT/STWC" ]
+      rows
+  ^ "\n\nAs in the paper: ECT(STWC) = 1 everywhere; on these kernels \
+     NT <= RT(STC) <= RT(STWC) <= NV.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Pointer-to-pointer census (6.2.2)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let pp_census () =
+  let totals, specials, rows =
+    List.fold_left
+      (fun (t, s, rows) (w : Rsti_workloads.Workload.t) ->
+        let anal = Run.analyze_workload w in
+        let c = Rsti_sti.Analysis.pp_census anal in
+        let n_special = List.length c.pp_special in
+        ( t + c.pp_total_sites,
+          s + n_special,
+          rows
+          @ [ [ w.name; string_of_int c.pp_total_sites; string_of_int n_special ] ] ))
+      (0, 0, []) Rsti_workloads.Spec2006.all
+  in
+  "Section 6.2.2: pointer-to-pointer census over the SPEC2006 kernels\n"
+  ^ "(paper: 7,489 sites total, of which 25 lose the original type)\n\n"
+  ^ Tab.render ~header:[ "BM"; "pp sites"; "type-loss sites" ] rows
+  ^ Printf.sprintf "\n\nTotal: %d sites, %d where the original type is lost.\n"
+      totals specials
+
+(* ------------------------------------------------------------------ *)
+(* PARTS comparison (6.3.2)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parts_comparison () =
+  let mech_list = mechs @ [ RT.Parts ] in
+  let ms = Run.measure_suite Rsti_workloads.Nbench.all mech_list in
+  let rows =
+    List.map
+      (fun (w : Rsti_workloads.Workload.t) ->
+        w.name
+        :: List.map
+             (fun mech ->
+               match overhead_for ms mech w.name with
+               | Some x -> pct x
+               | None -> "-")
+             mech_list)
+      Rsti_workloads.Nbench.all
+  in
+  let means =
+    "mean"
+    :: List.map
+         (fun mech ->
+           pct (Stats.mean (Perf.overheads (Perf.of_mech ms mech))))
+         mech_list
+  in
+  "Section 6.3.2: nbench, RSTI vs the PARTS baseline\n"
+  ^ "(paper: PARTS mean 19.5%; RSTI means 1.54% / 0.52% / 2.78%)\n\n"
+  ^ Tab.render
+      ~header:[ "nbench kernel"; "RSTI-STWC"; "RSTI-STC"; "RSTI-STL"; "PARTS" ]
+      (rows @ [ means ])
+
+(* ------------------------------------------------------------------ *)
+(* Overhead/instrumentation correlation (6.3.2)                        *)
+(* ------------------------------------------------------------------ *)
+
+let correlation (p : Perf.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Section 6.3.2: Pearson correlation between SPEC2006 overhead and the\n\
+     amount of instrumentation (paper reports 0.75-0.8 against the number\n\
+     of instrumented load/stores). Three views: static sites, executed\n\
+     pac/aut operations, and executed operations per baseline cycle (the\n\
+     density the cost model acts on).\n\n";
+  List.iter
+    (fun mech ->
+      let ms = Perf.of_mech p.spec2006 mech in
+      let ys = Perf.overheads ms in
+      let dyn_ops (m : Run.measurement) =
+        float_of_int
+          (m.dyn.Rsti_machine.Interp.pac_signs + m.dyn.Rsti_machine.Interp.pac_auths)
+      in
+      let static (m : Run.measurement) =
+        float_of_int
+          (m.static_counts.Rsti_rsti.Instrument.signs
+          + m.static_counts.Rsti_rsti.Instrument.auths)
+      in
+      let density m = dyn_ops m /. float_of_int m.Run.base_cycles in
+      let r f = Stats.pearson (List.map f ms) ys in
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s r(static sites) = %.3f   r(ops) = %.3f   r(density) = %.3f\n"
+           (RT.mechanism_to_string mech) (r static) (r dyn_ops) (r density)))
+    mechs;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Reproductions of the paper's performance figures and analysis tables. *)
+
+val fig9 : Perf.t -> string
+(** Figure 9: per-benchmark overhead for SPEC CPU2017, the geometric means
+    of SPEC CPU2006 / nbench / CPython-PyTorch, NGINX, and the overall
+    geometric mean — for the three RSTI mechanisms. *)
+
+val fig10 : Perf.t -> string
+(** Figure 10: box-plot summaries (min, quartiles, median, max, outliers,
+    geomean) for SPEC CPU2006, nbench and PyTorch per mechanism. *)
+
+val table3 : unit -> string
+(** Table 3: SPEC CPU2006 equivalence classes — NT, RT (STC/STWC), NV,
+    largest ECV and largest ECT per benchmark. *)
+
+val pp_census : unit -> string
+(** Section 6.2.2: pointer-to-pointer sites across SPEC2006-like code —
+    total sites vs sites where the original type is lost. *)
+
+val parts_comparison : unit -> string
+(** Section 6.3.2: nbench overheads of the three RSTI mechanisms versus
+    the PARTS baseline. *)
+
+val correlation : Perf.t -> string
+(** Section 6.3.2: Pearson correlation between SPEC2006 overheads and the
+    number of instrumented load/stores. *)
+
+val fig9_rows :
+  Perf.t ->
+  (string * (Rsti_sti.Rsti_type.mechanism * float) list) list
+(** Structured Figure 9 data: benchmark (or geomean label) with the
+    overhead per mechanism — used by tests and the bench harness. *)

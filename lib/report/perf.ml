@@ -1,0 +1,27 @@
+module RT = Rsti_sti.Rsti_type
+module Run = Rsti_workloads.Run
+
+type t = {
+  spec2006 : Run.measurement list;
+  spec2017 : Run.measurement list;
+  nbench : Run.measurement list;
+  pytorch : Run.measurement list;
+  nginx : Run.measurement list;
+}
+
+let mechs = RT.all_mechanisms
+
+let collect ?costs () =
+  {
+    spec2006 = Run.measure_suite ?costs Rsti_workloads.Spec2006.all mechs;
+    spec2017 = Run.measure_suite ?costs Rsti_workloads.Spec2017.all mechs;
+    nbench = Run.measure_suite ?costs Rsti_workloads.Nbench.all mechs;
+    pytorch = Run.measure_suite ?costs Rsti_workloads.Pytorch.all mechs;
+    nginx = Run.measure_suite ?costs Rsti_workloads.Nginx.all mechs;
+  }
+
+let of_mech ms mech = List.filter (fun (m : Run.measurement) -> m.mech = mech) ms
+
+let overheads ms = List.map (fun (m : Run.measurement) -> m.Run.overhead_pct) ms
+
+let all t = t.spec2006 @ t.spec2017 @ t.nbench @ t.pytorch @ t.nginx

@@ -1,0 +1,22 @@
+(** Shared performance-measurement data for the Figure 9 / Figure 10 /
+    correlation reproductions: every workload of every suite, run under
+    the three RSTI mechanisms, measured once and reused. *)
+
+type t = {
+  spec2006 : Rsti_workloads.Run.measurement list;
+  spec2017 : Rsti_workloads.Run.measurement list;
+  nbench : Rsti_workloads.Run.measurement list;
+  pytorch : Rsti_workloads.Run.measurement list;
+  nginx : Rsti_workloads.Run.measurement list;
+}
+
+val collect : ?costs:Rsti_machine.Cost.t -> unit -> t
+(** Run everything (takes tens of seconds of simulation). *)
+
+val of_mech : Rsti_workloads.Run.measurement list -> Rsti_sti.Rsti_type.mechanism ->
+  Rsti_workloads.Run.measurement list
+
+val overheads : Rsti_workloads.Run.measurement list -> float list
+
+val all : t -> Rsti_workloads.Run.measurement list
+(** Every measurement of every suite, concatenated. *)

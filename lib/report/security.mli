@@ -1,0 +1,24 @@
+(** Reproductions of the paper's security tables.
+
+    - {!table1} runs every Table 1 attack at baseline and under the three
+      RSTI mechanisms and renders the paper's columns (corrupted pointer,
+      target, original vs corrupted scope-type info) plus the measured
+      verdicts.
+    - {!table2} runs the pointer-substitution micro-scenarios and renders
+      the per-mechanism attacker-restriction matrix. *)
+
+val table1 : unit -> string
+val table2 : unit -> string
+
+val table1_cfi_verdicts :
+  unit -> (Rsti_attacks.Scenario.t * Rsti_attacks.Scenario.verdict) list
+(** Each Table 1 attack under the signature-CFI baseline. *)
+
+val table1_verdicts :
+  unit ->
+  (Rsti_attacks.Scenario.t
+  * Rsti_attacks.Scenario.verdict
+  * (Rsti_sti.Rsti_type.mechanism * Rsti_attacks.Scenario.verdict) list)
+  list
+(** Structured results (baseline verdict + per-mechanism verdicts), for
+    tests and the bench harness. *)

@@ -1,0 +1,30 @@
+let mask w =
+  if w < 0 || w > 64 then invalid_arg "Bits.mask: width out of range";
+  if w = 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+
+let field x ~lo ~width =
+  if lo < 0 || width < 0 || lo + width > 64 then invalid_arg "Bits.field";
+  Int64.logand (Int64.shift_right_logical x lo) (mask width)
+
+let set_field x ~lo ~width v =
+  if lo < 0 || width < 0 || lo + width > 64 then invalid_arg "Bits.set_field";
+  let m = Int64.shift_left (mask width) lo in
+  let v = Int64.shift_left (Int64.logand v (mask width)) lo in
+  Int64.logor (Int64.logand x (Int64.lognot m)) v
+
+let bit x i = field x ~lo:i ~width:1 = 1L
+
+let set_bit x i b = set_field x ~lo:i ~width:1 (if b then 1L else 0L)
+
+let rotl x n =
+  let n = n land 63 in
+  if n = 0 then x
+  else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+
+let rotr x n = rotl x (64 - (n land 63))
+
+let popcount x =
+  let rec go acc x = if x = 0L then acc else go (acc + 1) Int64.(logand x (sub x 1L)) in
+  go 0 x
+
+let to_hex x = Printf.sprintf "0x%016Lx" x

@@ -1,0 +1,31 @@
+(** 64-bit bit-field helpers shared by the pointer-authentication model
+    (PAC field insertion/extraction) and the cipher. All positions are bit
+    indices counted from 0 (least significant). *)
+
+val mask : int -> int64
+(** [mask w] is a value with the low [w] bits set; [mask 64] is all-ones. *)
+
+val field : int64 -> lo:int -> width:int -> int64
+(** [field x ~lo ~width] extracts bits [lo .. lo+width-1], right-aligned. *)
+
+val set_field : int64 -> lo:int -> width:int -> int64 -> int64
+(** [set_field x ~lo ~width v] replaces bits [lo .. lo+width-1] of [x] with
+    the low [width] bits of [v]. *)
+
+val bit : int64 -> int -> bool
+(** [bit x i] is the value of bit [i]. *)
+
+val set_bit : int64 -> int -> bool -> int64
+(** [set_bit x i b] sets bit [i] to [b]. *)
+
+val rotl : int64 -> int -> int64
+(** Rotate left by [n] (mod 64). *)
+
+val rotr : int64 -> int -> int64
+(** Rotate right by [n] (mod 64). *)
+
+val popcount : int64 -> int
+(** Number of set bits. *)
+
+val to_hex : int64 -> string
+(** 16-digit lowercase hexadecimal, zero-padded, with a [0x] prefix. *)

@@ -1,0 +1,93 @@
+let check_non_empty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | xs -> xs
+
+let mean xs =
+  let xs = check_non_empty "Stats.mean" xs in
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  let xs = check_non_empty "Stats.geomean" xs in
+  let log_sum =
+    List.fold_left
+      (fun acc x ->
+        if x <= 0. then invalid_arg "Stats.geomean: non-positive value"
+        else acc +. log x)
+      0. xs
+  in
+  exp (log_sum /. float_of_int (List.length xs))
+
+let geomean_overhead xs =
+  let ratios = List.map (fun x -> 1. +. (x /. 100.)) xs in
+  (geomean ratios -. 1.) *. 100.
+
+let quantile q xs =
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q out of [0,1]";
+  let xs = check_non_empty "Stats.quantile" xs in
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    (* Type-7 (R default): h = (n-1)q, interpolate between floor and ceil. *)
+    let h = float_of_int (n - 1) *. q in
+    let lo = int_of_float (Float.floor h) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = h -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let median xs = quantile 0.5 xs
+
+type boxplot = {
+  minimum : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  maximum : float;
+  outliers : float list;
+  geomean : float;
+}
+
+let boxplot xs =
+  let xs = check_non_empty "Stats.boxplot" xs in
+  let q1 = quantile 0.25 xs and q3 = quantile 0.75 xs in
+  let iqr = q3 -. q1 in
+  let lo_fence = q1 -. (1.5 *. iqr) and hi_fence = q3 +. (1.5 *. iqr) in
+  let inside, outliers = List.partition (fun x -> x >= lo_fence && x <= hi_fence) xs in
+  (* Degenerate distributions can put everything outside the fences; keep
+     the whiskers meaningful by falling back to the raw extremes. *)
+  let whisk = if inside = [] then xs else inside in
+  {
+    minimum = List.fold_left min (List.hd whisk) whisk;
+    q1;
+    median = median xs;
+    q3;
+    maximum = List.fold_left max (List.hd whisk) whisk;
+    outliers;
+    geomean = geomean_overhead xs;
+  }
+
+let stddev xs =
+  let xs = check_non_empty "Stats.stddev" xs in
+  let n = List.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let pearson xs ys =
+  let nx = List.length xs and ny = List.length ys in
+  if nx <> ny then invalid_arg "Stats.pearson: length mismatch";
+  if nx < 2 then invalid_arg "Stats.pearson: need at least two points";
+  let mx = mean xs and my = mean ys in
+  let num, dx2, dy2 =
+    List.fold_left2
+      (fun (num, dx2, dy2) x y ->
+        let dx = x -. mx and dy = y -. my in
+        (num +. (dx *. dy), dx2 +. (dx *. dx), dy2 +. (dy *. dy)))
+      (0., 0., 0.) xs ys
+  in
+  if dx2 = 0. || dy2 = 0. then 0. else num /. sqrt (dx2 *. dy2)

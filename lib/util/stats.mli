@@ -1,0 +1,41 @@
+(** Descriptive statistics used by the benchmark reports (Figures 9/10 and
+    the Pearson-correlation analysis in the paper's section 6.3.2). *)
+
+val mean : float list -> float
+(** Arithmetic mean. Raises [Invalid_argument] on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values. Values [<= 0.] raise
+    [Invalid_argument]: benchmark ratios are always positive. *)
+
+val geomean_overhead : float list -> float
+(** Geometric mean of overhead percentages, computed the way benchmark
+    papers do: geomean over the ratios [(1 + x/100)], reported back as a
+    percentage. Accepts zero and slightly negative overheads. *)
+
+val quantile : float -> float list -> float
+(** [quantile q xs] with [q] in [\[0,1\]], linear interpolation between
+    order statistics (type-7, the R default). *)
+
+val median : float list -> float
+
+type boxplot = {
+  minimum : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  maximum : float;
+  outliers : float list;  (** points beyond 1.5 IQR from the box *)
+  geomean : float;        (** geometric mean of (1 + x/100), as percent *)
+}
+(** Five-number summary plus outliers, matching the paper's Figure 10. *)
+
+val boxplot : float list -> boxplot
+(** Tukey box plot summary: whiskers at the most extreme points within
+    1.5 IQR of the box, everything beyond reported as outliers. *)
+
+val pearson : float list -> float list -> float
+(** Sample Pearson correlation coefficient of two equal-length series. *)
+
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator). *)

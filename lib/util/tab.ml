@@ -1,0 +1,52 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a ->
+        if List.length a <> ncols then invalid_arg "Tab.render: align length";
+        Array.of_list a
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let normalize row =
+    let n = List.length row in
+    if n > ncols then invalid_arg "Tab.render: row wider than header"
+    else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row -> List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let line cells =
+    cells
+    |> List.mapi (fun i cell -> pad aligns.(i) widths.(i) cell)
+    |> String.concat "  "
+  in
+  let sep =
+    Array.to_list widths |> List.map (fun w -> String.make w '-') |> String.concat "  "
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  List.iter
+    (fun row ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (line row))
+    rows;
+  Buffer.contents buf
+
+let rule c n = String.make n c
+
+let section title =
+  let bar = rule '=' (max 8 (String.length title + 8)) in
+  Printf.sprintf "\n%s\n=== %s ===\n%s" bar title bar

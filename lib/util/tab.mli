@@ -1,0 +1,21 @@
+(** Plain-text table rendering for benchmark reports. Produces the aligned
+    rows the bench harness prints for each reproduced paper table. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays the table out with one column per header
+    entry, padding cells to the widest entry of each column. Rows shorter
+    than the header are padded with empty cells; longer rows are an error.
+    [align] defaults to left for the first column and right for the rest,
+    which suits "name, number, number, ..." benchmark tables. *)
+
+val rule : char -> int -> string
+(** [rule c n] is a horizontal rule of [n] copies of [c]. *)
+
+val section : string -> string
+(** A titled separator used between experiment sections in bench output. *)

@@ -1,0 +1,30 @@
+type t = { parent : (string, string) Hashtbl.t }
+
+let create () = { parent = Hashtbl.create 64 }
+
+let rec find t x =
+  match Hashtbl.find_opt t.parent x with
+  | None -> x
+  | Some p ->
+      if String.equal p x then x
+      else begin
+        let root = find t p in
+        Hashtbl.replace t.parent x root;
+        root
+      end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if not (String.equal ra rb) then Hashtbl.replace t.parent ra rb
+
+let same t a b = String.equal (find t a) (find t b)
+
+let classes t ~members =
+  let by_root = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      let r = find t m in
+      let existing = try Hashtbl.find by_root r with Not_found -> [] in
+      Hashtbl.replace by_root r (m :: existing))
+    members;
+  Hashtbl.fold (fun r ms acc -> (r, List.rev ms) :: acc) by_root []

@@ -1,0 +1,21 @@
+(** String-keyed union-find with path compression. The STI analysis uses
+    two instances: one over slot identities (flow components) and one over
+    basic-type names (the STC compatible-type merging, paper section 4.8). *)
+
+type t
+
+val create : unit -> t
+
+val find : t -> string -> string
+(** Representative of the element's class. Unknown elements are singleton
+    classes of themselves. *)
+
+val union : t -> string -> string -> unit
+(** Merge two classes. *)
+
+val same : t -> string -> string -> bool
+(** Whether two elements are in one class. *)
+
+val classes : t -> members:string list -> (string * string list) list
+(** Group [members] by class: [(representative, members-in-class)]. The
+    member lists preserve the order given. *)

@@ -1,0 +1,223 @@
+module Rng = Rsti_util.Splitmix
+
+type config = {
+  n_structs : int;
+  n_funcs : int;
+  n_globals : int;
+  loop_iters : int;
+  cast_bias : float;
+  prefix : string;        (* prepended to every generated name *)
+  emit_main : bool;       (* false: a library-style module for static
+                             analysis population (no entry point) *)
+  pp_typed_rate : float;  (* chance a worker passes a typed T** *)
+  pp_erased_rate : float; (* chance of a type-erasing void-double-pointer pass *)
+}
+
+let default =
+  {
+    n_structs = 3;
+    n_funcs = 5;
+    n_globals = 4;
+    loop_iters = 8;
+    cast_bias = 0.3;
+    prefix = "";
+    emit_main = true;
+    pp_typed_rate = 0.0;
+    pp_erased_rate = 0.0;
+  }
+
+(* Field layout of every generated struct: a scalar, a double, a pointer
+   to another struct, and a small char buffer — enough surface for the
+   field-sensitive analysis without unbounded shapes. *)
+type gstruct = { s_idx : int; link_to : int }
+
+let struct_name cfg i = Printf.sprintf "%sS%d" cfg.prefix i
+
+let gen_structs cfg rng =
+  List.init cfg.n_structs (fun i -> { s_idx = i; link_to = Rng.int rng cfg.n_structs })
+
+let struct_def cfg g =
+  Printf.sprintf
+    {|struct %s {
+  long tag;
+  double weight;
+  struct %s* link;
+  char label[8];
+};|}
+    (struct_name cfg g.s_idx)
+    (struct_name cfg g.link_to)
+
+(* Arithmetic expression over the names in scope; constants keep division
+   and modulo well-defined. *)
+let rec gen_arith rng depth scalars =
+  if depth = 0 || scalars = [] || Rng.chance rng 0.3 then
+    match (scalars, Rng.bool rng) with
+    | x :: _, true -> x
+    | _ -> string_of_int (1 + Rng.int rng 97)
+  else begin
+    let a = gen_arith rng (depth - 1) scalars in
+    let b = gen_arith rng (depth - 1) scalars in
+    let op = Rng.pick rng [ "+"; "-"; "*"; "^"; "&"; "|" ] in
+    let e = Printf.sprintf "(%s %s %s)" a op b in
+    if Rng.chance rng 0.4 then Printf.sprintf "(%s %% %d)" e (1009 + Rng.int rng 1000)
+    else e
+  end
+
+let gen_func cfg rng structs prior i =
+  let g = Rng.pick rng structs in
+  let sname = struct_name cfg g.s_idx in
+  let fname = Printf.sprintf "%swork%d" cfg.prefix i in
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "long %s(struct %s* obj, long salt) {\n" fname sname;
+  Buffer.add_string buf "  long acc = salt;\n";
+  let scalars = ref [ "acc"; "salt" ] in
+  let n_stmts = 2 + Rng.int rng 4 in
+  for s = 0 to n_stmts - 1 do
+    match Rng.int rng 6 with
+    | 0 ->
+        (* field read/update through the pointer parameter *)
+        Printf.bprintf buf "  obj->tag = %s;\n" (gen_arith rng 2 !scalars);
+        Buffer.add_string buf "  acc = acc + obj->tag;\n"
+    | 1 ->
+        (* walk the link field (allocated by main, never null) *)
+        Printf.bprintf buf "  if (obj->link) { acc = acc + obj->link->tag %% 64; }\n"
+    | 2 ->
+        (* bounded loop with arithmetic *)
+        let v = Printf.sprintf "i%d" s in
+        Printf.bprintf buf "  for (long %s = 0; %s < %d; %s++) {\n" v v
+          cfg.loop_iters v;
+        Printf.bprintf buf "    acc = (acc + %s * %s) %% 1000003;\n" v
+          (gen_arith rng 1 !scalars);
+        Buffer.add_string buf "  }\n"
+    | 3 ->
+        (* local scalar *)
+        let v = Printf.sprintf "t%d" s in
+        Printf.bprintf buf "  long %s = %s;\n" v (gen_arith rng 2 !scalars);
+        scalars := v :: !scalars
+    | 5 ->
+        (* switch dispatch over a small mode value *)
+        Printf.bprintf buf "  switch (acc %% 4) {\n";
+        Printf.bprintf buf "  case 0:\n    acc = acc + %s;\n    break;\n"
+          (gen_arith rng 1 !scalars);
+        Printf.bprintf buf "  case 1:\n  case 2:\n    acc = (acc * 3 + 1) %% 999983;\n    break;\n";
+        Printf.bprintf buf "  default:\n    acc = acc - 1;\n  }\n"
+    | _ ->
+        (* label byte churn *)
+        Printf.bprintf buf "  obj->label[%d] = (char) (acc %% 96 + 32);\n"
+          (Rng.int rng 8);
+        Printf.bprintf buf "  acc = acc + obj->label[%d];\n" (Rng.int rng 8)
+  done;
+  (* pointer-to-pointer traffic for the census: mostly typed double
+     pointers (original type preserved); rarely a type-erasing pass (the
+     case the CE/FE mechanism exists for) *)
+  if Rng.chance rng cfg.pp_typed_rate then begin
+    Printf.bprintf buf "  struct %s* aux = obj;\n" sname;
+    Printf.bprintf buf "  %sreseat%d(&aux);\n" cfg.prefix g.s_idx;
+    Buffer.add_string buf "  acc = acc + (aux ? 1 : 0);\n"
+  end;
+  if Rng.chance rng cfg.pp_erased_rate then begin
+    Printf.bprintf buf "  struct %s* aux2 = obj;\n" sname;
+    Printf.bprintf buf "  %serase_pp((void**) &aux2);\n" cfg.prefix;
+    Buffer.add_string buf "  acc = acc + (aux2 ? 1 : 0);\n"
+  end;
+  (* call an earlier worker taking the same struct type, possibly
+     laundering the pointer through void* (a legitimate cast: STC
+     merges, STWC re-signs) *)
+  let compatible = List.filter (fun (_, s) -> s = sname) prior in
+  if compatible <> [] && Rng.chance rng 0.7 then begin
+    let callee, _ = Rng.pick rng compatible in
+    if Rng.chance rng cfg.cast_bias then begin
+      Printf.bprintf buf "  void* erased = (void*) obj;\n";
+      Printf.bprintf buf "  acc = acc + %s((struct %s*) erased, acc %% 251);\n"
+        callee sname
+    end
+    else Printf.bprintf buf "  acc = acc + %s(obj, acc %% 251);\n" callee
+  end;
+  Buffer.add_string buf "  return acc % 1000000007;\n}\n";
+  (fname, sname, Buffer.contents buf)
+
+let generate ?(config = default) ~seed () =
+  let cfg = config in
+  let rng = Rng.create seed in
+  let structs = gen_structs cfg rng in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "extern void* malloc(long n);\nextern int printf(const char *fmt, ...);\n\n";
+  List.iter (fun g -> Buffer.add_string buf (struct_def cfg g ^ "\n")) structs;
+  Buffer.add_char buf '\n';
+  (* globals: one pointer per struct round-robin plus scalar counters *)
+  let globals =
+    List.init cfg.n_globals (fun i ->
+        let g = List.nth structs (i mod cfg.n_structs) in
+        (Printf.sprintf "%sgptr%d" cfg.prefix i, g))
+  in
+  List.iter
+    (fun (name, g) ->
+      Printf.bprintf buf "struct %s* %s;\n" (struct_name cfg g.s_idx) name)
+    globals;
+  Printf.bprintf buf "long %sgcount = 0;\n\n" cfg.prefix;
+  (* pointer-to-pointer helpers used by the workers *)
+  if cfg.pp_typed_rate > 0.0 then
+    List.iter
+      (fun g ->
+        Printf.bprintf buf
+          "void %sreseat%d(struct %s** pp) {\n  if (*pp) { *pp = *pp; }\n}\n"
+          cfg.prefix g.s_idx (struct_name cfg g.s_idx))
+      structs;
+  if cfg.pp_erased_rate > 0.0 then
+    Printf.bprintf buf "void %serase_pp(void** pp) {\n  if (*pp) { }\n}\n"
+      cfg.prefix;
+  (* workers; calls only go to earlier, same-typed workers *)
+  let funcs =
+    let rec go acc i =
+      if i >= cfg.n_funcs then List.rev acc
+      else begin
+        let prior = List.map (fun (f, s, _) -> (f, s)) acc in
+        go (gen_func cfg rng structs prior i :: acc) (i + 1)
+      end
+    in
+    go [] 0
+  in
+  List.iter (fun (_, _, src) -> Buffer.add_string buf (src ^ "\n")) funcs;
+  if not cfg.emit_main then Buffer.contents buf
+  else begin
+  (* main: allocate every global, link them, drive the workers *)
+  Buffer.add_string buf "int main(void) {\n";
+  List.iter
+    (fun (name, g) ->
+      let sname = struct_name cfg g.s_idx in
+      Printf.bprintf buf
+        "  %s = (struct %s*) malloc(sizeof(struct %s));\n  %s->tag = %d;\n\
+        \  %s->weight = %d.5;\n  %s->link = NULL;\n"
+        name sname sname name (Rng.int rng 100) name (Rng.int rng 9) name)
+    globals;
+  (* link globals whose struct's link field points at the other's type *)
+  List.iter
+    (fun (a, ga) ->
+      let targets =
+        List.filter (fun (b, gb) -> gb.s_idx = ga.link_to && b <> a) globals
+      in
+      match targets with
+      | [] -> ()
+      | l ->
+          let b, _ = Rng.pick rng l in
+          Printf.bprintf buf "  %s->link = %s;\n" a b)
+    globals;
+  Buffer.add_string buf "  long sum = 0;\n";
+  List.iter
+    (fun (fname, sname, _) ->
+      let candidates =
+        List.filter (fun (_, g) -> struct_name cfg g.s_idx = sname) globals
+      in
+      match candidates with
+      | [] -> ()
+      | l ->
+          let gname, _ = Rng.pick rng l in
+          Printf.bprintf buf "  sum = (sum + %s(%s, %d)) %% 1000000007;\n" fname
+            gname (Rng.int rng 1000))
+    funcs;
+  Printf.bprintf buf "  %sgcount = sum;\n" cfg.prefix;
+  Buffer.add_string buf "  printf(\"gen checksum %ld\\n\", sum);\n";
+  Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.contents buf
+  end

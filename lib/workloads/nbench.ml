@@ -1,0 +1,28 @@
+(* The ten nbench kernels (the suite PARTS was evaluated on, which the
+   paper uses for its head-to-head comparison in section 6.3.2). *)
+
+let w = Workload.make ~suite:Workload.Nbench
+
+let all : Workload.t list =
+  [
+    w ~name:"numeric-sort" ~description:"heap sort of long arrays"
+      (Kernels.numeric_sort ~n:600 ~rounds:4);
+    w ~name:"string-sort" ~description:"pointer-array string bubble sort"
+      (Kernels.string_sort ~n:90 ~rounds:3);
+    w ~name:"bitfield" ~description:"bit-map set/clear sweeps"
+      (Kernels.bitfield ~n:60 ~rounds:18);
+    w ~name:"fp-emulation" ~description:"fixed-point mantissa/exponent loops"
+      (Kernels.fp_emulation ~n:500 ~rounds:10);
+    w ~name:"fourier" ~description:"numerical integration of coefficients"
+      (Kernels.fourier ~terms:10);
+    w ~name:"assignment" ~description:"cost-matrix greedy assignment"
+      (Kernels.assignment ~n:28 ~rounds:4);
+    w ~name:"idea" ~description:"IDEA-style cipher rounds"
+      (Kernels.idea_cipher ~blocks:600);
+    w ~name:"huffman" ~description:"Huffman tree build + depth walk"
+      (Kernels.huffman ~symbols:60 ~rounds:10);
+    w ~name:"neural-net" ~description:"back-propagation over double arrays"
+      (Kernels.neural_net ~neurons:120 ~epochs:60);
+    w ~name:"lu-decomposition" ~description:"dense LU factorisation"
+      (Kernels.lu_decomp ~n:22 ~rounds:5);
+  ]

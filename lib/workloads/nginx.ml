@@ -1,0 +1,10 @@
+(* The NGINX stress workload (the paper drives TLS transactions with wrk;
+   ours drives request parse + handler dispatch, the instrumented-pointer
+   hot path of that configuration). *)
+
+let workload =
+  Workload.make ~suite:Workload.Nginx ~name:"nginx"
+    ~description:"request parsing + handler function-pointer dispatch"
+    (Kernels.http_server ~requests:700)
+
+let all = [ workload ]

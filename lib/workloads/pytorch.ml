@@ -1,0 +1,26 @@
+(* CPython/PyTorch benchmark stand-ins (the paper runs the PyTorch
+   benchmark suite on CPython 3.9): tensor objects with data pointers,
+   layer dispatch through function pointers, and array math — the
+   pointer profile of an interpreter driving numeric kernels. *)
+
+let w = Workload.make ~suite:Workload.Pytorch
+
+let all : Workload.t list =
+  [
+    w ~name:"mnist-mlp" ~description:"2-layer MLP inference"
+      (Kernels.tensor_mlp ~features:24 ~hidden:32 ~iters:40);
+    w ~name:"resnet-block" ~description:"conv-ish stencil through tensor objects"
+      (Kernels.tensor_stencil ~n:1200 ~iters:24);
+    w ~name:"lstm-cell" ~description:"gated recurrent updates"
+      (Kernels.tensor_mlp ~features:32 ~hidden:24 ~iters:36);
+    w ~name:"attention" ~description:"score matrix + weighted sum"
+      (Kernels.tensor_mlp ~features:20 ~hidden:40 ~iters:30);
+    w ~name:"embedding-bag" ~description:"gather + reduce over index arrays"
+      (Kernels.sparse_matrix ~rows:200 ~iters:18);
+    w ~name:"conv1d" ~description:"sliding-window convolution over tensors"
+      (Kernels.tensor_stencil ~n:1500 ~iters:22);
+    w ~name:"batchnorm" ~description:"normalisation sweeps over tensors"
+      (Kernels.tensor_stencil ~n:1000 ~iters:20);
+    w ~name:"softmax-loss" ~description:"loss reduction over logits"
+      (Kernels.neural_net ~neurons:100 ~epochs:45);
+  ]

@@ -1,0 +1,67 @@
+module Interp = Rsti_machine.Interp
+module RT = Rsti_sti.Rsti_type
+
+exception Divergence of string
+
+type measurement = {
+  workload : Workload.t;
+  mech : RT.mechanism;
+  base_cycles : int;
+  mech_cycles : int;
+  overhead_pct : float;
+  dyn : Interp.counts;
+  static_counts : Rsti_rsti.Instrument.static_counts;
+}
+
+let run_once ?costs modul pp_table =
+  let vm = Interp.create ?costs ~pp_table modul in
+  let o = Interp.run vm in
+  match o.Interp.status with
+  | Interp.Exited code -> (o, code)
+  | Interp.Trapped tr ->
+      invalid_arg
+        (Printf.sprintf "workload trapped: %s" (Interp.trap_to_string tr))
+
+let measure ?(costs = Rsti_machine.Cost.default) (w : Workload.t) mechs =
+  let m = Rsti_ir.Lower.compile ~file:(w.Workload.name ^ ".c") w.Workload.source in
+  let anal = Rsti_sti.Analysis.analyze m in
+  let base_outcome, base_code = run_once ~costs m [] in
+  List.map
+    (fun mech ->
+      let costs =
+        if mech = RT.Parts then
+          { Rsti_machine.Cost.parts_codegen with pac = costs.Rsti_machine.Cost.pac }
+        else costs
+      in
+      let r = Rsti_rsti.Instrument.instrument mech anal m in
+      let o, code = run_once ~costs r.Rsti_rsti.Instrument.modul r.pp_table in
+      if code <> base_code || o.Interp.output <> base_outcome.Interp.output then
+        raise
+          (Divergence
+             (Printf.sprintf "%s under %s: exit %Ld vs %Ld, output %S vs %S"
+                w.Workload.name (RT.mechanism_to_string mech) code base_code
+                o.Interp.output base_outcome.Interp.output));
+      let base_cycles = base_outcome.Interp.cycles in
+      let mech_cycles = o.Interp.cycles in
+      {
+        workload = w;
+        mech;
+        base_cycles;
+        mech_cycles;
+        overhead_pct =
+          (float_of_int mech_cycles /. float_of_int base_cycles -. 1.) *. 100.;
+        dyn = o.Interp.counts;
+        static_counts = r.Rsti_rsti.Instrument.counts;
+      })
+    mechs
+
+let measure_suite ?costs ws mechs =
+  List.concat_map (fun w -> measure ?costs w mechs) ws
+
+let analyze_workload (w : Workload.t) =
+  Rsti_sti.Analysis.analyze
+    (Rsti_ir.Lower.compile ~file:(w.Workload.name ^ ".c")
+       (Workload.analysis_source w))
+
+let geomean_overhead ms =
+  Rsti_util.Stats.geomean_overhead (List.map (fun m -> m.overhead_pct) ms)

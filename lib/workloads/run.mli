@@ -1,0 +1,43 @@
+(** The measurement runner behind Figures 9 and 10: compiles a workload
+    once, runs it uninstrumented and under each requested mechanism, and
+    reports cycle overheads. Instrumentation must not change program
+    behaviour — the runner asserts that the instrumented run's output and
+    exit status equal the baseline's, and raises [Divergence] otherwise
+    (this doubles as a whole-pipeline correctness check that the test
+    suite leans on). *)
+
+exception Divergence of string
+(** A mechanism changed a workload's observable behaviour. *)
+
+type measurement = {
+  workload : Workload.t;
+  mech : Rsti_sti.Rsti_type.mechanism;
+  base_cycles : int;
+  mech_cycles : int;
+  overhead_pct : float;                       (** (mech/base - 1) * 100 *)
+  dyn : Rsti_machine.Interp.counts;           (** instrumented run *)
+  static_counts : Rsti_rsti.Instrument.static_counts;
+}
+
+val measure :
+  ?costs:Rsti_machine.Cost.t ->
+  Workload.t ->
+  Rsti_sti.Rsti_type.mechanism list ->
+  measurement list
+(** One measurement per mechanism. [costs] defaults to
+    {!Rsti_machine.Cost.default}, except that the [Parts] mechanism
+    always runs under {!Rsti_machine.Cost.parts_codegen}. *)
+
+val measure_suite :
+  ?costs:Rsti_machine.Cost.t ->
+  Workload.t list ->
+  Rsti_sti.Rsti_type.mechanism list ->
+  measurement list
+
+val analyze_workload : Workload.t -> Rsti_sti.Analysis.t
+(** The STI analysis of a workload over its full static population
+    ([Workload.analysis_source] — kernel plus the generated module that
+    scales types/variables to 1/8 of the real benchmark). *)
+
+val geomean_overhead : measurement list -> float
+(** Geometric-mean overhead (percent) across measurements. *)

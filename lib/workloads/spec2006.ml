@@ -1,0 +1,83 @@
+(* The 18 SPEC CPU2006 benchmarks of the paper's Table 3 / Figure 10,
+   each mapped to the kernel archetype matching its published pointer
+   behaviour. Sizes are chosen so every kernel interprets in well under a
+   second; overhead is a ratio, so absolute size only needs to dominate
+   startup noise. *)
+
+(* The static population behind Table 3 and the pp census: each benchmark
+   carries a generated, never-executed module scaled to 1/8 of the real
+   benchmark's type count (paper Table 3's NT column), with
+   pointer-to-pointer traffic at rates matching the paper's census
+   (7,489 sites, 25 of them type-losing, across the suite). *)
+let paper_nt =
+  [
+    ("perlbench", 155); ("bzip2", 25); ("mcf", 12); ("milc", 55); ("namd", 30);
+    ("gobmk", 120); ("dealII", 2546); ("soplex", 129); ("povray", 282);
+    ("hmmer", 90); ("libquantum", 13); ("sjeng", 29); ("h264ref", 116);
+    ("lbm", 14); ("omnetpp", 255); ("astar", 36); ("sphinx3", 88);
+    ("xalancbmk", 2558);
+  ]
+
+let population name =
+  match List.assoc_opt name paper_nt with
+  | None -> ""
+  | Some nt ->
+      let structs = max 2 (nt / 8) in
+      let config =
+        {
+          Generator.default with
+          n_structs = structs;
+          n_funcs = max 4 (structs * 2);
+          n_globals = max 2 (structs / 2);
+          cast_bias = 0.25;
+          prefix = "zz_";
+          emit_main = false;
+          pp_typed_rate = 0.35;
+          pp_erased_rate = 0.008;
+        }
+      in
+      let seed = Int64.of_int (Hashtbl.hash name) in
+      Generator.generate ~config ~seed ()
+
+let w ~name = Workload.make ~suite:Workload.Spec2006 ~analysis_extra:(population name) ~name
+
+let all : Workload.t list =
+  [
+    w ~name:"perlbench"
+      ~description:"interpreter hash tables + string ops, cast-heavy"
+      (Kernels.hash_table ~buckets:64 ~items:300 ~lookups:1200);
+    w ~name:"bzip2" ~description:"block-sorting compression over byte arrays"
+      (Kernels.compress ~n:2000 ~rounds:6);
+    w ~name:"mcf" ~description:"network simplex over arc/node pointer graph"
+      (Kernels.network_simplex ~nodes:300 ~iters:20);
+    w ~name:"milc" ~description:"lattice QCD: 3x3 complex matrix sweeps"
+      (Kernels.su3_lattice ~sites:120 ~sweeps:25);
+    w ~name:"namd" ~description:"molecular dynamics pairwise forces"
+      (Kernels.force_field ~atoms:120 ~steps:15);
+    w ~name:"gobmk" ~description:"Go engine: board scans + liberty counting"
+      (Kernels.board_scan ~dim:11 ~plays:40);
+    w ~name:"dealII" ~description:"finite elements: adjacency tree walks"
+      (Kernels.binary_tree ~nodes:700 ~searches:3000);
+    w ~name:"soplex" ~description:"simplex LP over sparse rows"
+      (Kernels.sparse_matrix ~rows:250 ~iters:25);
+    w ~name:"povray" ~description:"ray tracer: virtual intersect dispatch"
+      (Kernels.scene_render ~objects:40 ~rays:400);
+    w ~name:"hmmer" ~description:"profile HMM dynamic programming"
+      (Kernels.dp_align ~m:120 ~n:400);
+    w ~name:"libquantum" ~description:"quantum register bit kernels"
+      (Kernels.quantum_gates ~qubits:900 ~rounds:40);
+    w ~name:"sjeng" ~description:"chess search: opcode-style dispatch"
+      (Kernels.dispatch_table ~rounds:6000);
+    w ~name:"h264ref" ~description:"video encoder: motion-estimation SAD search"
+      (Kernels.motion_estimate ~frame:2000 ~blocks:40);
+    w ~name:"lbm" ~description:"lattice Boltzmann: pure double stencil"
+      (Kernels.stencil ~n:2000 ~iters:30);
+    w ~name:"omnetpp" ~description:"discrete-event simulation: sorted queue"
+      (Kernels.event_queue ~events:900);
+    w ~name:"astar" ~description:"A* grid search with parent-pointer nodes"
+      (Kernels.grid_pathfind ~dim:14 ~searches:10);
+    w ~name:"sphinx3" ~description:"speech decoding: DP over frames"
+      (Kernels.dp_align ~m:100 ~n:300);
+    w ~name:"xalancbmk" ~description:"XSLT: DOM trees + string keys, cast-heavy"
+      (Kernels.hash_table ~buckets:128 ~items:400 ~lookups:1500);
+  ]

@@ -1,0 +1,58 @@
+(* The 23 SPEC CPU2017 benchmarks of Figure 9 (the paper could not run
+   625.x264, and neither rate nor speed gcc). The _r (rate) and _s
+   (speed) variants share a kernel at different sizes, as in SPEC. *)
+
+let w = Workload.make ~suite:Workload.Spec2017
+
+let all : Workload.t list =
+  [
+    (* integer, rate *)
+    w ~name:"500.perlbench_r" ~description:"interpreter hash + strings"
+      (Kernels.hash_table ~buckets:64 ~items:250 ~lookups:1000);
+    w ~name:"505.mcf_r" ~description:"network simplex pointer graph"
+      (Kernels.network_simplex ~nodes:250 ~iters:18);
+    w ~name:"520.omnetpp_r" ~description:"event queue simulation"
+      (Kernels.event_queue ~events:800);
+    w ~name:"523.xalancbmk_r" ~description:"DOM trees + hash lookups"
+      (Kernels.hash_table ~buckets:128 ~items:350 ~lookups:1300);
+    w ~name:"531.deepsjeng_r" ~description:"chess search dispatch"
+      (Kernels.dispatch_table ~rounds:6000);
+    w ~name:"541.leela_r" ~description:"Go MCTS: UCB tree walks"
+      (Kernels.mcts ~playouts:700);
+    w ~name:"557.xz_r" ~description:"LZMA byte transforms"
+      (Kernels.compress ~n:1800 ~rounds:5);
+    (* integer, speed: same kernels, larger inputs *)
+    w ~name:"600.perlbench_s" ~description:"interpreter hash + strings (speed)"
+      (Kernels.hash_table ~buckets:64 ~items:350 ~lookups:1500);
+    w ~name:"605.mcf_s" ~description:"network simplex (speed)"
+      (Kernels.network_simplex ~nodes:350 ~iters:22);
+    w ~name:"620.omnetpp_s" ~description:"event queue (speed)"
+      (Kernels.event_queue ~events:1100);
+    w ~name:"623.xalancbmk_s" ~description:"DOM trees (speed)"
+      (Kernels.hash_table ~buckets:128 ~items:450 ~lookups:1800);
+    w ~name:"631.deepsjeng_s" ~description:"chess search (speed)"
+      (Kernels.dispatch_table ~rounds:9000);
+    w ~name:"641.leela_s" ~description:"Go MCTS (speed)"
+      (Kernels.mcts ~playouts:1000);
+    w ~name:"657.xz_s" ~description:"LZMA (speed)"
+      (Kernels.compress ~n:2400 ~rounds:6);
+    (* floating point *)
+    w ~name:"508.namd_r" ~description:"molecular dynamics pairwise forces"
+      (Kernels.force_field ~atoms:110 ~steps:14);
+    w ~name:"510.parest_r" ~description:"finite elements: sparse solves"
+      (Kernels.sparse_matrix ~rows:220 ~iters:22);
+    w ~name:"511.povray_r" ~description:"ray tracer dispatch"
+      (Kernels.scene_render ~objects:36 ~rays:360);
+    w ~name:"519.lbm_r" ~description:"lattice Boltzmann stencil"
+      (Kernels.stencil ~n:1800 ~iters:28);
+    w ~name:"538.imagick_r" ~description:"image convolutions over arrays"
+      (Kernels.stencil ~n:1500 ~iters:26);
+    w ~name:"544.nab_r" ~description:"molecular modelling pairwise forces"
+      (Kernels.force_field ~atoms:90 ~steps:12);
+    w ~name:"619.lbm_s" ~description:"lattice Boltzmann (speed)"
+      (Kernels.stencil ~n:2400 ~iters:32);
+    w ~name:"638.imagick_s" ~description:"image convolutions (speed)"
+      (Kernels.stencil ~n:2000 ~iters:30);
+    w ~name:"644.nab_s" ~description:"molecular modelling (speed)"
+      (Kernels.force_field ~atoms:120 ~steps:14);
+  ]

@@ -1,0 +1,32 @@
+(* A named benchmark workload: a MiniC program standing in for one of the
+   paper's benchmarks, with the suite it belongs to and the exit value the
+   runner asserts (instrumentation must never change program results). *)
+
+type suite = Spec2006 | Spec2017 | Nbench | Pytorch | Nginx
+
+let suite_to_string = function
+  | Spec2006 -> "SPEC CPU2006"
+  | Spec2017 -> "SPEC CPU2017"
+  | Nbench -> "nbench"
+  | Pytorch -> "CPython PyTorch"
+  | Nginx -> "NGINX"
+
+type t = {
+  name : string;        (* the paper's benchmark name, e.g. "perlbench" *)
+  suite : suite;
+  description : string; (* which pointer behaviour of the original the
+                           kernel models *)
+  source : string;      (* MiniC, executed by the runner *)
+  analysis_extra : string;
+      (* additional never-executed code joined to [source] for the static
+         analyses (Table 3, pp census): generated modules scaling the
+         variable/type population to 1/8 of the real benchmark's, since a
+         hot-loop kernel cannot also carry a full program's symbol table *)
+}
+
+let make ?(analysis_extra = "") ~name ~suite ~description source =
+  { name; suite; description; source; analysis_extra }
+
+let analysis_source t =
+  if t.analysis_extra = "" then t.source
+  else t.source ^ "\n" ^ t.analysis_extra

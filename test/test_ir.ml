@@ -1,0 +1,233 @@
+(* Tests for the IR: lowering shapes, debug metadata, slots, printing. *)
+
+module Ir = Rsti_ir.Ir
+module Dinfo = Rsti_ir.Dinfo
+module Lower = Rsti_ir.Lower
+module Ctype = Rsti_minic.Ctype
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let compile src = Lower.compile ~file:"t.c" src
+
+let find_func m name =
+  match Ir.find_func m name with
+  | Some f -> f
+  | None -> Alcotest.failf "function %s not found" name
+
+let count_instrs pred fn =
+  Ir.fold_instrs (fun acc ins -> if pred ins.Ir.i then acc + 1 else acc) 0 fn
+
+let contains_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ----------------------------- lowering ---------------------------- *)
+
+let test_lower_locals_get_allocas_with_divariables () =
+  let m = compile "int main(void) { int x = 1; long y = 2; return x + (int) y; }" in
+  let main = find_func m "main" in
+  let named_allocas =
+    count_instrs (function Ir.Alloca { dv = Some _; _ } -> true | _ -> false) main
+  in
+  checki "two DIVariable allocas" 2 named_allocas
+
+let test_lower_params_spilled () =
+  let m = compile "int f(int a, int b) { return a + b; }\nint main(void) { return f(1,2); }" in
+  let f = find_func m "f" in
+  let stores = count_instrs (function Ir.Store _ -> true | _ -> false) f in
+  checkb "param spills" true (stores >= 2)
+
+let test_lower_dbg_locations () =
+  let m = compile "int main(void) {\n  int x = 1;\n  return x;\n}" in
+  let main = find_func m "main" in
+  let has_line2 = ref false in
+  Ir.iter_instrs
+    (fun ins ->
+      match ins.Ir.dbg with
+      | Some d -> if d.Dinfo.dl_line = 2 && d.dl_func = "main" then has_line2 := true
+      | None -> ())
+    main;
+  checkb "line info present" true !has_line2
+
+let test_lower_struct_field_slots () =
+  let m =
+    compile
+      "extern void* malloc(long n);\n\
+       struct s { long a; long* p; };\n\
+       int main(void) { struct s* x = (struct s*) malloc(sizeof(struct s));\n\
+       x->a = 1; return (int) x->a; }"
+  in
+  let main = find_func m "main" in
+  let field_accesses =
+    count_instrs
+      (function
+        | Ir.Store { slot = Ir.Sfield ("s", "a"); _ }
+        | Ir.Load { slot = Ir.Sfield ("s", "a"); _ } ->
+            true
+        | _ -> false)
+      main
+  in
+  checki "field slot on store+load" 2 field_accesses
+
+let test_lower_bitcast_on_pointer_cast () =
+  let m =
+    compile
+      "extern void* malloc(long n);\n\
+       int main(void) { long* p = (long*) malloc(8); return p ? 0 : 1; }"
+  in
+  let main = find_func m "main" in
+  checkb "bitcast emitted" true
+    (count_instrs (function Ir.Bitcast _ -> true | _ -> false) main >= 1)
+
+let test_lower_global_init_function () =
+  let m = compile "int g = 41;\nint main(void) { return g; }" in
+  let init = find_func m Ir.global_init_name in
+  checki "one initializing store" 1
+    (count_instrs (function Ir.Store _ -> true | _ -> false) init)
+
+let test_lower_gep_for_index () =
+  let m = compile "long a[4];\nint main(void) { a[2] = 7; return (int) a[2]; }" in
+  let main = find_func m "main" in
+  checkb "gepidx emitted" true
+    (count_instrs (function Ir.Gepidx _ -> true | _ -> false) main >= 2)
+
+let test_lower_ptr_sub_scales () =
+  (* (q - p) over longs must divide the byte difference by 8 *)
+  let m =
+    compile
+      "int main(void) { long a[4]; long* p = &a[0]; long* q = &a[3]; return (int)(q - p); }"
+  in
+  let vm = Rsti_machine.Interp.create m in
+  match (Rsti_machine.Interp.run vm).status with
+  | Rsti_machine.Interp.Exited 3L -> ()
+  | Rsti_machine.Interp.Exited n -> Alcotest.failf "q-p = %Ld, want 3" n
+  | Rsti_machine.Interp.Trapped t ->
+      Alcotest.failf "trap %s" (Rsti_machine.Interp.trap_to_string t)
+
+let test_lower_string_table_dedup () =
+  let m =
+    compile
+      "extern int printf(const char* f, ...);\n\
+       int main(void) { printf(\"hi\"); printf(\"hi\"); printf(\"other\"); return 0; }"
+  in
+  checki "two distinct strings" 2 (Array.length m.Ir.m_strings)
+
+let test_printing_mentions_slots () =
+  let m = compile "long* g;\nint main(void) { g = NULL; return 0; }" in
+  let s = Ir.modul_to_string m in
+  checkb "prints slot info" true (contains_sub ~sub:"slot" s);
+  checkb "prints global" true (contains_sub ~sub:"@g" s)
+
+let test_terminators_well_formed () =
+  let m =
+    compile
+      "int main(void) { int s = 0; for (int i = 0; i < 4; i++) { if (i == 2) { continue; } s += i; } return s; }"
+  in
+  let main = find_func m "main" in
+  Array.iter
+    (fun (b : Ir.block) ->
+      match b.term with
+      | Ir.Br l -> checkb "label valid" true (l >= 0 && l < Array.length main.Ir.blocks)
+      | Ir.Condbr (_, a, c) ->
+          checkb "labels valid" true
+            (a >= 0 && a < Array.length main.Ir.blocks && c >= 0
+            && c < Array.length main.Ir.blocks)
+      | Ir.Ret _ | Ir.Unreachable -> ())
+    main.Ir.blocks
+
+let test_registers_assigned_once () =
+  let m =
+    compile
+      "extern void* malloc(long n);\n\
+       struct s { struct s* next; };\n\
+       int main(void) { struct s* p = (struct s*) malloc(16); p->next = p;\n\
+       long n = 0; while (n < 3) { p = p->next; n++; } return (int) n; }"
+  in
+  List.iter
+    (fun fn ->
+      let seen = Hashtbl.create 32 in
+      Ir.iter_instrs
+        (fun ins ->
+          let def =
+            match ins.Ir.i with
+            | Ir.Alloca { dst; _ } | Ir.Load { dst; _ } | Ir.Gep { dst; _ }
+            | Ir.Gepidx { dst; _ } | Ir.Bitcast { dst; _ } | Ir.Binop { dst; _ }
+            | Ir.Neg { dst; _ } | Ir.Lognot { dst; _ } | Ir.Bitnot { dst; _ }
+            | Ir.Cast_num { dst; _ } ->
+                Some dst
+            | Ir.Call { dst; _ } -> dst
+            | Ir.Pac p -> Some p.p_dst
+            | Ir.Pp (Ir.Pp_sign { dst; _ })
+            | Ir.Pp (Ir.Pp_auth { dst; _ })
+            | Ir.Pp (Ir.Pp_add_tbi { dst; _ }) ->
+                Some dst
+            | Ir.Store _ | Ir.Pp (Ir.Pp_add _) -> None
+          in
+          match def with
+          | Some d ->
+              checkb "reg defined once" false (Hashtbl.mem seen d);
+              Hashtbl.replace seen d ()
+          | None -> ())
+        fn)
+    m.Ir.m_funcs
+
+let test_sizeof_struct_via_module () =
+  let m = compile "struct s { char c; long n; };\nint main(void) { return 0; }" in
+  checki "padded size" 16 (Ir.sizeof m (Ctype.Struct "s"))
+
+let test_verifier_accepts_lowered () =
+  let srcs =
+    [ "int main(void) { return 0; }";
+      "extern void* malloc(long n);\nstruct s { struct s* n; };\n\
+       int main(void) { struct s* p = (struct s*) malloc(16); p->n = p;\n\
+       return p->n == p ? 0 : 1; }" ]
+  in
+  List.iter
+    (fun src ->
+      match Rsti_ir.Verify.verify (compile src) with
+      | [] -> ()
+      | { fn; msg } :: _ -> Alcotest.failf "verify %s: %s" fn msg)
+    srcs
+
+let test_verifier_accepts_generated () =
+  for seed = 50 to 60 do
+    let src = Rsti_workloads.Generator.generate ~seed:(Int64.of_int seed) () in
+    match Rsti_ir.Verify.verify (compile src) with
+    | [] -> ()
+    | { fn; msg } :: _ -> Alcotest.failf "seed %d: %s: %s" seed fn msg
+  done
+
+let test_verifier_rejects_bad_branch () =
+  let m = compile "int main(void) { return 0; }" in
+  let main = find_func m "main" in
+  main.Ir.blocks.(0).Ir.term <- Ir.Br 99;
+  checkb "invalid label flagged" true (Rsti_ir.Verify.verify m <> [])
+
+let test_verifier_rejects_undefined_reg () =
+  let m = compile "int main(void) { return 0; }" in
+  let main = find_func m "main" in
+  main.Ir.blocks.(0).Ir.term <- Ir.Ret (Some (Ir.Reg 77));
+  checkb "undefined register flagged" true (Rsti_ir.Verify.verify m <> [])
+
+let tests =
+  [
+    Alcotest.test_case "verify: lowered modules" `Quick test_verifier_accepts_lowered;
+    Alcotest.test_case "verify: generated modules" `Quick test_verifier_accepts_generated;
+    Alcotest.test_case "verify: bad branch" `Quick test_verifier_rejects_bad_branch;
+    Alcotest.test_case "verify: undefined register" `Quick test_verifier_rejects_undefined_reg;
+    Alcotest.test_case "lower: DIVariable allocas" `Quick test_lower_locals_get_allocas_with_divariables;
+    Alcotest.test_case "lower: param spills" `Quick test_lower_params_spilled;
+    Alcotest.test_case "lower: !dbg locations" `Quick test_lower_dbg_locations;
+    Alcotest.test_case "lower: field slots" `Quick test_lower_struct_field_slots;
+    Alcotest.test_case "lower: bitcast at casts" `Quick test_lower_bitcast_on_pointer_cast;
+    Alcotest.test_case "lower: global init fn" `Quick test_lower_global_init_function;
+    Alcotest.test_case "lower: gep for indexing" `Quick test_lower_gep_for_index;
+    Alcotest.test_case "lower: ptr subtraction scales" `Quick test_lower_ptr_sub_scales;
+    Alcotest.test_case "lower: string dedup" `Quick test_lower_string_table_dedup;
+    Alcotest.test_case "print: slots and globals" `Quick test_printing_mentions_slots;
+    Alcotest.test_case "lower: terminators valid" `Quick test_terminators_well_formed;
+    Alcotest.test_case "lower: registers SSA" `Quick test_registers_assigned_once;
+    Alcotest.test_case "module: sizeof struct" `Quick test_sizeof_struct_via_module;
+  ]

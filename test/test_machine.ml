@@ -1,0 +1,419 @@
+(* Tests for the virtual machine: memory, interpreter semantics,
+   builtins, traps, cycle accounting, attacker API. *)
+
+module Memory = Rsti_machine.Memory
+module Interp = Rsti_machine.Interp
+module Cost = Rsti_machine.Cost
+module Layout = Rsti_machine.Layout
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.check Alcotest.int64
+let checks = Alcotest.(check string)
+
+(* ------------------------------ memory ----------------------------- *)
+
+let test_mem_u8_roundtrip () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000L ~size:16;
+  Memory.write_u8 m 0x1000L 0xAB;
+  checki "u8" 0xAB (Memory.read_u8 m 0x1000L)
+
+let test_mem_u64_roundtrip () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000L ~size:16;
+  Memory.write_u64 m 0x1008L 0xDEADBEEF12345678L;
+  check64 "u64" 0xDEADBEEF12345678L (Memory.read_u64 m 0x1008L)
+
+let test_mem_page_straddle () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0xFF8L ~size:16;
+  Memory.write_u64 m 0xFFCL 0x1122334455667788L;
+  check64 "straddling u64" 0x1122334455667788L (Memory.read_u64 m 0xFFCL)
+
+let test_mem_unmapped_faults () =
+  let m = Memory.create () in
+  checkb "unmapped" true
+    (try ignore (Memory.read_u8 m 0x5000L) ; false
+     with Memory.Fault (Memory.Unmapped _) -> true)
+
+let test_mem_non_canonical_faults () =
+  let m = Memory.create () in
+  checkb "non-canonical" true
+    (try ignore (Memory.read_u64 m 0x00FF_0000_0000_1000L) ; false
+     with Memory.Fault (Memory.Non_canonical _) -> true)
+
+let test_mem_read_only () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000L ~size:64;
+  Memory.protect m ~addr:0x1000L ~size:64;
+  checkb "write to RO faults" true
+    (try Memory.write_u64 m 0x1000L 1L ; false
+     with Memory.Fault (Memory.Read_only _) -> true);
+  (* raw writes (the runtime's own) bypass protection *)
+  Memory.write_u64_raw m 0x1000L 7L;
+  check64 "raw write ok" 7L (Memory.read_u64 m 0x1000L)
+
+let test_mem_cstring () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000L ~size:64;
+  Memory.write_cstring m 0x1000L "hello";
+  checks "cstring" "hello" (Memory.read_cstring m 0x1000L);
+  checki "nul" 0 (Memory.read_u8 m 0x1005L)
+
+(* ---------------------------- interpreter --------------------------- *)
+
+let run ?attacks src =
+  let m = Rsti_ir.Lower.compile ~file:"t.c" src in
+  let vm = Interp.create m in
+  Interp.run ?attacks vm
+
+let exit_code src =
+  match (run src).Interp.status with
+  | Interp.Exited n -> n
+  | Interp.Trapped t -> Alcotest.failf "trap: %s" (Interp.trap_to_string t)
+
+let test_interp_arith () =
+  check64 "arith" 14L (exit_code "int main(void) { return 2 + 3 * 4; }")
+
+let test_interp_division_truncates () =
+  check64 "C division" (-2L) (exit_code "int main(void) { return -7 / 3; }");
+  check64 "C modulo" (-1L) (exit_code "int main(void) { return -7 % 3; }")
+
+let test_interp_div_by_zero_traps () =
+  match (run "int main(void) { int z = 0; return 1 / z; }").Interp.status with
+  | Interp.Trapped (Interp.Div_by_zero _) -> ()
+  | _ -> Alcotest.fail "expected div-by-zero trap"
+
+let test_interp_fib () =
+  check64 "fib(10)" 55L
+    (exit_code
+       "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }\n\
+        int main(void) { return fib(10); }")
+
+let test_interp_floats () =
+  check64 "double math" 7L
+    (exit_code "int main(void) { double x = 2.5; double y = 0.5; return (int)(x / y + 2.0); }")
+
+let test_interp_char_semantics () =
+  check64 "char ops" 1L
+    (exit_code
+       "int main(void) { char buf[4]; buf[0] = 'a'; buf[1] = 'b';\n\
+        return buf[1] - buf[0]; }")
+
+let test_interp_short_circuit_effects () =
+  (* the right-hand side must not run when the left decides *)
+  check64 "short circuit" 0L
+    (exit_code
+       "int hits = 0;\nint bump(void) { hits = hits + 1; return 1; }\n\
+        int main(void) { int a = 0; if (a && bump()) { } if (!a || bump()) { }\n\
+        return hits; }")
+
+let test_interp_for_continue () =
+  (* continue must still execute the step expression *)
+  check64 "continue hits step" 20L
+    (exit_code
+       "int main(void) { int s = 0;\n\
+        for (int i = 0; i < 5; i++) { if (i == 2) { continue; } s += 10; }\n\
+        return s / 2; }")
+
+let test_interp_do_while () =
+  check64 "do-while runs once" 1L
+    (exit_code "int main(void) { int n = 0; do { n++; } while (n < 1); return n; }")
+
+let test_interp_cond_expr () =
+  check64 "ternary" 5L
+    (exit_code "int main(void) { int a = 3; return a > 2 ? 5 : 9; }")
+
+let test_interp_globals_initialized () =
+  check64 "global init order" 12L
+    (exit_code "int a = 5;\nint b = 7;\nint main(void) { return a + b; }")
+
+let test_interp_function_pointers () =
+  check64 "indirect call" 9L
+    (exit_code
+       "int sq(int x) { return x * x; }\n\
+        int main(void) { int (*f)(int) = sq; return f(3); }")
+
+let test_interp_strings_builtins () =
+  let o =
+    run
+      "extern int printf(const char* f, ...);\n\
+       extern long strlen(const char* s);\n\
+       extern int strcmp(const char* a, const char* b);\n\
+       extern char* strstr(const char* h, const char* n);\n\
+       int main(void) {\n\
+       printf(\"len=%ld cmp=%d found=%d\\n\", strlen(\"abcd\"),\n\
+       strcmp(\"a\", \"b\") < 0 ? 1 : 0, strstr(\"hello\", \"ll\") ? 1 : 0);\n\
+       return 0; }"
+  in
+  checks "builtin output" "len=4 cmp=1 found=1\n" o.Interp.output
+
+let test_interp_memcpy_memset () =
+  check64 "memcpy/memset" 0L
+    (exit_code
+       "extern void* memset(void* p, int c, long n);\n\
+        extern void* memcpy(void* d, const void* s, long n);\n\
+        int main(void) { char a[8]; char b[8];\n\
+        memset(a, 65, 8); memcpy(b, a, 8);\n\
+        return b[7] == 65 ? 0 : 1; }")
+
+let test_interp_exit_builtin () =
+  match (run "extern void exit(int c);\nint main(void) { exit(42); return 0; }").status with
+  | Interp.Exited 42L -> ()
+  | _ -> Alcotest.fail "exit(42)"
+
+let test_interp_malloc_zeroed () =
+  check64 "heap zeroed" 0L
+    (exit_code
+       "extern void* malloc(long n);\n\
+        int main(void) { long* p = (long*) malloc(64); return (int) p[3]; }")
+
+let test_interp_stack_overflow () =
+  match
+    (run "int boom(int n) { int pad[64]; pad[0] = n; return boom(n + pad[0]); }\n\
+          int main(void) { return boom(1); }")
+      .status
+  with
+  | Interp.Trapped Interp.Stack_overflow -> ()
+  | s ->
+      Alcotest.failf "expected stack overflow, got %s"
+        (match s with
+        | Interp.Exited n -> Printf.sprintf "exit %Ld" n
+        | Interp.Trapped t -> Interp.trap_to_string t)
+
+let test_interp_step_limit () =
+  let m = Rsti_ir.Lower.compile ~file:"t.c" "int main(void) { while (1) { } return 0; }" in
+  let vm = Interp.create m in
+  match (Interp.run ~step_limit:10_000 vm).status with
+  | Interp.Trapped Interp.Step_limit_exceeded -> ()
+  | _ -> Alcotest.fail "expected step limit"
+
+let test_interp_cycles_positive_and_counted () =
+  let o = run "int main(void) { int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s; }" in
+  checkb "cycles > instrs" true (o.Interp.cycles > o.Interp.counts.instrs);
+  checkb "loads counted" true (o.Interp.counts.loads > 0)
+
+let test_interp_snprintf () =
+  let o =
+    run
+      "extern int snprintf(char* buf, long n, const char* f, ...);\n\
+       extern int printf(const char* f, ...);\n\
+       int main(void) { char b[16]; snprintf(b, 16, \"%d-%d\", 4, 2);\n\
+       printf(\"%s\", b); return 0; }"
+  in
+  checks "snprintf" "4-2" o.Interp.output
+
+let test_interp_machine_single_use () =
+  let m = Rsti_ir.Lower.compile ~file:"t.c" "int main(void) { return 0; }" in
+  let vm = Interp.create m in
+  ignore (Interp.run vm);
+  checkb "second run rejected" true
+    (try ignore (Interp.run vm) ; false with Invalid_argument _ -> true)
+
+let test_interp_qsort_callback () =
+  (* libc qsort calls back into instrumented program code through the
+     comparator pointer: the section-4.6 external-library boundary *)
+  let src =
+    "extern void qsort(void* base, long n, long size, int (*cmp)(const void* a, const void* b));\n\
+     extern int printf(const char* f, ...);\n\
+     long data[6];\n\
+     int cmp_longs(const void* a, const void* b) {\n\
+     long x = *((const long*) a); long y = *((const long*) b);\n\
+     return x < y ? -1 : (x > y ? 1 : 0); }\n\
+     int main(void) {\n\
+     data[0] = 3; data[1] = 1; data[2] = 2; data[3] = 9; data[4] = 0; data[5] = 4;\n\
+     qsort((void*) data, 6, sizeof(long), cmp_longs);\n\
+     for (int i = 0; i < 6; i++) { printf(\"%ld\", data[i]); }\n\
+     return 0; }"
+  in
+  (* must hold both uninstrumented and under STWC (strip at the boundary) *)
+  let m = Rsti_ir.Lower.compile ~file:"t.c" src in
+  let plain = Interp.run (Interp.create m) in
+  checks "sorted" "012349" plain.Interp.output;
+  let anal = Rsti_sti.Analysis.analyze m in
+  let r = Rsti_rsti.Instrument.instrument Rsti_sti.Rsti_type.Stwc anal m in
+  let o = Interp.run (Interp.create ~pp_table:r.pp_table r.modul) in
+  checks "sorted under STWC" "012349" o.Interp.output
+
+let test_interp_strdup () =
+  check64 "strdup copies" 0L
+    (exit_code
+       "extern char* strdup(const char* s);\n\
+        extern int strcmp(const char* a, const char* b);\n\
+        int main(void) { char* d = strdup(\"xyz\"); return strcmp(d, \"xyz\"); }")
+
+let test_interp_calloc_and_math () =
+  check64 "calloc + sqrt" 5L
+    (exit_code
+       "extern void* calloc(long n, long sz);\n\
+        extern double sqrt(double x);\n\
+        int main(void) { long* a = (long*) calloc(4, 8);\n\
+        a[0] = (long) sqrt(25.0); return (int) (a[0] + a[1]); }")
+
+let test_interp_strncpy_strcat () =
+  let o =
+    run
+      "extern char* strncpy(char* d, const char* s, long n);\n\
+       extern char* strcat(char* d, const char* s);\n\
+       extern int printf(const char* f, ...);\n\
+       int main(void) { char b[32]; strncpy(b, \"hello world\", 5);\n\
+       strcat(b, \"!\"); printf(\"%s\", b); return 0; }"
+  in
+  checks "strncpy+strcat" "hello!" o.Interp.output
+
+let test_interp_atoi_putchar () =
+  let o =
+    run
+      "extern int atoi(const char* s);\n\
+       extern int putchar(int c);\n\
+       int main(void) { int n = atoi(\"65\"); putchar(n); putchar(n + 1); return n; }"
+  in
+  checks "putchar" "AB" o.Interp.output
+
+let test_interp_unknown_function_traps () =
+  (* the type checker rejects undeclared calls, so the runtime trap is
+     only reachable through a missing entry point *)
+  let m = Rsti_ir.Lower.compile ~file:"t.c" "int main(void) { return 0; }" in
+  match (Interp.run ~entry:"not_main" (Interp.create m)).Interp.status with
+  | Interp.Trapped (Interp.Unknown_function _) -> ()
+  | _ -> Alcotest.fail "expected unknown-function trap"
+
+let test_interp_profiles_populated () =
+  let o =
+    run
+      "extern int printf(const char* f, ...);\n\
+       void tick(void) { }\n\
+       int main(void) { for (int i = 0; i < 5; i++) { tick(); } printf(\"x\"); return 0; }"
+  in
+  checkb "tick counted 5x" true (List.assoc_opt "tick" o.Interp.call_profile = Some 5);
+  checkb "printf counted" true (List.assoc_opt "printf" o.Interp.extern_profile = Some 1)
+
+let test_interp_switch_semantics () =
+  check64 "fallthrough + default" 422L
+    (exit_code
+       "int main(void) { int total = 0;\n\
+        for (int i = 0; i < 6; i++) {\n\
+        switch (i % 3) { case 0: continue; case 1: total += 10; break;\n\
+        default: total += 1; }\n\
+        total += 100; }\n\
+        return total; }")
+
+let test_interp_switch_no_default () =
+  check64 "unmatched falls out" 7L
+    (exit_code
+       "int main(void) { int x = 7; switch (x) { case 1: x = 0; break; } return x; }")
+
+(* --------------------------- attacker API --------------------------- *)
+
+let test_attack_hooks_fire_in_order () =
+  let fired = ref [] in
+  let atk name trigger =
+    { Interp.trigger; action = (fun intr -> intr.note name; fired := name :: !fired) }
+  in
+  let src =
+    "extern int printf(const char* f, ...);\n\
+     void step(int n) { printf(\"step %d\\n\", n); }\n\
+     int main(void) { step(1); step(2); step(3); return 0; }"
+  in
+  let o =
+    run
+      ~attacks:
+        [ atk "on-2nd-step" (Interp.On_call ("step", 2));
+          atk "on-1st-printf" (Interp.On_extern ("printf", 1)) ]
+      src
+  in
+  checki "both fired" 2 (List.length !fired);
+  checkb "events recorded" true
+    (List.exists (function Interp.Ev_attack _ -> true | _ -> false) o.Interp.events)
+
+let test_attack_write_visible_to_program () =
+  let src = "long g = 1;\nvoid poke(void) { }\nint main(void) { poke(); return (int) g; }" in
+  let atk =
+    {
+      Interp.trigger = Interp.On_call ("poke", 1);
+      action = (fun intr -> intr.write_word (intr.global_addr "g") 99L);
+    }
+  in
+  match (run ~attacks:[ atk ] src).status with
+  | Interp.Exited 99L -> ()
+  | _ -> Alcotest.fail "attacker write not visible"
+
+let test_attack_heap_allocs_listed () =
+  let seen = ref 0 in
+  let src =
+    "extern void* malloc(long n);\nvoid mark(void) { }\n\
+     int main(void) { void* a = malloc(16); void* b = malloc(32); mark();\n\
+     return a && b ? 0 : 1; }"
+  in
+  let atk =
+    {
+      Interp.trigger = Interp.On_call ("mark", 1);
+      action = (fun intr -> seen := List.length (intr.heap_allocs ()));
+    }
+  in
+  ignore (run ~attacks:[ atk ] src);
+  checki "two allocations" 2 !seen
+
+(* ------------------------------- cost ------------------------------- *)
+
+let test_cost_model_scales () =
+  let m = Rsti_ir.Lower.compile ~file:"t.c"
+      "int main(void) { int s = 0; for (int i = 0; i < 50; i++) { s += i; } return s; }"
+  in
+  let run_with costs =
+    let vm = Interp.create ~costs m in
+    (Interp.run vm).Interp.cycles
+  in
+  let base = run_with Cost.default in
+  let double = run_with { Cost.default with alu = Cost.default.alu * 2 } in
+  checkb "alu cost scales cycles" true (double > base)
+
+let test_cost_with_pac () =
+  checki "with_pac" 11 (Cost.with_pac Cost.default 11).Cost.pac
+
+let tests =
+  [
+    Alcotest.test_case "mem: u8 roundtrip" `Quick test_mem_u8_roundtrip;
+    Alcotest.test_case "mem: u64 roundtrip" `Quick test_mem_u64_roundtrip;
+    Alcotest.test_case "mem: page straddle" `Quick test_mem_page_straddle;
+    Alcotest.test_case "mem: unmapped faults" `Quick test_mem_unmapped_faults;
+    Alcotest.test_case "mem: non-canonical faults" `Quick test_mem_non_canonical_faults;
+    Alcotest.test_case "mem: read-only regions" `Quick test_mem_read_only;
+    Alcotest.test_case "mem: cstrings" `Quick test_mem_cstring;
+    Alcotest.test_case "interp: arithmetic" `Quick test_interp_arith;
+    Alcotest.test_case "interp: division truncates" `Quick test_interp_division_truncates;
+    Alcotest.test_case "interp: div by zero" `Quick test_interp_div_by_zero_traps;
+    Alcotest.test_case "interp: recursion (fib)" `Quick test_interp_fib;
+    Alcotest.test_case "interp: floats" `Quick test_interp_floats;
+    Alcotest.test_case "interp: char semantics" `Quick test_interp_char_semantics;
+    Alcotest.test_case "interp: short-circuit" `Quick test_interp_short_circuit_effects;
+    Alcotest.test_case "interp: for-continue" `Quick test_interp_for_continue;
+    Alcotest.test_case "interp: do-while" `Quick test_interp_do_while;
+    Alcotest.test_case "interp: ternary" `Quick test_interp_cond_expr;
+    Alcotest.test_case "interp: global init" `Quick test_interp_globals_initialized;
+    Alcotest.test_case "interp: function pointers" `Quick test_interp_function_pointers;
+    Alcotest.test_case "interp: string builtins" `Quick test_interp_strings_builtins;
+    Alcotest.test_case "interp: memcpy/memset" `Quick test_interp_memcpy_memset;
+    Alcotest.test_case "interp: exit()" `Quick test_interp_exit_builtin;
+    Alcotest.test_case "interp: heap zeroed" `Quick test_interp_malloc_zeroed;
+    Alcotest.test_case "interp: stack overflow" `Quick test_interp_stack_overflow;
+    Alcotest.test_case "interp: step limit" `Quick test_interp_step_limit;
+    Alcotest.test_case "interp: cycle accounting" `Quick test_interp_cycles_positive_and_counted;
+    Alcotest.test_case "interp: snprintf" `Quick test_interp_snprintf;
+    Alcotest.test_case "interp: single use" `Quick test_interp_machine_single_use;
+    Alcotest.test_case "interp: switch semantics" `Quick test_interp_switch_semantics;
+    Alcotest.test_case "interp: switch no default" `Quick test_interp_switch_no_default;
+    Alcotest.test_case "interp: qsort callback" `Quick test_interp_qsort_callback;
+    Alcotest.test_case "interp: strdup" `Quick test_interp_strdup;
+    Alcotest.test_case "interp: calloc + math" `Quick test_interp_calloc_and_math;
+    Alcotest.test_case "interp: strncpy/strcat" `Quick test_interp_strncpy_strcat;
+    Alcotest.test_case "interp: atoi/putchar" `Quick test_interp_atoi_putchar;
+    Alcotest.test_case "interp: unknown function" `Quick test_interp_unknown_function_traps;
+    Alcotest.test_case "interp: profiles" `Quick test_interp_profiles_populated;
+    Alcotest.test_case "attack: hooks fire" `Quick test_attack_hooks_fire_in_order;
+    Alcotest.test_case "attack: writes visible" `Quick test_attack_write_visible_to_program;
+    Alcotest.test_case "attack: heap allocs" `Quick test_attack_heap_allocs_listed;
+    Alcotest.test_case "cost: scales" `Quick test_cost_model_scales;
+    Alcotest.test_case "cost: with_pac" `Quick test_cost_with_pac;
+  ]

@@ -1,0 +1,18 @@
+(* Entry point aggregating every suite. *)
+
+let () =
+  Alcotest.run "rsti"
+    [
+      ("util", Test_util.tests);
+      ("pa", Test_pa.tests);
+      ("minic", Test_minic.tests);
+      ("ir", Test_ir.tests);
+      ("machine", Test_machine.tests);
+      ("sti", Test_sti.tests);
+      ("rsti", Test_rsti.tests);
+      ("security", Test_security.tests);
+      ("punning", Test_punning.tests);
+      ("workloads", Test_workloads.tests);
+      ("report", Test_report.tests);
+      ("perf", Test_perf.tests);
+    ]

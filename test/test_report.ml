@@ -1,0 +1,96 @@
+(* The report layer: every paper-reproduction section must render, carry
+   the rows it promises, and state the verdicts the security suite
+   already established. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let count_lines s = List.length (String.split_on_char '\n' s)
+
+let test_table1_report () =
+  let s = Rsti_report.Security.table1 () in
+  List.iter
+    (fun sub -> checkb ("mentions " ^ sub) true (contains ~sub s))
+    [ "NEWTON CsCFI"; "DOP ProFTPd"; "PittyPat"; "sig-CFI"; "STWC"; "STL" ];
+  (* 13 scenario rows + header + separator + footer *)
+  checkb "row count sane" true (count_lines s > 15);
+  checkb "no failures reported" false (contains ~sub:"failed" s)
+
+let test_table1_verdict_structure () =
+  let rows = Rsti_report.Security.table1_verdicts () in
+  checki "13 scenarios" 13 (List.length rows);
+  List.iter
+    (fun (_, base, per_mech) ->
+      checkb "baseline owned" true (base = Rsti_attacks.Scenario.Attack_succeeded);
+      checki "three mechanisms" 3 (List.length per_mech);
+      List.iter
+        (fun (_, v) -> checkb "detected" true (v = Rsti_attacks.Scenario.Detected))
+        per_mech)
+    rows
+
+let test_table2_report () =
+  let s = Rsti_report.Security.table2 () in
+  List.iter
+    (fun sub -> checkb ("mentions " ^ sub) true (contains ~sub s))
+    [ "sub-same-rsti"; "mem-temporal-uaf"; "PARTS" ]
+
+let test_table3_report () =
+  let s = Rsti_report.Figures.table3 () in
+  List.iter
+    (fun sub -> checkb ("mentions " ^ sub) true (contains ~sub s))
+    [ "perlbench"; "xalancbmk"; "ECV"; "ECT" ];
+  checkb "at least 18 rows + frame" true (count_lines s > 22)
+
+let test_pp_census_report () =
+  let s = Rsti_report.Figures.pp_census () in
+  checkb "has totals line" true (contains ~sub:"Total:" s);
+  checkb "mentions type loss" true (contains ~sub:"type-loss" s)
+
+let test_parts_report () =
+  let s = Rsti_report.Figures.parts_comparison () in
+  checkb "has mean row" true (contains ~sub:"mean" s);
+  checkb "mentions PARTS" true (contains ~sub:"PARTS" s)
+
+let test_ablation_merge_report () =
+  let s = Rsti_report.Ablation.merge_effect () in
+  checkb "has unmerged column" true (contains ~sub:"RT unmerged" s)
+
+let test_ablation_stl_report () =
+  let s = Rsti_report.Ablation.stl_argument_cost () in
+  checkb "attributes to &p" true (contains ~sub:"&p" s)
+
+let test_ablation_ce_report () =
+  let s = Rsti_report.Ablation.ce_width () in
+  checkb "within budget everywhere" false (contains ~sub:"NO" s)
+
+let test_ablation_pac_width_report () =
+  let s = Rsti_report.Ablation.pac_brute_force () in
+  checkb "both layouts" true (contains ~sub:"TBI on" s && contains ~sub:"TBI off" s);
+  (* the 7-bit acceptance rate must be visibly non-zero, the 15-bit ~0 *)
+  checkb "7-bit rate printed" true (contains ~sub:"0.00781" s)
+
+let test_backend_report () =
+  let s = Rsti_report.Ablation.backend_comparison () in
+  checkb "compares PAC and MAC" true
+    (contains ~sub:"STWC via PAC" s && contains ~sub:"shadow MAC" s);
+  checkb "numeric kernels filtered out" false (contains ~sub:"lbm" s)
+
+let tests =
+  [
+    Alcotest.test_case "table1 renders" `Slow test_table1_report;
+    Alcotest.test_case "table1 verdicts" `Slow test_table1_verdict_structure;
+    Alcotest.test_case "table2 renders" `Slow test_table2_report;
+    Alcotest.test_case "table3 renders" `Slow test_table3_report;
+    Alcotest.test_case "pp census renders" `Slow test_pp_census_report;
+    Alcotest.test_case "parts comparison renders" `Slow test_parts_report;
+    Alcotest.test_case "ablation: merge renders" `Slow test_ablation_merge_report;
+    Alcotest.test_case "ablation: stl renders" `Slow test_ablation_stl_report;
+    Alcotest.test_case "ablation: ce renders" `Slow test_ablation_ce_report;
+    Alcotest.test_case "ablation: pac width renders" `Quick test_ablation_pac_width_report;
+    Alcotest.test_case "extension: backend renders" `Slow test_backend_report;
+  ]

@@ -1,0 +1,247 @@
+(* Tests for the RSTI instrumentation pass: what gets instrumented under
+   each mechanism, static counts, pp plan, and behaviour preservation. *)
+
+module Ir = Rsti_ir.Ir
+module RT = Rsti_sti.Rsti_type
+module Analysis = Rsti_sti.Analysis
+module Instrument = Rsti_rsti.Instrument
+module Interp = Rsti_machine.Interp
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let instrument mech src =
+  let m = Rsti_ir.Lower.compile ~file:"t.c" src in
+  let anal = Analysis.analyze m in
+  (Instrument.instrument mech anal m, m, anal)
+
+let ptr_heavy_src =
+  {|
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+struct node { long k; struct node* next; };
+struct node* head;
+void push(long k) {
+  struct node* n = (struct node*) malloc(sizeof(struct node));
+  n->k = k;
+  n->next = head;
+  head = n;
+}
+long total(void) {
+  long s = 0;
+  struct node* cur = head;
+  while (cur) { s = s + cur->k; cur = cur->next; }
+  return s;
+}
+int main(void) {
+  for (int i = 0; i < 5; i++) { push(i); }
+  void* erased = (void*) head;
+  head = (struct node*) erased;
+  printf("%ld\n", total());
+  return 0;
+}
+|}
+
+(* ------------------------------ basics ------------------------------ *)
+
+let test_nop_returns_unchanged () =
+  let r, m, _ = instrument RT.Nop ptr_heavy_src in
+  checkb "same module" true (r.Instrument.modul == m);
+  checki "no static ops" 0 r.Instrument.counts.signs
+
+let test_input_not_mutated () =
+  let m = Rsti_ir.Lower.compile ~file:"t.c" ptr_heavy_src in
+  let anal = Analysis.analyze m in
+  let count_pac fn =
+    Ir.fold_instrs
+      (fun acc ins -> match ins.Ir.i with Ir.Pac _ -> acc + 1 | _ -> acc)
+      0 fn
+  in
+  let before = List.fold_left (fun a f -> a + count_pac f) 0 m.Ir.m_funcs in
+  ignore (Instrument.instrument RT.Stwc anal m);
+  let after = List.fold_left (fun a f -> a + count_pac f) 0 m.Ir.m_funcs in
+  checki "input module untouched" before after
+
+let test_signs_and_auths_inserted () =
+  let r, _, _ = instrument RT.Stwc ptr_heavy_src in
+  checkb "signs inserted" true (r.Instrument.counts.signs > 0);
+  checkb "auths inserted" true (r.Instrument.counts.auths > 0)
+
+let test_cast_resigns_only_under_stwc_stl () =
+  let stwc, _, _ = instrument RT.Stwc ptr_heavy_src in
+  let stc, _, _ = instrument RT.Stc ptr_heavy_src in
+  checkb "STWC resigns at casts" true (stwc.Instrument.counts.resigns > 0);
+  checki "STC has no cast resigns" 0 stc.Instrument.counts.resigns
+
+let test_stl_has_most_instrumentation () =
+  let sites (c : Instrument.static_counts) = c.signs + c.auths + (2 * c.resigns) in
+  let stwc, _, _ = instrument RT.Stwc ptr_heavy_src in
+  let stc, _, _ = instrument RT.Stc ptr_heavy_src in
+  let stl, _, _ = instrument RT.Stl ptr_heavy_src in
+  checkb "STC <= STWC" true (sites stc.Instrument.counts <= sites stwc.Instrument.counts);
+  checkb "STWC <= STL" true (sites stwc.Instrument.counts <= sites stl.Instrument.counts)
+
+let test_extern_pointer_args_stripped () =
+  let r, _, _ =
+    instrument RT.Stwc
+      "extern int puts(const char* s);\nint main(void) { puts(\"x\"); return 0; }"
+  in
+  checkb "strip before extern" true (r.Instrument.counts.strips > 0)
+
+let test_parts_instruments_params () =
+  let src =
+    "long get(long* p, long i) { return p[i]; }\n\
+     long data[4];\n\
+     int main(void) { data[0] = 9; return (int) get(data, 0); }"
+  in
+  let parts, _, _ = instrument RT.Parts src in
+  let stwc, _, _ = instrument RT.Stwc src in
+  checkb "PARTS instruments more (params)" true
+    (parts.Instrument.counts.auths > stwc.Instrument.counts.auths)
+
+let test_per_func_counts_sum () =
+  let r, _, _ = instrument RT.Stwc ptr_heavy_src in
+  let sum =
+    List.fold_left
+      (fun acc (_, (c : Instrument.static_counts)) -> acc + c.signs + c.auths)
+      0 r.Instrument.per_func
+  in
+  checki "per-func sums to total" (r.Instrument.counts.signs + r.Instrument.counts.auths) sum
+
+let test_non_pointer_loads_uninstrumented () =
+  let r, _, _ =
+    instrument RT.Stwc
+      "long g;\nint main(void) { g = 5; return (int) g; }"
+  in
+  checki "scalar traffic free" 0 (r.Instrument.counts.signs + r.Instrument.counts.auths)
+
+let test_stl_uses_location_modifiers () =
+  let r, _, _ = instrument RT.Stl ptr_heavy_src in
+  let found_mloc = ref false in
+  List.iter
+    (fun fn ->
+      Ir.iter_instrs
+        (fun ins ->
+          match ins.Ir.i with
+          | Ir.Pac { p_mod = Ir.Mloc _; _ } -> found_mloc := true
+          | _ -> ())
+        fn)
+    r.Instrument.modul.Ir.m_funcs;
+  checkb "STL emits &p-bound modifiers" true !found_mloc
+
+let test_stwc_uses_const_modifiers_only () =
+  let r, _, _ = instrument RT.Stwc ptr_heavy_src in
+  List.iter
+    (fun fn ->
+      Ir.iter_instrs
+        (fun ins ->
+          match ins.Ir.i with
+          | Ir.Pac { p_mod = Ir.Mloc _; _ } -> Alcotest.fail "STWC must not use Mloc"
+          | _ -> ())
+        fn)
+    r.Instrument.modul.Ir.m_funcs
+
+(* --------------------------- pp mechanism --------------------------- *)
+
+let pp_src =
+  {|
+extern void* malloc(long n);
+struct node { long key; struct node* next; };
+void erased(void** pp) { if (*pp) { } }
+int main(void) {
+  struct node* p = (struct node*) malloc(sizeof(struct node));
+  erased((void**) &p);
+  return 0;
+}
+|}
+
+let test_pp_ops_emitted () =
+  let r, _, _ = instrument RT.Stwc pp_src in
+  checkb "pp ops present" true (r.Instrument.counts.pp_ops >= 3);
+  checki "one CE entry" 1 (List.length r.Instrument.pp_table)
+
+let test_pp_runtime_roundtrip () =
+  List.iter
+    (fun mech ->
+      let r, _, _ = instrument mech pp_src in
+      let vm = Interp.create ~pp_table:r.Instrument.pp_table r.Instrument.modul in
+      let o = Interp.run vm in
+      (match o.Interp.status with
+      | Interp.Exited 0L -> ()
+      | s ->
+          Alcotest.failf "pp run under %s: %s" (RT.mechanism_to_string mech)
+            (match s with
+            | Interp.Exited n -> Printf.sprintf "exit %Ld" n
+            | Interp.Trapped t -> Interp.trap_to_string t));
+      checkb "pp calls executed" true (o.Interp.counts.pp_calls > 0))
+    RT.all_mechanisms
+
+let test_pp_metadata_read_only () =
+  (* interpreted code cannot write the CE/FE table *)
+  let r, _, _ = instrument RT.Stwc pp_src in
+  let vm = Interp.create ~pp_table:r.Instrument.pp_table r.Instrument.modul in
+  ignore (Interp.run vm);
+  (* direct probe through the memory the machine exposes via intruder API
+     is raw (privileged); the protection is exercised by Memory tests.
+     Here we just confirm the table was installed. *)
+  checki "table entries" 1 (List.length r.Instrument.pp_table)
+
+(* ----------------------- behaviour preservation --------------------- *)
+
+let outputs_of mech src =
+  let r, _, _ = instrument mech src in
+  let vm = Interp.create ~pp_table:r.Instrument.pp_table r.Instrument.modul in
+  let o = Interp.run vm in
+  (o.Interp.output, o.Interp.status)
+
+let test_behaviour_preserved_ptr_heavy () =
+  let base = outputs_of RT.Nop ptr_heavy_src in
+  List.iter
+    (fun mech ->
+      let got = outputs_of mech ptr_heavy_src in
+      checkb (RT.mechanism_to_string mech ^ " unchanged") true (got = base))
+    (RT.all_mechanisms @ [ RT.Parts ])
+
+let prop_behaviour_preserved_generated =
+  QCheck.Test.make ~name:"instrumentation preserves generated-program behaviour"
+    ~count:10
+    QCheck.(int_range 1000 2000)
+    (fun seed ->
+      let src = Rsti_workloads.Generator.generate ~seed:(Int64.of_int seed) () in
+      let base = outputs_of RT.Nop src in
+      List.for_all (fun mech -> outputs_of mech src = base) RT.all_mechanisms)
+
+let test_instrumented_modules_verify () =
+  List.iter
+    (fun mech ->
+      List.iter
+        (fun src ->
+          let r, _, _ = instrument mech src in
+          match Rsti_ir.Verify.verify r.Instrument.modul with
+          | [] -> ()
+          | { Rsti_ir.Verify.fn; msg } :: _ ->
+              Alcotest.failf "%s under %s: %s" fn (RT.mechanism_to_string mech) msg)
+        [ ptr_heavy_src; pp_src ])
+    (RT.all_mechanisms @ [ RT.Parts ])
+
+let tests =
+  [
+    Alcotest.test_case "pass: instrumented IR verifies" `Quick
+      test_instrumented_modules_verify;
+    Alcotest.test_case "nop: unchanged" `Quick test_nop_returns_unchanged;
+    Alcotest.test_case "pass: input not mutated" `Quick test_input_not_mutated;
+    Alcotest.test_case "pass: signs+auths inserted" `Quick test_signs_and_auths_inserted;
+    Alcotest.test_case "pass: cast resigns STWC only" `Quick test_cast_resigns_only_under_stwc_stl;
+    Alcotest.test_case "pass: site ordering STC<=STWC<=STL" `Quick test_stl_has_most_instrumentation;
+    Alcotest.test_case "pass: extern strips" `Quick test_extern_pointer_args_stripped;
+    Alcotest.test_case "pass: PARTS params" `Quick test_parts_instruments_params;
+    Alcotest.test_case "pass: per-func sums" `Quick test_per_func_counts_sum;
+    Alcotest.test_case "pass: scalars free" `Quick test_non_pointer_loads_uninstrumented;
+    Alcotest.test_case "pass: STL Mloc modifiers" `Quick test_stl_uses_location_modifiers;
+    Alcotest.test_case "pass: STWC Mconst only" `Quick test_stwc_uses_const_modifiers_only;
+    Alcotest.test_case "pp: ops emitted" `Quick test_pp_ops_emitted;
+    Alcotest.test_case "pp: runtime roundtrip" `Quick test_pp_runtime_roundtrip;
+    Alcotest.test_case "pp: metadata installed" `Quick test_pp_metadata_read_only;
+    Alcotest.test_case "behaviour preserved (list kernel)" `Quick test_behaviour_preserved_ptr_heavy;
+    QCheck_alcotest.to_alcotest prop_behaviour_preserved_generated;
+  ]

@@ -1,0 +1,147 @@
+(* Static checks over the workload suites and the generator: every
+   kernel parses, type-checks, lowers to verifiable IR, and has the
+   pointer profile its archetype promises; generator configurations
+   behave as documented. *)
+
+module Workload = Rsti_workloads.Workload
+module Generator = Rsti_workloads.Generator
+module Analysis = Rsti_sti.Analysis
+module Ir = Rsti_ir.Ir
+module RT = Rsti_sti.Rsti_type
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let all_workloads =
+  Rsti_workloads.Spec2006.all @ Rsti_workloads.Spec2017.all
+  @ Rsti_workloads.Nbench.all @ Rsti_workloads.Pytorch.all
+  @ Rsti_workloads.Nginx.all
+
+(* one static-pipeline test per workload *)
+let per_workload_static_tests =
+  List.map
+    (fun (w : Workload.t) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s/%s compiles and verifies"
+           (Workload.suite_to_string w.suite) w.name)
+        `Quick
+        (fun () ->
+          let m = Rsti_ir.Lower.compile ~file:(w.name ^ ".c") w.Workload.source in
+          (match Rsti_ir.Verify.verify m with
+          | [] -> ()
+          | { fn; msg } :: _ -> Alcotest.failf "verify %s: %s" fn msg);
+          (* instrumented forms must verify too *)
+          let anal = Analysis.analyze m in
+          List.iter
+            (fun mech ->
+              let r = Rsti_rsti.Instrument.instrument mech anal m in
+              match Rsti_ir.Verify.verify r.Rsti_rsti.Instrument.modul with
+              | [] -> ()
+              | { fn; msg } :: _ ->
+                  Alcotest.failf "verify %s under %s: %s" fn
+                    (RT.mechanism_to_string mech) msg)
+            RT.all_mechanisms))
+    all_workloads
+
+let test_workload_names_unique () =
+  let names = List.map (fun (w : Workload.t) -> w.name) all_workloads in
+  checki "no duplicate names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_suite_sizes_match_paper () =
+  checki "18 SPEC2006 benchmarks" 18 (List.length Rsti_workloads.Spec2006.all);
+  checki "23 SPEC2017 benchmarks" 23 (List.length Rsti_workloads.Spec2017.all);
+  checki "10 nbench kernels" 10 (List.length Rsti_workloads.Nbench.all);
+  checki "8 PyTorch benchmarks" 8 (List.length Rsti_workloads.Pytorch.all)
+
+let test_archetype_pointer_profiles () =
+  (* pointer-chasing kernels must have pointer slots; numeric kernels
+     (before population augmentation) must not *)
+  let has_pointer_vars name source =
+    let anal = Analysis.analyze (Rsti_ir.Lower.compile ~file:(name ^ ".c") source) in
+    Analysis.pointer_vars anal <> []
+  in
+  let find name =
+    List.find (fun (w : Workload.t) -> w.name = name) all_workloads
+  in
+  List.iter
+    (fun n -> checkb (n ^ " has pointers") true (has_pointer_vars n (find n).source))
+    [ "perlbench"; "mcf"; "omnetpp"; "povray"; "541.leela_r"; "nginx" ];
+  List.iter
+    (fun n ->
+      checkb (n ^ " kernel itself is pointer-free") false
+        (has_pointer_vars n (find n).source))
+    [ "lbm"; "milc"; "bitfield"; "fourier" ]
+
+let test_spec2006_population_attached () =
+  List.iter
+    (fun (w : Workload.t) ->
+      checkb (w.name ^ " carries analysis population") true
+        (String.length w.Workload.analysis_extra > 0))
+    Rsti_workloads.Spec2006.all
+
+let test_population_scales_with_paper_nt () =
+  let stats name =
+    let w = List.find (fun (w : Workload.t) -> w.name = name) Rsti_workloads.Spec2006.all in
+    Analysis.stats (Rsti_workloads.Run.analyze_workload w)
+  in
+  let big = stats "xalancbmk" and small = stats "libquantum" in
+  checkb "xalancbmk >> libquantum (NT)" true (big.nt > 20 * small.nt);
+  checkb "xalancbmk >> libquantum (NV)" true (big.nv > 20 * small.nv)
+
+(* ----------------------------- generator ---------------------------- *)
+
+let test_generator_deterministic () =
+  let a = Generator.generate ~seed:5L () in
+  let b = Generator.generate ~seed:5L () in
+  Alcotest.(check string) "same seed, same program" a b;
+  checkb "different seed differs" true (a <> Generator.generate ~seed:6L ())
+
+let test_generator_no_main_mode () =
+  let config = { Generator.default with emit_main = false; prefix = "q_" } in
+  let src = Generator.generate ~config ~seed:3L () in
+  let m = Rsti_ir.Lower.compile ~file:"g.c" src in
+  checkb "no main emitted" true (Ir.find_func m "main" = None);
+  checkb "prefixed workers present" true (Ir.find_func m "q_work0" <> None)
+
+let test_generator_pp_rates () =
+  let config =
+    { Generator.default with pp_typed_rate = 1.0; n_funcs = 6; emit_main = false }
+  in
+  let src = Generator.generate ~config ~seed:11L () in
+  let anal = Analysis.analyze (Rsti_ir.Lower.compile ~file:"g.c" src) in
+  checkb "pp sites generated" true ((Analysis.pp_census anal).pp_total_sites > 0)
+
+let test_generator_zero_pp_by_default () =
+  let src = Generator.generate ~seed:13L () in
+  let anal = Analysis.analyze (Rsti_ir.Lower.compile ~file:"g.c" src) in
+  checki "no pp sites by default" 0 (Analysis.pp_census anal).pp_total_sites
+
+let test_generator_cast_bias_extremes () =
+  (* cast_bias = 1.0 guarantees casts whenever a same-typed callee
+     exists; 0.0 yields none beyond the malloc casts *)
+  let gen bias =
+    let config =
+      { Generator.default with cast_bias = bias; n_funcs = 8; n_structs = 1 }
+    in
+    let src = Generator.generate ~config ~seed:21L () in
+    let anal = Analysis.analyze (Rsti_ir.Lower.compile ~file:"g.c" src) in
+    List.length
+      (List.filter (fun (_, _, to_) -> to_ = "void*") (Analysis.casts anal))
+  in
+  checkb "bias drives void* casts" true (gen 1.0 > gen 0.0)
+
+let tests =
+  per_workload_static_tests
+  @ [
+      Alcotest.test_case "workload names unique" `Quick test_workload_names_unique;
+      Alcotest.test_case "suite sizes match paper" `Quick test_suite_sizes_match_paper;
+      Alcotest.test_case "archetype pointer profiles" `Quick test_archetype_pointer_profiles;
+      Alcotest.test_case "spec2006 population attached" `Quick test_spec2006_population_attached;
+      Alcotest.test_case "population scales with paper NT" `Slow test_population_scales_with_paper_nt;
+      Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+      Alcotest.test_case "generator no-main mode" `Quick test_generator_no_main_mode;
+      Alcotest.test_case "generator pp rates" `Quick test_generator_pp_rates;
+      Alcotest.test_case "generator zero pp default" `Quick test_generator_zero_pp_by_default;
+      Alcotest.test_case "generator cast bias" `Quick test_generator_cast_bias_extremes;
+    ]
