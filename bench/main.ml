@@ -8,7 +8,8 @@
      dune exec bench/main.exe -- list         # section names
 
    Sections: table1 table2 table3 fig9 fig10 pp-census parts correlation
-             ablation-pac ablation-merge ablation-stl ablation-ce micro *)
+             ablation-pac ablation-merge ablation-stl ablation-ce elide
+             micro *)
 
 module RT = Rsti_sti.Rsti_type
 module Tab = Rsti_util.Tab
@@ -135,7 +136,7 @@ let () =
       List.iter print_endline
         [ "table1"; "table2"; "table3"; "fig9"; "fig10"; "pp-census"; "parts";
           "correlation"; "ablation-pac"; "ablation-merge"; "ablation-stl";
-          "ablation-ce"; "ablation-pac-width"; "backend"; "micro" ];
+          "ablation-ce"; "ablation-pac-width"; "backend"; "elide"; "micro" ];
       exit 0
   | _ -> ());
   if want "table1" then begin
@@ -193,6 +194,12 @@ let () =
   if want "backend" then begin
     section "Extension: shadow-MAC backend (section 7)";
     print_endline (Rsti_report.Ablation.backend_comparison ())
+  end;
+  if want "elide" then begin
+    section "Elision: instrumented-site reduction and overhead delta";
+    print_endline (Rsti_report.Ablation.elision ());
+    section "Elision: safety invariant (Table 1 under elision)";
+    print_endline (Rsti_report.Security.elide_safety ())
   end;
   if want "micro" then begin
     section "Bechamel micro-benchmarks";

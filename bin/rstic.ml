@@ -2,9 +2,13 @@
 
    Subcommands:
      run       compile a MiniC file, instrument it, execute it
+               (--elide turns on proof-based instrumentation elision)
      emit-ir   print the (optionally instrumented) IR
      analyze   print the STI analysis: pointer variables, RSTI-types,
                equivalence-class statistics, pointer-to-pointer census
+               (--format=json for machine-readable output)
+     lint      run the whole-program static STI checker over a file or
+               a directory of MiniC sources (--format=text|json)
      attacks   run the paper's attack catalog
      report    print one of the paper-reproduction reports *)
 
@@ -63,12 +67,35 @@ let with_frontend path f =
       Printf.eprintf "%s: type error: %s\n" (Rsti_minic.Loc.to_string loc) msg;
       exit 1
 
-let compile_instrumented path mech =
+let compile_instrumented ?(elide = false) path mech =
   with_frontend path (fun src ->
       let m = Rsti_ir.Lower.compile ~file:path src in
       let anal = Rsti_sti.Analysis.analyze m in
-      let r = Rsti_rsti.Instrument.instrument mech anal m in
+      let elide =
+        if elide then
+          let e = Rsti_staticcheck.Elide.analyze anal m in
+          Some (Rsti_staticcheck.Elide.elide e)
+        else None
+      in
+      let r = Rsti_rsti.Instrument.instrument ?elide mech anal m in
       (m, anal, r))
+
+let format_arg =
+  let fmt_conv =
+    let parse = function
+      | "text" -> Ok `Text
+      | "json" -> Ok `Json
+      | s -> Error (`Msg (Printf.sprintf "unknown format %S (text|json)" s))
+    in
+    let print fmt f =
+      Format.pp_print_string fmt (match f with `Text -> "text" | `Json -> "json")
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt fmt_conv `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text (default) or json.")
 
 (* ------------------------------------------------------------------ *)
 
@@ -77,13 +104,25 @@ let run_cmd =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print cycle and PAC statistics.")
   in
-  let action file mech stats =
-    let _, _, r = compile_instrumented file mech in
+  let elide_flag =
+    Arg.(
+      value & flag
+      & info [ "elide" ]
+          ~doc:
+            "Elide sign/auth pairs the static checker proves safe (see \
+             $(b,rstic lint)); no-op under parts/none.")
+  in
+  let action file mech stats elide =
+    let _, _, r = compile_instrumented ~elide file mech in
     let vm = Interp.create ~pp_table:r.pp_table r.modul in
     let o = Interp.run vm in
     print_string o.Interp.output;
     if stats then begin
-      Printf.printf "--- %s ---\n" (RT.mechanism_to_string mech);
+      Printf.printf "--- %s%s ---\n"
+        (RT.mechanism_to_string mech)
+        (if elide then "+elide" else "");
+      Printf.printf "static sites: signs=%d auths=%d resigns=%d elided=%d\n"
+        r.counts.signs r.counts.auths r.counts.resigns r.counts.elided;
       Printf.printf "cycles: %d  instructions: %d\n" o.cycles o.counts.instrs;
       Printf.printf "loads: %d  stores: %d\n" o.counts.loads o.counts.stores;
       Printf.printf "pac signs: %d  auths: %d  strips: %d  pp calls: %d\n"
@@ -103,7 +142,8 @@ let run_cmd =
         Printf.eprintf "trap: %s\n" (Interp.trap_to_string tr);
         exit 139
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const action $ file_arg $ mech_arg $ stats)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const action $ file_arg $ mech_arg $ stats $ elide_flag)
 
 let emit_ir_cmd =
   let doc = "Print the (optionally instrumented) IR of a MiniC program." in
@@ -115,29 +155,116 @@ let emit_ir_cmd =
 
 let analyze_cmd =
   let doc = "Print the STI analysis of a MiniC program." in
-  let action file =
-    let _, anal, _ = compile_instrumented file RT.Nop in
+  let action file format =
+    let m, anal, _ = compile_instrumented file RT.Nop in
     let vars = Rsti_sti.Analysis.pointer_vars anal in
-    Printf.printf "Pointer variables and their RSTI-types (STWC view):\n\n";
-    List.iter
-      (fun (si : Rsti_sti.Analysis.slot_info) ->
-        let rt = Rsti_sti.Analysis.rsti_of anal RT.Stwc si.slot in
-        Printf.printf "  %-28s %s\n"
-          (Rsti_ir.Ir.slot_to_string si.slot)
-          (RT.to_string rt))
-      vars;
     let s = Rsti_sti.Analysis.stats anal in
-    Printf.printf
-      "\nNT=%d RT(STC)=%d RT(STWC)=%d NV=%d  largest ECV: STC=%d STWC=%d  \
-       largest ECT: STC=%d STWC=%d\n"
-      s.nt s.rt_stc s.rt_stwc s.nv s.largest_ecv_stc s.largest_ecv_stwc
-      s.largest_ect_stc s.largest_ect_stwc;
     let c = Rsti_sti.Analysis.pp_census anal in
-    Printf.printf "pointer-to-pointer sites: %d (type-loss: %d)\n"
-      c.pp_total_sites
-      (List.length c.pp_special)
+    match format with
+    | `Text ->
+        Printf.printf "Pointer variables and their RSTI-types (STWC view):\n\n";
+        List.iter
+          (fun (si : Rsti_sti.Analysis.slot_info) ->
+            let rt = Rsti_sti.Analysis.rsti_of anal RT.Stwc si.slot in
+            Printf.printf "  %-28s %s\n"
+              (Rsti_ir.Ir.slot_to_string si.slot)
+              (RT.to_string rt))
+          vars;
+        Printf.printf
+          "\nNT=%d RT(STC)=%d RT(STWC)=%d NV=%d  largest ECV: STC=%d STWC=%d  \
+           largest ECT: STC=%d STWC=%d\n"
+          s.nt s.rt_stc s.rt_stwc s.nv s.largest_ecv_stc s.largest_ecv_stwc
+          s.largest_ect_stc s.largest_ect_stwc;
+        Printf.printf "pointer-to-pointer sites: %d (type-loss: %d)\n"
+          c.pp_total_sites
+          (List.length c.pp_special)
+    | `Json ->
+        let module J = Rsti_staticcheck.Json in
+        let e = Rsti_staticcheck.Elide.analyze anal m in
+        let var si =
+          let slot = si.Rsti_sti.Analysis.slot in
+          J.Obj
+            [
+              ("slot", J.Str (Rsti_ir.Ir.slot_to_string slot));
+              ("rsti_stwc", J.Str (RT.to_string (Rsti_sti.Analysis.rsti_of anal RT.Stwc slot)));
+              ("rsti_stc", J.Str (RT.to_string (Rsti_sti.Analysis.rsti_of anal RT.Stc slot)));
+              ("elision", J.Str (Rsti_staticcheck.Elide.verdict_to_string
+                                   (Rsti_staticcheck.Elide.verdict e slot)));
+            ]
+        in
+        let j =
+          J.Obj
+            [
+              ("file", J.Str file);
+              ("pointer_vars", J.List (List.map var vars));
+              ( "stats",
+                J.Obj
+                  [
+                    ("nt", J.Int s.nt);
+                    ("rt_stc", J.Int s.rt_stc);
+                    ("rt_stwc", J.Int s.rt_stwc);
+                    ("nv", J.Int s.nv);
+                    ("largest_ecv_stc", J.Int s.largest_ecv_stc);
+                    ("largest_ecv_stwc", J.Int s.largest_ecv_stwc);
+                    ("largest_ect_stc", J.Int s.largest_ect_stc);
+                    ("largest_ect_stwc", J.Int s.largest_ect_stwc);
+                  ] );
+              ( "pp_census",
+                J.Obj
+                  [
+                    ("total_sites", J.Int c.pp_total_sites);
+                    ("type_loss_sites", J.Int (List.length c.pp_special));
+                  ] );
+            ]
+        in
+        print_string (J.to_string j);
+        print_newline ()
   in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const action $ file_arg)
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const action $ file_arg $ format_arg)
+
+let lint_cmd =
+  let doc =
+    "Run the whole-program static STI checker over MiniC sources. FILE may \
+     be a single source file or a directory (linted recursively, *.c only). \
+     Exit status is 0 even when findings are reported."
+  in
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"MiniC source file or directory.")
+  in
+  let rec collect path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list |> List.sort compare
+      |> List.concat_map (fun e -> collect (Filename.concat path e))
+    else if Filename.check_suffix path ".c" then [ path ]
+    else []
+  in
+  let action target format =
+    if not (Sys.file_exists target) then begin
+      Printf.eprintf "rstic lint: no such file or directory: %s\n" target;
+      exit 2
+    end;
+    let files =
+      if Sys.is_directory target then collect target else [ target ]
+    in
+    if files = [] then
+      Printf.eprintf "rstic lint: no .c files under %s\n" target;
+    List.iter
+      (fun file ->
+        let findings =
+          with_frontend file (fun src ->
+              let m = Rsti_ir.Lower.compile ~file src in
+              let anal = Rsti_sti.Analysis.analyze m in
+              Rsti_staticcheck.Lint.run anal m)
+        in
+        match format with
+        | `Text -> print_string (Rsti_staticcheck.Lint.render_text ~file findings)
+        | `Json -> print_string (Rsti_staticcheck.Lint.render_json ~file findings))
+      files
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const action $ target_arg $ format_arg)
 
 let attacks_cmd =
   let doc = "Run the paper's attack catalog (Tables 1 and 2)." in
@@ -157,7 +284,7 @@ let report_cmd =
           ~doc:
             "One of: table1, table2, table3, fig9, fig10, pp-census, parts, \
              correlation, ablation-pac, ablation-merge, ablation-stl, \
-             ablation-ce.")
+             ablation-ce, elide.")
   in
   let action which =
     match which with
@@ -176,6 +303,9 @@ let report_cmd =
     | "ablation-ce" -> print_endline (Rsti_report.Ablation.ce_width ())
     | "ablation-pac-width" -> print_endline (Rsti_report.Ablation.pac_brute_force ())
     | "backend" -> print_endline (Rsti_report.Ablation.backend_comparison ())
+    | "elide" ->
+        print_endline (Rsti_report.Ablation.elision ());
+        print_endline (Rsti_report.Security.elide_safety ())
     | s ->
         Printf.eprintf "unknown report %S\n" s;
         exit 2
@@ -210,4 +340,7 @@ let gen_cmd =
 let () =
   let doc = "RSTI: runtime scope-type integrity toolchain (ASPLOS'24 reproduction)" in
   let info = Cmd.info "rstic" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; emit_ir_cmd; analyze_cmd; attacks_cmd; report_cmd; gen_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; emit_ir_cmd; analyze_cmd; lint_cmd; attacks_cmd; report_cmd; gen_cmd ]))

@@ -1,0 +1,58 @@
+/* lint_demo.c — a small program that trips most of the stilint rules.
+   Run it with:
+
+     rstic lint examples/lint_demo.c
+     rstic lint examples/lint_demo.c --format=json
+
+   Expected findings: a type-erasing cast merging the int-pointer and
+   long-pointer STC classes, a store through a const-qualified slot, a
+   double-pointer
+   site that loses its pointee type, an xpac-stripped external call,
+   and substitution windows over the same-typed pointer globals. */
+
+extern void* malloc(long n);
+extern int printf(const char *fmt, ...);
+extern void qsort(void* base, long n, long width, void* cmp);
+
+/* Two same-typed, same-scoped globals: one STWC equivalence class of
+   size two — the substitution window the lint reports statically. */
+int* alpha;
+int* beta;
+
+/* A const pointer slot: writing through it is a permission bug. */
+const char* banner = "lint demo";
+
+long* laundered;
+
+void mix(void) {
+  /* Type-erasing cast: int* and long* end up in one STC class. */
+  laundered = (long*) alpha;
+  printf("mixed %ld\n", *laundered);
+}
+
+void sort_ptrs(int** table, long n) {
+  /* Double pointer passed to an external sink through void*: the
+     pointee type is gone unless a CE covers the site. (Guarded so the
+     demo still runs — the lint findings are static.) */
+  if (n > 9000) {
+    qsort((void*) table, n, 8, (void*) 0);
+  }
+  printf("table of %ld\n", n);
+}
+
+int main(void) {
+  alpha = (int*) malloc(8);
+  beta = (int*) malloc(8);
+  *alpha = 41;
+  *beta = 1;
+  mix();
+  int* table[2];
+  table[0] = alpha;
+  table[1] = beta;
+  sort_ptrs(table, 2);
+  /* Store through a permission-R slot: the sign here disagrees with
+     the auth at every read of banner. */
+  banner = "rebranded";
+  printf("%s: sum %d\n", banner, *alpha + *beta);
+  return 0;
+}

@@ -29,10 +29,16 @@ let verdict_to_string = function
 
 type run_result = { verdict : verdict; outcome : Interp.outcome }
 
-let run scenario mech =
+let run ?(elide = false) scenario mech =
   let m = Rsti_ir.Lower.compile ~file:(scenario.id ^ ".c") scenario.program in
   let anal = Rsti_sti.Analysis.analyze m in
-  let r = Rsti_rsti.Instrument.instrument mech anal m in
+  let elide =
+    if elide then
+      let e = Rsti_staticcheck.Elide.analyze anal m in
+      Some (Rsti_staticcheck.Elide.elide e)
+    else None
+  in
+  let r = Rsti_rsti.Instrument.instrument ?elide mech anal m in
   let vm = Interp.create ~pp_table:r.pp_table r.modul in
   let outcome = Interp.run ~attacks:scenario.attacks vm in
   let verdict =

@@ -58,6 +58,17 @@ let verify_function (m : Ir.modul) (fn : Ir.func) : error list =
     | _ -> true
   in
   let check_label l = if l < 0 || l >= nblocks then err "branch to invalid label L%d" l in
+  (* Debug-metadata completeness: Sti.Analysis derives every slot's scope
+     from the !dbg attachment on its loads and stores — a memory access
+     without one (or naming a function that does not exist) would be
+     silently mis-scoped, so it is an IR error, not a style issue. *)
+  let check_dbg what (ins : Ir.instr) =
+    match ins.Ir.dbg with
+    | None -> err "%s without !dbg location" what
+    | Some d ->
+        if Ir.find_func m d.Dinfo.dl_func = None then
+          err "%s !dbg names unknown function %s" what d.Dinfo.dl_func
+  in
   Ir.iter_instrs
     (fun ins ->
       match ins.Ir.i with
@@ -67,10 +78,12 @@ let verify_function (m : Ir.modul) (fn : Ir.func) : error list =
           | _ -> ( try ignore (Ir.sizeof m ty) with _ -> err "alloca of unsized type"))
       | Ir.Load { addr; ty; _ } ->
           use addr;
+          check_dbg "load" ins;
           if not (loadable ty) then err "load of non-loadable type %s" (Ctype.to_string ty)
       | Ir.Store { src; addr; ty; _ } ->
           use src;
           use addr;
+          check_dbg "store" ins;
           if not (loadable ty) then err "store of non-loadable type %s" (Ctype.to_string ty)
       | Ir.Gep { base; sname; field; _ } -> (
           use base;
@@ -90,11 +103,36 @@ let verify_function (m : Ir.modul) (fn : Ir.func) : error list =
           use src
       | Ir.Call { callee; args; arg_tys; _ } ->
           (match callee with
-          | Ir.Direct f ->
-              if Ir.find_func m f = None && not (List.mem_assoc f m.m_externs) then
-                (* built-ins (printf, malloc, ...) resolve at runtime even
-                   without a declaration; only flag obviously bogus names *)
-                ()
+          | Ir.Direct f -> (
+              let nargs = List.length args in
+              match Ir.find_func m f with
+              | Some callee_fn ->
+                  let nparams = List.length callee_fn.Ir.params in
+                  if nargs <> nparams then
+                    err "call to @%s passes %d args, signature declares %d" f
+                      nargs nparams
+              | None -> (
+                  match List.assoc_opt f m.m_externs with
+                  | Some ty -> (
+                      match Ctype.strip_const ty with
+                      | Ctype.Func s ->
+                          let fixed = List.length s.Ctype.params in
+                          if s.Ctype.variadic then begin
+                            if nargs < fixed then
+                              err
+                                "call to variadic extern @%s passes %d args, \
+                                 needs at least %d"
+                                f nargs fixed
+                          end
+                          else if nargs <> fixed then
+                            err "call to extern @%s passes %d args, declared %d"
+                              f nargs fixed
+                      | _ -> ())
+                  | None ->
+                      (* built-ins (printf, malloc, ...) resolve at runtime
+                         even without a declaration; only flag arity against
+                         signatures we actually have *)
+                      ()))
           | Ir.Indirect c -> use c);
           List.iter use args;
           if List.length arg_tys <> List.length args then

@@ -145,6 +145,61 @@ let pac_brute_force () =
       ~header:[ "layout"; "PAC bits"; "measured accept rate"; "expected 2^-w" ]
       rows
 
+let elision () =
+  let mechs = RT.all_mechanisms in
+  let sites (c : Rsti_rsti.Instrument.static_counts) =
+    c.signs + c.auths + (2 * c.resigns)
+  in
+  let full = ref [] and elided = ref [] in
+  let rows =
+    List.map
+      (fun (w : Rsti_workloads.Workload.t) ->
+        let ms_full = Run.measure w mechs in
+        let ms_elide = Run.measure ~elide:true w mechs in
+        full := !full @ ms_full;
+        elided := !elided @ ms_elide;
+        let stwc_full = List.find (fun m -> m.Run.mech = RT.Stwc) ms_full in
+        let stwc_el = List.find (fun m -> m.Run.mech = RT.Stwc) ms_elide in
+        let s_full = sites stwc_full.Run.static_counts in
+        let s_el = sites stwc_el.Run.static_counts in
+        let reduction =
+          if s_full = 0 then 0.
+          else float_of_int (s_full - s_el) /. float_of_int s_full *. 100.
+        in
+        [
+          w.name;
+          string_of_int s_full;
+          string_of_int s_el;
+          string_of_int stwc_el.Run.static_counts.elided;
+          Printf.sprintf "%.1f%%" reduction;
+          pct stwc_full.Run.overhead_pct;
+          pct stwc_el.Run.overhead_pct;
+        ])
+      Rsti_workloads.Spec2006.all
+  in
+  let geo mech ms =
+    Run.geomean_overhead (List.filter (fun m -> m.Run.mech = mech) ms)
+  in
+  "Elision: proof-based instrumentation removal (staticcheck)\n\
+   Sites whose sign/auth the static checker proves redundant keep plain\n\
+   loads/stores; the safety report shows no detection verdict changes.\n\
+   Counts and overheads below are RSTI-STWC (fig9 with/without elision).\n\n"
+  ^ Tab.render
+      ~header:
+        [
+          "BM"; "sites"; "sites+elide"; "elided"; "reduction";
+          "ovh STWC"; "ovh STWC+elide";
+        ]
+      rows
+  ^ "\n"
+  ^ Tab.render
+      ~header:[ "geomean overhead"; "STWC"; "STC"; "STL" ]
+      [
+        "full" :: List.map (fun m -> pct (geo m !full)) mechs;
+        "elided" :: List.map (fun m -> pct (geo m !elided)) mechs;
+      ]
+  ^ "\n(The STC < STWC < STL ordering must survive elision.)\n"
+
 let backend_comparison () =
   let mech = RT.Stwc in
   let rows =

@@ -25,6 +25,12 @@ val pac_brute_force : unit -> string
     paper's section 6.2.1 cites prior work that the PAC length suffices;
     this makes the claim quantitative). *)
 
+val elision : unit -> string
+(** The static checker's proof-based elision over SPEC2006: per-benchmark
+    instrumented-site counts and STWC overhead with and without
+    {!Rsti_staticcheck.Elide}, plus full-vs-elided geomeans per mechanism
+    (the fig9 bars with elision on). *)
+
 val backend_comparison : unit -> string
 (** Section 7's "RSTI with mechanisms other than PAC", made concrete:
     the STWC policy enforced through a CCFI-style shadow MAC, compared

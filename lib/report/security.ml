@@ -53,6 +53,98 @@ let table1 () =
      data-oriented attack and same-signature code reuse (the paper's \
      motivation).\n"
 
+(* ------------------------- elision safety ------------------------- *)
+
+(* The static checker's safety invariant: proof-based instrumentation
+   elision must never change a detection verdict. Run every Table 1
+   attack and every substitution micro-scenario under each mechanism,
+   with and without elision, and compare. *)
+
+let elide_safety_verdicts () =
+  List.map
+    (fun sc ->
+      let per_mech =
+        List.map
+          (fun m ->
+            ( m,
+              (S.run sc m).S.verdict,
+              (S.run ~elide:true sc m).S.verdict ))
+          RT.all_mechanisms
+      in
+      (sc, per_mech))
+    Rsti_attacks.Catalog.all
+
+let substitution_elide_agreement () =
+  let scenarios =
+    List.map fst Rsti_attacks.Substitution.expected
+    @ List.map fst Rsti_attacks.Memory_safety.expected
+  in
+  List.concat_map
+    (fun sc ->
+      List.map
+        (fun m ->
+          ( sc,
+            m,
+            (S.run sc m).S.verdict,
+            (S.run ~elide:true sc m).S.verdict ))
+        (RT.all_mechanisms @ [ RT.Parts ]))
+    scenarios
+
+let elide_safety () =
+  let t1 = elide_safety_verdicts () in
+  let rows =
+    List.map
+      (fun (sc, per_mech) ->
+        sc.S.paper_row
+        :: List.concat_map
+             (fun (_, full, elided) ->
+               [
+                 verdict_cell full;
+                 verdict_cell elided;
+                 (if full = elided then "yes" else "NO");
+               ])
+             per_mech)
+      t1
+  in
+  let t1_held =
+    List.for_all
+      (fun (_, per_mech) ->
+        List.for_all
+          (fun (_, full, elided) -> full = S.Detected && elided = full)
+          per_mech)
+      t1
+  in
+  let subs = substitution_elide_agreement () in
+  let subs_disagree =
+    List.filter (fun (_, _, full, elided) -> full <> elided) subs
+  in
+  Tab.render
+    ~align:
+      Tab.[ Left; Right; Right; Right; Right; Right; Right; Right; Right; Right ]
+    ~header:
+      [
+        "Attack (Table 1)";
+        "STWC"; "+elide"; "same";
+        "STC"; "+elide"; "same";
+        "STL"; "+elide"; "same";
+      ]
+    rows
+  ^ Printf.sprintf
+      "\n\nSafety invariant — all %d attacks DETECTED under every mechanism \
+       with elision on: %s\nSubstitution micro-scenarios (%d scenario x \
+       mechanism runs) verdict-identical with elision: %s\n"
+      (List.length t1)
+      (if t1_held then "HELD" else "VIOLATED")
+      (List.length subs)
+      (if subs_disagree = [] then "HELD"
+       else
+         "VIOLATED: "
+         ^ String.concat ", "
+             (List.map
+                (fun (sc, m, _, _) ->
+                  sc.S.id ^ "/" ^ RT.mechanism_to_string m)
+                subs_disagree))
+
 let table2 () =
   let mech_cols = RT.all_mechanisms @ [ RT.Parts ] in
   let make_rows scenarios =

@@ -22,3 +22,30 @@ val table1_verdicts :
   list
 (** Structured results (baseline verdict + per-mechanism verdicts), for
     tests and the bench harness. *)
+
+val elide_safety : unit -> string
+(** Render the elision safety-invariant check: every Table 1 attack under
+    every mechanism with and without {!Rsti_staticcheck.Elide} elision
+    (all must stay DETECTED), plus verdict agreement over the
+    substitution micro-scenarios. *)
+
+val elide_safety_verdicts :
+  unit ->
+  (Rsti_attacks.Scenario.t
+  * (Rsti_sti.Rsti_type.mechanism
+    * Rsti_attacks.Scenario.verdict
+    * Rsti_attacks.Scenario.verdict)
+    list)
+  list
+(** Structured (mechanism, full verdict, elided verdict) triples per
+    Table 1 attack. *)
+
+val substitution_elide_agreement :
+  unit ->
+  (Rsti_attacks.Scenario.t
+  * Rsti_sti.Rsti_type.mechanism
+  * Rsti_attacks.Scenario.verdict
+  * Rsti_attacks.Scenario.verdict)
+  list
+(** Substitution + memory-safety micro-scenario verdicts with and without
+    elision, per mechanism (including PARTS). *)

@@ -9,9 +9,11 @@ type static_counts = {
   resigns : int;
   strips : int;
   pp_ops : int;
+  elided : int;
 }
 
-let zero_counts = { signs = 0; auths = 0; resigns = 0; strips = 0; pp_ops = 0 }
+let zero_counts =
+  { signs = 0; auths = 0; resigns = 0; strips = 0; pp_ops = 0; elided = 0 }
 
 let add_counts a b =
   {
@@ -20,6 +22,7 @@ let add_counts a b =
     resigns = a.resigns + b.resigns;
     strips = a.strips + b.strips;
     pp_ops = a.pp_ops + b.pp_ops;
+    elided = a.elided + b.elided;
   }
 
 type result = {
@@ -150,8 +153,18 @@ let modifier_for mech anal slot (addr : Ir.value) : Ir.modifier * Ir.value =
   | Rsti_type.Stl -> (Ir.Mloc h, addr)
   | _ -> (Ir.Mconst h, addr)
 
-let instrument_function mech anal plan externs (fn : Ir.func) : static_counts =
+let instrument_function ~elide mech anal plan externs (fn : Ir.func) :
+    static_counts =
   let st = { next_reg = fn.nregs; c = zero_counts; pp_regs = Hashtbl.create 4 } in
+  (* Elision (the staticcheck prover's verdicts): a slot whose every
+     reaching store is a same-RSTI-type sign in its own flow component,
+     with no escaping address and no attacker-writable window, keeps
+     baseline loads/stores. Sign and auth are dropped together, so the
+     raw-in-flight discipline is preserved. PARTS models a compiler
+     without the whole-program proof and never elides. *)
+  let elide_slot slot =
+    mech <> Rsti_type.Parts && elide (Analysis.alias_slot anal slot)
+  in
   let param_is_pp (slot : Ir.slot) =
     match slot with
     | Ir.Svar id -> Hashtbl.mem plan.protected_params id
@@ -173,6 +186,12 @@ let instrument_function mech anal plan externs (fn : Ir.func) : static_counts =
           { ins with i = Ir.Load { dst = tmp; addr; ty; slot } };
           { ins with i = Ir.Pp (Ir.Pp_auth { dst; src = Ir.Reg tmp; slot_addr = Ir.Null }) };
         ]
+    | Ir.Load { ty; slot; addr; _ }
+      when should_instrument mech anal ty slot
+           && elide_slot slot
+           && not (match addr with Ir.Reg r -> pp_addr_reg r | _ -> false) ->
+        st.c <- add_counts st.c { zero_counts with elided = 1 };
+        [ ins ]
     | Ir.Load { dst; addr; ty; slot }
       when should_instrument mech anal ty slot
            && not (match addr with Ir.Reg r -> pp_addr_reg r | _ -> false) ->
@@ -196,6 +215,13 @@ let instrument_function mech anal plan externs (fn : Ir.func) : static_counts =
                 };
           };
         ]
+    | Ir.Store { ty; slot; addr; _ }
+      when should_instrument mech anal ty slot
+           && elide_slot slot
+           && (not (param_is_pp slot))
+           && not (match addr with Ir.Reg r -> pp_addr_reg r | _ -> false) ->
+        st.c <- add_counts st.c { zero_counts with elided = 1 };
+        [ ins ]
     | Ir.Store { src; addr; ty; slot }
       when should_instrument mech anal ty slot
            && (not (param_is_pp slot))
@@ -387,7 +413,7 @@ let copy_func (fn : Ir.func) : Ir.func =
       Array.map (fun (b : Ir.block) -> { b with Ir.instrs = b.instrs }) fn.blocks;
   }
 
-let instrument mech anal (m : Ir.modul) : result =
+let instrument ?(elide = fun _ -> false) mech anal (m : Ir.modul) : result =
   if mech = Rsti_type.Nop then
     { modul = m; pp_table = []; counts = zero_counts; per_func = [] }
   else begin
@@ -402,13 +428,16 @@ let instrument mech anal (m : Ir.modul) : result =
         if not (Hashtbl.mem defined name) then Hashtbl.replace externs name ())
       m.m_externs;
     let per_func =
-      List.map (fun fn -> (fn.Ir.name, instrument_function mech anal plan externs fn)) funcs
+      List.map
+        (fun fn ->
+          (fn.Ir.name, instrument_function ~elide mech anal plan externs fn))
+        funcs
     in
     let counts = List.fold_left (fun acc (_, c) -> add_counts acc c) zero_counts per_func in
     { modul = m'; pp_table = plan.table; counts; per_func }
   end
 
-let compile_and_instrument ?(file = "<string>") mech src =
+let compile_and_instrument ?(file = "<string>") ?elide mech src =
   let m = Rsti_ir.Lower.compile ~file src in
   let anal = Analysis.analyze m in
-  (instrument mech anal m, anal)
+  (instrument ?elide mech anal m, anal)

@@ -28,6 +28,7 @@ type static_counts = {
   resigns : int;    (** cast-site auth+re-sign pairs *)
   strips : int;
   pp_ops : int;
+  elided : int;     (** sign/auth sites skipped by the elision proof *)
 }
 
 type result = {
@@ -39,12 +40,22 @@ type result = {
 }
 
 val instrument :
+  ?elide:(Rsti_ir.Ir.slot -> bool) ->
   Rsti_sti.Rsti_type.mechanism -> Rsti_sti.Analysis.t -> Rsti_ir.Ir.modul -> result
 (** Instrument under a mechanism. [Nop] returns the module unchanged. The
-    input module must be uninstrumented. *)
+    input module must be uninstrumented.
+
+    [elide] is the static checker's safety proof
+    ({!Rsti_staticcheck.Elide.elide}): slots it accepts keep plain
+    loads/stores — sign and auth are dropped together, so in-memory values
+    stay raw and agree with the uninstrumented discipline. Sites skipped
+    this way are tallied in [elided]. PARTS never elides (it models a
+    compiler without the whole-program proof); the default elides
+    nothing. *)
 
 val compile_and_instrument :
-  ?file:string -> Rsti_sti.Rsti_type.mechanism -> string ->
+  ?file:string -> ?elide:(Rsti_ir.Ir.slot -> bool) ->
+  Rsti_sti.Rsti_type.mechanism -> string ->
   result * Rsti_sti.Analysis.t
 (** Front-end convenience: source → checked → lowered → analyzed →
     instrumented. *)

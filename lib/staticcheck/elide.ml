@@ -1,0 +1,235 @@
+(* Proof-based instrumentation elision (the static half of the paper's
+   overhead story: §6.3.2 shows overhead tracks instrumented load/store
+   count, so every sign/auth pair proven consistent is overhead removed
+   at zero security cost).
+
+   A slot's sign/auth pair can be elided when three facts hold
+   statically:
+
+   1. Modifier consistency: every store that can reach a load of the slot
+      signs under the slot's own RSTI-type modifier. In this IR that is
+      structural for non-aliased slots (both sites derive the modifier
+      from the same slot key, and the interprocedural flow component is
+      where cross-slot flows show up) — so the proof obligation reduces
+      to the absence of aliased access paths.
+   2. No escaping access path: the slot's address never escapes (no
+      pointer to it is formed), and its flow component contains no
+      heap-resident or anonymous member a same-typed foreign pointer
+      could write through, and no cast launders values out of the
+      component under a different RSTI-type.
+   3. No attacker-writable window: under the linear-overflow attacker
+      model (a contiguous write running forward from a writable buffer —
+      the classic heap/stack/global overflow), no writable array in the
+      same segment ("page class") precedes the slot. Heap slots always
+      fail this (attacker allocations neighbour them); globals fail it
+      exactly when a writable global array is laid out before them.
+
+   Two categorical exclusions on top:
+
+   - Code pointers are never elided: removing a control-flow check
+     trades a CFI guarantee for cycles, which is not this pass's call to
+     make. Likewise const slots — their auth IS the permission check.
+   - Slots whose flow component stores an extern-derived (heap) pointer
+     are never elided: every signed heap pointer has same-typed siblings
+     living in attacker-window memory (the heap), so a substitution
+     donor always exists regardless of where the slot itself lives. *)
+
+module Ir = Rsti_ir.Ir
+module Ctype = Rsti_minic.Ctype
+module Analysis = Rsti_sti.Analysis
+
+type reason =
+  | Heap_reachable     (* field/anonymous slot: attacker heap neighbours *)
+  | Address_escapes    (* &slot is formed: aliased stores possible *)
+  | Code_pointer       (* never trade a CFI check away *)
+  | Const_slot         (* the auth IS the permission check: keep it *)
+  | Heap_value         (* holds extern-derived (heap) pointers: donors exist *)
+  | Overflow_window    (* a writable global array precedes it in layout *)
+  | Cast_in_component  (* values laundered through casts in the component *)
+  | Component_escapes  (* flow component has escaping/heap members *)
+
+type verdict = Provably_safe | Must_check of reason
+
+let reason_to_string = function
+  | Heap_reachable -> "heap-reachable"
+  | Address_escapes -> "address-escapes"
+  | Code_pointer -> "code-pointer"
+  | Const_slot -> "const-slot"
+  | Heap_value -> "heap-value"
+  | Overflow_window -> "overflow-window"
+  | Cast_in_component -> "cast-in-component"
+  | Component_escapes -> "component-escapes"
+
+let verdict_to_string = function
+  | Provably_safe -> "provably-safe"
+  | Must_check r -> "must-check:" ^ reason_to_string r
+
+type t = {
+  anal : Analysis.t;
+  windowed : (int, unit) Hashtbl.t;   (* global var ids behind a window *)
+  tainted : (string, unit) Hashtbl.t; (* component roots storing heap ptrs *)
+  comp_cache : (string, reason option) Hashtbl.t;
+}
+
+(* Does a global of this type open a forward-overflow window over the
+   rest of the globals segment? Writable arrays do; so do structs
+   containing one. *)
+let rec has_writable_array lookup ty =
+  match ty with
+  | Ctype.Array (elem, _) -> not (Ctype.is_const elem)
+  | Ctype.Struct s ->
+      List.exists (fun (_, fty) -> has_writable_array lookup fty) (lookup s)
+  | Ctype.Const _ -> false
+  | Ctype.Void | Ctype.Char | Ctype.Int | Ctype.Long | Ctype.Double
+  | Ctype.Ptr _ | Ctype.Func _ ->
+      false
+
+let opens_window m ty = has_writable_array (Ir.struct_lookup m) ty
+
+let analyze anal (m : Ir.modul) : t =
+  let windowed = Hashtbl.create 16 in
+  let window_open = ref false in
+  List.iter
+    (fun (g : Ir.global_def) ->
+      let v = g.gvar in
+      if !window_open then Hashtbl.replace windowed v.Rsti_minic.Tast.v_id ();
+      if opens_window m v.Rsti_minic.Tast.v_ty then window_open := true)
+    m.m_globals;
+  (* Heap-value taint: a slot storing an extern return (malloc and
+     friends, looking through casts) holds a heap pointer. Every signed
+     heap pointer has same-typed siblings reachable from attacker-window
+     memory, so a substitution donor always exists — the slot and its
+     whole flow component stay checked. *)
+  let tainted = Hashtbl.create 16 in
+  let defined = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace defined f.Ir.name ()) m.m_funcs;
+  List.iter
+    (fun (fn : Ir.func) ->
+      let defs = Hashtbl.create 64 in
+      Ir.iter_instrs
+        (fun ins ->
+          match ins.i with
+          | Ir.Bitcast { dst; _ } | Ir.Call { dst = Some dst; _ } ->
+              Hashtbl.replace defs dst ins.i
+          | _ -> ())
+        fn;
+      let rec from_extern v =
+        match v with
+        | Ir.Reg r -> (
+            match Hashtbl.find_opt defs r with
+            | Some (Ir.Bitcast { src; _ }) -> from_extern src
+            | Some (Ir.Call { callee = Ir.Direct f; _ }) ->
+                not (Hashtbl.mem defined f)
+            | _ -> false)
+        | _ -> false
+      in
+      Ir.iter_instrs
+        (fun ins ->
+          match ins.i with
+          | Ir.Store { slot; src; ty; _ }
+            when Ctype.is_pointer ty && from_extern src ->
+              Hashtbl.replace tainted (Analysis.component_of anal slot) ()
+          | _ -> ())
+        fn)
+    m.m_funcs;
+  { anal; windowed; tainted; comp_cache = Hashtbl.create 64 }
+
+(* The component-level obligations, cached per component root. *)
+let component_reason t slot =
+  let root = Analysis.component_of t.anal slot in
+  match Hashtbl.find_opt t.comp_cache root with
+  | Some r -> r
+  | None ->
+      let members = Analysis.component_of_slot t.anal slot in
+      let r =
+        if
+          List.exists
+            (fun (si : Analysis.slot_info) -> Analysis.cast_occs t.anal si <> [])
+            members
+        then Some Cast_in_component
+        else if
+          List.exists
+            (fun (si : Analysis.slot_info) ->
+              match si.kind with
+              | Analysis.Kfield _ | Analysis.Kanon -> true
+              | Analysis.Klocal | Analysis.Kparam | Analysis.Kglobal -> (
+                  match si.slot with
+                  | Ir.Svar id -> Analysis.address_taken t.anal id
+                  | _ -> true))
+            members
+        then Some Component_escapes
+        else None
+      in
+      Hashtbl.replace t.comp_cache root r;
+      r
+
+let verdict t (slot : Ir.slot) : verdict =
+  match Analysis.alias_slot t.anal slot with
+  | Ir.Sfield _ | Ir.Sanon _ -> Must_check Heap_reachable
+  | Ir.Svar id as slot -> (
+      let si = Analysis.slot_info t.anal slot in
+      if Analysis.address_taken t.anal id then Must_check Address_escapes
+      else if Ctype.is_code_pointer si.sty then Must_check Code_pointer
+      else if si.read_only then Must_check Const_slot
+      else if Hashtbl.mem t.tainted (Analysis.component_of t.anal slot) then
+        Must_check Heap_value
+      else if si.kind = Analysis.Kglobal && Hashtbl.mem t.windowed id then
+        Must_check Overflow_window
+      else
+        match component_reason t slot with
+        | Some r -> Must_check r
+        | None -> Provably_safe)
+
+let elide t slot = verdict t slot = Provably_safe
+
+(* Would the instrumentation pass touch this slot at all under the three
+   RSTI mechanisms? (Mirrors Instrument.should_instrument: fields,
+   anonymous slots, globals, and escaping locals/params.) *)
+let is_candidate t (si : Analysis.slot_info) =
+  Ctype.is_pointer si.sty
+  &&
+  match si.kind with
+  | Analysis.Kglobal | Analysis.Kfield _ | Analysis.Kanon -> true
+  | Analysis.Klocal | Analysis.Kparam -> (
+      match si.slot with
+      | Ir.Svar id -> Analysis.address_taken t.anal id
+      | _ -> true)
+
+type summary = {
+  candidates : int;
+  safe : int;
+  reasons : (reason * int) list;
+}
+
+let summary t =
+  let cands =
+    List.filter (is_candidate t) (Analysis.pointer_vars t.anal)
+  in
+  let verdicts = List.map (fun si -> verdict t si.Analysis.slot) cands in
+  let reasons =
+    List.filter_map
+      (fun r ->
+        let n = List.length (List.filter (( = ) (Must_check r)) verdicts) in
+        if n = 0 then None else Some (r, n))
+      [
+        Heap_reachable; Address_escapes; Code_pointer; Const_slot;
+        Heap_value; Overflow_window; Cast_in_component; Component_escapes;
+      ]
+  in
+  {
+    candidates = List.length cands;
+    safe = List.length (List.filter (( = ) Provably_safe) verdicts);
+    reasons;
+  }
+
+let summary_to_string s =
+  Printf.sprintf "elision: %d/%d candidate slots provably safe%s" s.safe
+    s.candidates
+    (if s.reasons = [] then ""
+     else
+       " ("
+       ^ String.concat ", "
+           (List.map
+              (fun (r, n) -> Printf.sprintf "%s: %d" (reason_to_string r) n)
+              s.reasons)
+       ^ ")")

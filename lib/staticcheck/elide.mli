@@ -1,0 +1,54 @@
+(** Proof-based instrumentation elision.
+
+    Classifies every instrumentation-candidate slot as [Provably_safe]
+    (its sign/auth pair can be removed with no loss of detection) or
+    [Must_check] with the discharging obligation that failed. A slot is
+    provably safe when every store reaching a load of it is a
+    same-RSTI-type sign in the same flow component, its address never
+    escapes the component, and no attacker-writable window (writable
+    global array earlier in layout, or heap adjacency) aliases it. Code
+    pointers are never elided. *)
+
+type reason =
+  | Heap_reachable
+  | Address_escapes
+  | Code_pointer
+  | Const_slot
+  | Heap_value
+  | Overflow_window
+  | Cast_in_component
+  | Component_escapes
+
+type verdict = Provably_safe | Must_check of reason
+
+val reason_to_string : reason -> string
+val verdict_to_string : verdict -> string
+
+type t
+
+val opens_window : Rsti_ir.Ir.modul -> Rsti_minic.Ctype.t -> bool
+(** Does a slot of this type open a forward linear-overflow window over
+    whatever is laid out behind it? True for writable arrays and structs
+    containing one. Shared with the lint's [overflow-window] rule. *)
+
+val analyze : Rsti_sti.Analysis.t -> Rsti_ir.Ir.modul -> t
+(** Build the elision map for a module (computes the global-segment
+    overflow windows from declaration-order layout and caches
+    per-flow-component obligations). *)
+
+val verdict : t -> Rsti_ir.Ir.slot -> verdict
+(** Classification of a slot (after alias resolution). Unknown slots are
+    conservatively [Must_check]. *)
+
+val elide : t -> Rsti_ir.Ir.slot -> bool
+(** [true] iff {!verdict} is [Provably_safe] — the predicate handed to
+    [Rsti.Instrument.instrument ~elide]. *)
+
+type summary = {
+  candidates : int;  (** slots the instrumentation pass would touch *)
+  safe : int;        (** of those, provably safe *)
+  reasons : (reason * int) list;  (** must-check tally, fixed order *)
+}
+
+val summary : t -> summary
+val summary_to_string : summary -> string

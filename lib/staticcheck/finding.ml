@@ -1,0 +1,126 @@
+(* Structured lint findings: what `rstic lint` reports. Each finding names
+   the STI-weakening construct, where it is (the !dbg function/line the
+   analysis will key scopes on), and the per-mechanism consequence — which
+   attacker window (Table 2) the construct opens or widens. *)
+
+type severity = Info | Warning | Error
+
+type kind =
+  | Type_erasing_cast of {
+      from_ty : string;
+      to_ty : string;
+      class_types : int;   (* ECT: types in the merged STC class *)
+      class_vars : int;    (* ECV: pointer variables the class now spans *)
+    }
+  | Const_store of { slot : string }
+  | Pp_type_loss of { from_ty : string; ce : int option }
+  | Xpac_launder of { callee : string; ptr_args : int }
+  | Substitution_window of {
+      mech : Rsti_sti.Rsti_type.mechanism;
+      rsti : string;       (* the shared RSTI-type *)
+      members : string list;
+    }
+  | Missing_dbg of { instr : string }
+  | Overflow_window of {
+      opener : string;     (* the writable array opening the window *)
+      victims : string list;   (* pointer slots laid out behind it *)
+    }
+  | Extern_ingress of { callee : string; slot : string }
+
+type t = {
+  kind : kind;
+  severity : severity;
+  func : string;           (* enclosing function ("" = module level) *)
+  line : int;              (* 0 when no source line applies *)
+  message : string;
+  consequence : string;    (* which enforcement window this weakens *)
+}
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let kind_name = function
+  | Type_erasing_cast _ -> "type-erasing-cast"
+  | Const_store _ -> "const-store"
+  | Pp_type_loss _ -> "pp-type-loss"
+  | Xpac_launder _ -> "xpac-launder"
+  | Substitution_window _ -> "substitution-window"
+  | Missing_dbg _ -> "missing-dbg"
+  | Overflow_window _ -> "overflow-window"
+  | Extern_ingress _ -> "extern-pointer-ingress"
+
+(* Deterministic report order: location first, then kind, then message
+   (the qcheck determinism property compares whole sorted lists). *)
+let compare_finding a b =
+  compare
+    (a.func, a.line, kind_name a.kind, a.message)
+    (b.func, b.line, kind_name b.kind, b.message)
+
+let to_text ?(file = "<module>") f =
+  Printf.sprintf "%s:%s%d: [%s] %s: %s\n    -> %s" file
+    (if f.func = "" then "" else f.func ^ ":")
+    f.line
+    (severity_to_string f.severity)
+    (kind_name f.kind) f.message f.consequence
+
+let kind_fields = function
+  | Type_erasing_cast { from_ty; to_ty; class_types; class_vars } ->
+      [
+        ("from_type", Json.Str from_ty);
+        ("to_type", Json.Str to_ty);
+        ("merged_class_types", Json.Int class_types);
+        ("merged_class_vars", Json.Int class_vars);
+      ]
+  | Const_store { slot } -> [ ("slot", Json.Str slot) ]
+  | Pp_type_loss { from_ty; ce } ->
+      [
+        ("original_type", Json.Str from_ty);
+        ("ce", match ce with Some c -> Json.Int c | None -> Json.Null);
+      ]
+  | Xpac_launder { callee; ptr_args } ->
+      [ ("callee", Json.Str callee); ("pointer_args", Json.Int ptr_args) ]
+  | Substitution_window { mech; rsti; members } ->
+      [
+        ("mechanism", Json.Str (Rsti_sti.Rsti_type.mechanism_to_string mech));
+        ("rsti_type", Json.Str rsti);
+        ("members", Json.List (List.map (fun m -> Json.Str m) members));
+      ]
+  | Missing_dbg { instr } -> [ ("instr", Json.Str instr) ]
+  | Overflow_window { opener; victims } ->
+      [
+        ("opener", Json.Str opener);
+        ("victims", Json.List (List.map (fun v -> Json.Str v) victims));
+      ]
+  | Extern_ingress { callee; slot } ->
+      [ ("callee", Json.Str callee); ("slot", Json.Str slot) ]
+
+let to_json ?(file = "<module>") f =
+  Json.Obj
+    ([
+       ("kind", Json.Str (kind_name f.kind));
+       ("severity", Json.Str (severity_to_string f.severity));
+       ("file", Json.Str file);
+       ("function", Json.Str f.func);
+       ("line", Json.Int f.line);
+       ("message", Json.Str f.message);
+       ("consequence", Json.Str f.consequence);
+     ]
+    @ kind_fields f.kind)
+
+let report_json ?(file = "<module>") findings =
+  Json.Obj
+    [
+      ("file", Json.Str file);
+      ("findings", Json.List (List.map (to_json ~file) findings));
+      ( "summary",
+        Json.Obj
+          (List.map
+             (fun sev ->
+               ( severity_to_string sev,
+                 Json.Int
+                   (List.length (List.filter (fun f -> f.severity = sev) findings))
+               ))
+             [ Error; Warning; Info ]) );
+    ]

@@ -1,0 +1,79 @@
+(** Structured findings emitted by the {!Lint} pass.
+
+    A finding pins an STI-weakening construct to a [DILocation]
+    (function + line) and states its per-mechanism consequence: which of
+    the paper's attacker windows (Table 2) the construct opens or widens.
+    The JSON shape is shared by [rstic lint --format=json] and
+    [rstic analyze --format=json]. *)
+
+type severity = Info | Warning | Error
+
+type kind =
+  | Type_erasing_cast of {
+      from_ty : string;
+      to_ty : string;
+      class_types : int;  (** ECT after the merge: basic types in the
+                              STC class this cast connects *)
+      class_vars : int;   (** ECV after the merge: pointer variables the
+                              class spans — the substitution surface *)
+    }
+      (** A pointer cast that merges STC equivalence classes (§4.8). *)
+  | Const_store of { slot : string }
+      (** A store through a [const]-qualified slot outside the global
+          initializer — a permission violation the analysis sees
+          statically. *)
+  | Pp_type_loss of { from_ty : string; ce : int option }
+      (** A double pointer cast to a universal type and passed onward:
+          the pointee type is lost unless the CE/FE runtime covers the
+          site ([ce = None] means it does not). *)
+  | Xpac_launder of { callee : string; ptr_args : int }
+      (** Pointer arguments to an external call are [xpac]-stripped
+          (§4.6): with FPAC off, a corrupted PAC is laundered instead of
+          trapping — the DESIGN.md §1 weakness. *)
+  | Substitution_window of {
+      mech : Rsti_sti.Rsti_type.mechanism;
+      rsti : string;
+      members : string list;
+    }
+      (** ≥ 2 slots share one RSTI-type under [mech]: the attacker can
+          substitute validly signed pointers within the class undetected
+          (Table 2's attacker window, reported statically). *)
+  | Missing_dbg of { instr : string }
+      (** A load/store without a [!dbg] location naming a module
+          function: [Sti.Analysis] would silently mis-scope the slot. *)
+  | Overflow_window of { opener : string; victims : string list }
+      (** A writable array laid out before pointer slots in the same
+          segment (or struct): the linear-overflow window every Table-1
+          attack starts from. The pointers behind it are exactly the
+          ones whose sign/auth pair must never be elided. *)
+  | Extern_ingress of { callee : string; slot : string }
+      (** A raw pointer returned by an external function enters the
+          signed domain at this store (§4.6): the window between the
+          return and the sign is unprotected, and every such heap
+          pointer has same-typed substitution donors on the heap. *)
+
+type t = {
+  kind : kind;
+  severity : severity;
+  func : string;        (** enclosing function, [""] at module level *)
+  line : int;           (** 0 when no source line applies *)
+  message : string;
+  consequence : string;
+}
+
+val severity_to_string : severity -> string
+
+val kind_name : kind -> string
+(** Stable kebab-case tag, e.g. ["type-erasing-cast"]. *)
+
+val compare_finding : t -> t -> int
+(** Deterministic order: (function, line, kind, message). *)
+
+val to_text : ?file:string -> t -> string
+(** Two-line human rendering: location/severity/message, then the
+    consequence. *)
+
+val to_json : ?file:string -> t -> Json.t
+
+val report_json : ?file:string -> t list -> Json.t
+(** The whole-file report object: findings plus a severity summary. *)

@@ -1,0 +1,86 @@
+(* A minimal JSON value and printer: the findings serialization shared by
+   `rstic lint --format=json` and `rstic analyze --format=json`. The repo
+   deliberately has no JSON dependency; emitting (never parsing) is a
+   page of code. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec write buf ~indent ~level v =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float x ->
+      (* JSON has no NaN/Infinity; the stats code can produce both. *)
+      if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then
+        Buffer.add_string buf "null"
+      else Buffer.add_string buf (Printf.sprintf "%.6g" x)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (level + 1);
+          write buf ~indent ~level:(level + 1) item)
+        items;
+      nl ();
+      pad level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (level + 1);
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf (if indent then "\": " else "\":");
+          write buf ~indent ~level:(level + 1) item)
+        fields;
+      nl ();
+      pad level;
+      Buffer.add_char buf '}'
+
+let to_string ?(indent = true) v =
+  let buf = Buffer.create 1024 in
+  write buf ~indent ~level:0 v;
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Minimal JSON emission (no external dependency): the serialization
+    substrate shared by [rstic lint --format=json] and
+    [rstic analyze --format=json]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float       (** NaN/infinities render as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Render. [indent] (default true) pretty-prints with two-space
+    indentation; [false] emits a compact single line. *)

@@ -1,0 +1,488 @@
+(* The whole-program lint pass: surfaces the STI-weakening constructs the
+   paper only tabulates (cast-driven equivalence-class growth, xpac
+   laundering at external boundaries, CE/FE-needing double-pointer sites,
+   static substitution windows) as actionable diagnostics with
+   DILocations. Runs after Sti.Analysis on the same IR + debug metadata. *)
+
+module Ir = Rsti_ir.Ir
+module Ctype = Rsti_minic.Ctype
+module Analysis = Rsti_sti.Analysis
+module RT = Rsti_sti.Rsti_type
+
+let type_str ty = Ctype.to_string (Ctype.strip_all_quals ty)
+
+let loc_of (ins : Ir.instr) fallback_fn =
+  match ins.dbg with
+  | Some d -> (d.Rsti_ir.Dinfo.dl_func, d.dl_line)
+  | None -> (fallback_fn, 0)
+
+(* --------------------------- rule 1: casts --------------------------- *)
+
+(* Type-erasing / class-merging pointer casts, with the ECV/ECT growth
+   they cause: the merged STC class's type count and the number of
+   pointer variables it spans (the substitution surface under STC). *)
+let cast_findings anal (m : Ir.modul) =
+  let vars = Analysis.pointer_vars anal in
+  let class_vars cls =
+    List.length
+      (List.filter (fun (si : Analysis.slot_info) -> List.mem (type_str si.sty) cls) vars)
+  in
+  let out = ref [] in
+  List.iter
+    (fun (fn : Ir.func) ->
+      Ir.iter_instrs
+        (fun ins ->
+          match ins.i with
+          | Ir.Bitcast { from_ty; to_ty; _ }
+            when Ctype.is_pointer from_ty && Ctype.is_pointer to_ty
+                 && type_str from_ty <> type_str to_ty ->
+              let fs = type_str from_ty and ts = type_str to_ty in
+              let cls = Analysis.type_class_names anal fs in
+              let nvars = class_vars cls in
+              let func, line = loc_of ins fn.name in
+              let universal =
+                match Ctype.strip_all_quals to_ty with
+                | Ctype.Ptr Ctype.Void | Ctype.Ptr (Ctype.Ptr Ctype.Void)
+                | Ctype.Ptr Ctype.Char ->
+                    true
+                | _ -> false
+              in
+              out :=
+                {
+                  Finding.kind =
+                    Finding.Type_erasing_cast
+                      {
+                        from_ty = fs;
+                        to_ty = ts;
+                        class_types = List.length cls;
+                        class_vars = nvars;
+                      };
+                  severity = (if universal then Finding.Warning else Finding.Info);
+                  func;
+                  line;
+                  message =
+                    Printf.sprintf
+                      "cast %s -> %s merges STC equivalence classes: class now \
+                       {%s} (ECT %d) spanning %d pointer variables"
+                      fs ts (String.concat "," cls) (List.length cls) nvars;
+                  consequence =
+                    "under STC every member type shares one modifier, so a \
+                     validly signed pointer of any class member substitutes \
+                     undetected (Table 2, cast-merged replay); STWC/STL \
+                     re-sign here instead";
+                }
+                :: !out
+          | _ -> ())
+        fn)
+    m.m_funcs;
+  !out
+
+(* ------------------------ rule 2: const stores ----------------------- *)
+
+(* Stores through const-qualified slots. Initializing stores are not
+   violations: the synthetic global initializer, and the first store a
+   declaration/parameter-spill emits to its own alloca. *)
+let const_store_findings anal (m : Ir.modul) =
+  let out = ref [] in
+  List.iter
+    (fun (fn : Ir.func) ->
+      if fn.Ir.name <> Ir.global_init_name then begin
+        let alloca_of = Hashtbl.create 16 in
+        let initialized = Hashtbl.create 16 in
+        Ir.iter_instrs
+          (fun ins ->
+            match ins.i with
+            | Ir.Alloca { dst; dv = Some dv; _ } ->
+                Hashtbl.replace alloca_of dst dv.Rsti_ir.Dinfo.dv_id
+            | Ir.Store { addr; slot; _ } -> (
+                let is_init =
+                  match (addr, slot) with
+                  | Ir.Reg r, Ir.Svar id -> (
+                      match Hashtbl.find_opt alloca_of r with
+                      | Some aid when aid = id && not (Hashtbl.mem initialized id) ->
+                          Hashtbl.replace initialized id ();
+                          true
+                      | _ -> false)
+                  | _ -> false
+                in
+                match Analysis.slot_info anal slot with
+                | si when si.read_only && not is_init ->
+                    let func, line = loc_of ins fn.name in
+                    out :=
+                      {
+                        Finding.kind = Finding.Const_store { slot = Ir.slot_to_string slot };
+                        severity = Finding.Error;
+                        func;
+                        line;
+                        message =
+                          Printf.sprintf
+                            "store through const-qualified slot %s (permission R)"
+                            (Ir.slot_to_string slot);
+                        consequence =
+                          "the RSTI-type carries permission R, so the sign at \
+                           this store and the auth at R loads disagree: every \
+                           mechanism traps here at runtime — fix the source";
+                      }
+                      :: !out
+                | _ -> ())
+            | _ -> ())
+          fn
+      end)
+    m.m_funcs;
+  !out
+
+(* --------------------- rule 3: double-pointer loss ------------------- *)
+
+let pp_findings anal =
+  let census = Analysis.pp_census anal in
+  let ce_of =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (ty, ce, _) -> Hashtbl.replace tbl (type_str ty) ce)
+      (Analysis.ce_table anal);
+    fun tstr -> Hashtbl.find_opt tbl tstr
+  in
+  List.map
+    (fun (func, ty) ->
+      let tstr = type_str ty in
+      let ce = ce_of tstr in
+      {
+        Finding.kind = Finding.Pp_type_loss { from_ty = tstr; ce };
+        severity = (match ce with Some _ -> Finding.Warning | None -> Finding.Error);
+        func;
+        line = 0;
+        message =
+          Printf.sprintf
+            "double pointer %s cast to a universal type and passed on: the \
+             pointee's RSTI-type is lost at the callee%s"
+            tstr
+            (match ce with
+            | Some ce -> Printf.sprintf " (CE/FE runtime covers it, CE=%d)" ce
+            | None -> " and NO CE/FE entry covers this site");
+        consequence =
+          (match ce with
+          | Some _ ->
+              "inner loads/stores fall back to the pp runtime (§4.7.7): 3 \
+               extra pp calls per pass-through, and protection narrows to \
+               the 8-bit CE tag"
+          | None ->
+              "inner accesses through the callee's double pointer are signed \
+               under the wrong (universal) RSTI-type: legitimate runs trap, \
+               or the site is left uninstrumented and unprotected");
+      })
+    census.pp_special
+
+(* ----------------------- rule 4: xpac laundering --------------------- *)
+
+let xpac_findings (m : Ir.modul) =
+  let defined = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace defined f.Ir.name ()) m.m_funcs;
+  let out = ref [] in
+  List.iter
+    (fun (fn : Ir.func) ->
+      Ir.iter_instrs
+        (fun ins ->
+          match ins.i with
+          | Ir.Call { callee = Ir.Direct f; arg_tys; _ }
+            when not (Hashtbl.mem defined f) ->
+              let ptr_args =
+                List.length (List.filter Ctype.is_pointer arg_tys)
+              in
+              if ptr_args > 0 then begin
+                let func, line = loc_of ins fn.name in
+                out :=
+                  {
+                    Finding.kind = Finding.Xpac_launder { callee = f; ptr_args };
+                    severity = Finding.Warning;
+                    func;
+                    line;
+                    message =
+                      Printf.sprintf
+                        "external call %s(%d pointer arg%s): PACs are \
+                         xpac-stripped at the boundary"
+                        f ptr_args
+                        (if ptr_args = 1 then "" else "s");
+                    consequence =
+                      "xpac strips without checking (§4.6): with FPAC off, a \
+                       corrupted signed pointer passed here is laundered into \
+                       a clean raw pointer instead of trapping — the library \
+                       then uses the attacker's address";
+                  }
+                  :: !out
+              end
+          | _ -> ())
+        fn)
+    m.m_funcs;
+  !out
+
+(* -------------------- rule 5: substitution windows ------------------- *)
+
+(* Slots sharing one RSTI-type under STWC/STC: Table 2's attacker window,
+   reported statically. Under STL the location term separates them. *)
+let substitution_findings anal =
+  let vars = Analysis.pointer_vars anal in
+  List.concat_map
+    (fun mech ->
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (si : Analysis.slot_info) ->
+          let rt = Analysis.rsti_of anal mech si.slot in
+          let key = RT.to_string rt in
+          let prev = try Hashtbl.find tbl key with Not_found -> [] in
+          Hashtbl.replace tbl key (Ir.slot_to_string si.slot :: prev))
+        vars;
+      Hashtbl.fold
+        (fun rsti members acc ->
+          if List.length members < 2 then acc
+          else
+            let members = List.sort_uniq compare members in
+            {
+              Finding.kind = Finding.Substitution_window { mech; rsti; members };
+              severity = (if mech = RT.Stc then Finding.Warning else Finding.Info);
+              func = "";
+              line = 0;
+              message =
+                Printf.sprintf
+                  "%d slots share one RSTI-type under %s: %s all sign/auth \
+                   with modifier of %s"
+                  (List.length members)
+                  (RT.mechanism_to_string mech)
+                  (String.concat ", " members) rsti;
+              consequence =
+                "a validly signed pointer from any member slot authenticates \
+                 in every other (same-RSTI-type replay, Table 2): only STL's \
+                 location binding separates them";
+            }
+            :: acc)
+        tbl []
+      |> List.sort Finding.compare_finding)
+    [ RT.Stwc; RT.Stc ]
+
+(* ------------------------ rule 6: missing !dbg ----------------------- *)
+
+let dbg_findings (m : Ir.modul) =
+  let fnames = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace fnames f.Ir.name ()) m.m_funcs;
+  let out = ref [] in
+  List.iter
+    (fun (fn : Ir.func) ->
+      Ir.iter_instrs
+        (fun ins ->
+          match ins.i with
+          | Ir.Load _ | Ir.Store _ -> (
+              let problem =
+                match ins.dbg with
+                | None -> Some "carries no !dbg location"
+                | Some d ->
+                    if Hashtbl.mem fnames d.Rsti_ir.Dinfo.dl_func then None
+                    else
+                      Some
+                        (Printf.sprintf "!dbg names unknown function %s"
+                           d.Rsti_ir.Dinfo.dl_func)
+              in
+              match problem with
+              | None -> ()
+              | Some why ->
+                  let func, line = loc_of ins fn.name in
+                  out :=
+                    {
+                      Finding.kind =
+                        Finding.Missing_dbg { instr = Ir.instr_to_string ins };
+                      severity = Finding.Warning;
+                      func;
+                      line;
+                      message =
+                        Printf.sprintf "memory access %s" why;
+                      consequence =
+                        "Sti.Analysis keys scopes on the !dbg function: this \
+                         access is attributed to the wrong scope, silently \
+                         widening or splitting the slot's RSTI-type";
+                    }
+                    :: !out)
+          | _ -> ())
+        fn)
+    m.m_funcs;
+  !out
+
+(* --------------------- rule 7: overflow windows ---------------------- *)
+
+(* The linear-overflow attacker window made visible: a writable array
+   laid out before pointer slots in the same globals segment or inside
+   the same struct. This is the construct every Table-1 attack starts
+   from — and exactly the layout that keeps {!Elide} from discharging
+   the slots behind it. *)
+let window_findings (m : Ir.modul) =
+  let rec pointer_bearing ty =
+    match Ctype.strip_all_quals ty with
+    | Ctype.Ptr _ -> true
+    | Ctype.Struct s ->
+        List.exists (fun (_, fty) -> pointer_bearing fty) (Ir.struct_lookup m s)
+    | Ctype.Array (e, _) -> pointer_bearing e
+    | _ -> false
+  in
+  let finding ~opener ~victims ~line ~where =
+    {
+      Finding.kind = Finding.Overflow_window { opener; victims };
+      severity = Finding.Warning;
+      func = "";
+      line;
+      message =
+        Printf.sprintf
+          "writable array %s opens a linear-overflow window over %d pointer \
+           slot%s %s: %s"
+          opener (List.length victims)
+          (if List.length victims = 1 then "" else "s")
+          where
+          (String.concat ", " victims);
+      consequence =
+        "a contiguous overflow running forward from the array rewrites the \
+         signed pointers behind it (the Table-1 pattern): their auths are \
+         the only thing standing, so none of them is elidable";
+    }
+  in
+  let global_windows =
+    let rec walk = function
+      | [] -> []
+      | (g : Ir.global_def) :: rest when Elide.opens_window m g.gvar.Rsti_minic.Tast.v_ty ->
+          let victims =
+            List.filter_map
+              (fun (v : Ir.global_def) ->
+                if pointer_bearing v.gvar.Rsti_minic.Tast.v_ty then
+                  Some v.gvar.Rsti_minic.Tast.v_name
+                else None)
+              rest
+          in
+          if victims = [] then walk rest
+          else
+            finding ~opener:g.gvar.Rsti_minic.Tast.v_name ~victims
+              ~line:g.gvar.Rsti_minic.Tast.v_loc.Rsti_minic.Loc.line
+              ~where:"in the globals segment"
+            :: walk rest
+      | _ :: rest -> walk rest
+    in
+    walk m.m_globals
+  in
+  let struct_windows =
+    List.filter_map
+      (fun (sname, fields) ->
+        let rec split = function
+          | [] -> None
+          | (fname, fty) :: rest when Elide.opens_window m fty ->
+              Some (fname, rest)
+          | _ :: rest -> split rest
+        in
+        match split fields with
+        | None -> None
+        | Some (opener_field, rest) ->
+            let victims =
+              List.filter_map
+                (fun (fname, fty) ->
+                  if pointer_bearing fty then Some (sname ^ "." ^ fname)
+                  else None)
+                rest
+            in
+            if victims = [] then None
+            else
+              Some
+                (finding
+                   ~opener:(sname ^ "." ^ opener_field)
+                   ~victims ~line:0
+                   ~where:(Printf.sprintf "in every struct %s instance" sname)))
+      m.m_structs
+  in
+  global_windows @ struct_windows
+
+(* --------------------- rule 8: extern ingress ------------------------ *)
+
+(* Raw pointers returned by external functions (malloc and friends,
+   looked through casts) enter the signed domain at a store: the window
+   between the return and the sign is unprotected, and every such heap
+   pointer has same-typed substitution donors living on the heap — the
+   Heap_value obligation of {!Elide}, reported at its source. *)
+let ingress_findings (m : Ir.modul) =
+  let defined = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace defined f.Ir.name ()) m.m_funcs;
+  let out = ref [] in
+  List.iter
+    (fun (fn : Ir.func) ->
+      let defs = Hashtbl.create 64 in
+      Ir.iter_instrs
+        (fun ins ->
+          match ins.i with
+          | Ir.Bitcast { dst; _ } | Ir.Call { dst = Some dst; _ } ->
+              Hashtbl.replace defs dst ins.i
+          | _ -> ())
+        fn;
+      let rec extern_origin v =
+        match v with
+        | Ir.Reg r -> (
+            match Hashtbl.find_opt defs r with
+            | Some (Ir.Bitcast { src; _ }) -> extern_origin src
+            | Some (Ir.Call { callee = Ir.Direct f; _ })
+              when not (Hashtbl.mem defined f) ->
+                Some f
+            | _ -> None)
+        | _ -> None
+      in
+      Ir.iter_instrs
+        (fun ins ->
+          match ins.i with
+          | Ir.Store { slot; src; ty; _ } when Ctype.is_pointer ty -> (
+              match extern_origin src with
+              | Some callee ->
+                  let func, line = loc_of ins fn.name in
+                  out :=
+                    {
+                      Finding.kind =
+                        Finding.Extern_ingress
+                          { callee; slot = Ir.slot_to_string slot };
+                      severity = Finding.Info;
+                      func;
+                      line;
+                      message =
+                        Printf.sprintf
+                          "raw pointer returned by external %s enters the \
+                           signed domain at this store to %s"
+                          callee (Ir.slot_to_string slot);
+                      consequence =
+                        "the value is unprotected between the return and \
+                         this sign (§4.6), and same-typed heap siblings make \
+                         substitution donors: the slot's flow component must \
+                         keep its checks (Elide's heap-value obligation)";
+                    }
+                    :: !out
+              | None -> ())
+          | _ -> ())
+        fn)
+    m.m_funcs;
+  !out
+
+(* ------------------------------ driver ------------------------------- *)
+
+let run anal (m : Ir.modul) : Finding.t list =
+  cast_findings anal m
+  @ const_store_findings anal m
+  @ pp_findings anal
+  @ xpac_findings m
+  @ substitution_findings anal
+  @ dbg_findings m
+  @ window_findings m
+  @ ingress_findings m
+  |> List.sort_uniq (fun a b ->
+         let c = Finding.compare_finding a b in
+         if c <> 0 then c else compare a b)
+
+let render_text ~file findings =
+  match findings with
+  | [] -> Printf.sprintf "%s: no findings\n" file
+  | fs ->
+      String.concat "\n" (List.map (Finding.to_text ~file) fs)
+      ^ Printf.sprintf "\n%s: %d finding%s (%d error, %d warning, %d info)\n" file
+          (List.length fs)
+          (if List.length fs = 1 then "" else "s")
+          (List.length (List.filter (fun f -> f.Finding.severity = Finding.Error) fs))
+          (List.length (List.filter (fun f -> f.Finding.severity = Finding.Warning) fs))
+          (List.length (List.filter (fun f -> f.Finding.severity = Finding.Info) fs))
+
+let render_json ~file findings =
+  Json.to_string (Finding.report_json ~file findings) ^ "\n"

@@ -1,0 +1,34 @@
+(** The whole-program STI lint pass.
+
+    Runs over the IR + debug metadata after {!Rsti_sti.Analysis} and
+    reports the STI-weakening constructs the paper only tabulates, as
+    structured {!Finding.t} diagnostics:
+
+    - pointer casts that merge STC equivalence classes, with the ECV/ECT
+      growth they cause (rule [type-erasing-cast]);
+    - stores through [const]-qualified slots ([const-store]);
+    - double-pointer sites that lose their pointee type, and whether the
+      CE/FE runtime covers them ([pp-type-loss]);
+    - external calls whose [xpac] strip can launder a corrupted pointer
+      when FPAC is off ([xpac-launder]);
+    - slots whose equivalence class admits undetected substitution under
+      STWC/STC ([substitution-window]);
+    - loads/stores with missing or dangling [!dbg] metadata
+      ([missing-dbg]);
+    - writable arrays laid out before pointer slots — the linear-overflow
+      attacker window of every Table-1 scenario ([overflow-window]);
+    - raw external pointer returns entering the signed domain
+      ([extern-pointer-ingress]).
+
+    Findings are deterministic: sorted by (function, line, kind,
+    message), duplicates removed. *)
+
+val run : Rsti_sti.Analysis.t -> Rsti_ir.Ir.modul -> Finding.t list
+
+val render_text : file:string -> Finding.t list -> string
+(** Human-readable report, one two-line entry per finding plus a
+    severity tally. *)
+
+val render_json : file:string -> Finding.t list -> string
+(** The {!Finding.report_json} object, pretty-printed, newline
+    terminated. *)

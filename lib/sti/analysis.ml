@@ -363,6 +363,14 @@ let component_members t root =
     (fun key si acc -> if Rsti_util.Uf.find t.comp key = root then si :: acc else acc)
     t.slots []
 
+let component_of t slot = Rsti_util.Uf.find t.comp (slot_key slot)
+
+let component_of_slot t slot =
+  component_members t (component_of t slot)
+  |> List.sort (fun a b -> compare a.key b.key)
+
+let cast_occs t (si : slot_info) = Hashtbl.find_all t.cast_occ si.key
+
 (* Scope of (component, basic type): occurrence functions of members with
    that type, cast sites targeting that type from inside the component,
    and the struct names of member fields of that type. *)
@@ -398,12 +406,13 @@ let stwc_rsti t si =
   let scope = scope_for t ~root ~tstr in
   Rsti_type.make ~types:[ tstr ] ~scope:(SS.elements scope) ~read_only:si.read_only
 
-let type_class_of t ty =
-  let tstr = type_str ty in
+let type_class_names t tstr =
   let root = Rsti_util.Uf.find t.tclass tstr in
   let present = SS.elements t.all_types in
   let cls = List.filter (fun u -> Rsti_util.Uf.find t.tclass u = root) present in
   if cls = [] then [ tstr ] else cls
+
+let type_class_of t ty = type_class_names t (type_str ty)
 
 (* STC: compatible (cast-connected) types merge into one class; the
    scope is the union, over the slot's *flow component*, of the scopes of

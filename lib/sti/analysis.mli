@@ -63,12 +63,37 @@ val key_for : Rsti_minic.Ctype.t -> Rsti_pa.Key.which
 val casts : t -> (string * string * string) list
 (** All pointer casts: (function, from-type, to-type). *)
 
+val slot_key : Rsti_ir.Ir.slot -> string
+(** The canonical string identity of a slot (the [key] field of its
+    {!slot_info}); what the flow-component union-find is keyed by. *)
+
+val alias_slot : t -> Rsti_ir.Ir.slot -> Rsti_ir.Ir.slot
+(** The slot the instrumentation actually keys modifiers on: a pointer
+    variable whose address escapes shares the anonymous (type-keyed)
+    slot, so writes through arbitrary same-typed pointers and direct
+    accesses agree on one modifier. Other slots map to themselves. *)
+
+val component_of : t -> Rsti_ir.Ir.slot -> string
+(** Representative key of the slot's interprocedural flow component. *)
+
+val component_of_slot : t -> Rsti_ir.Ir.slot -> slot_info list
+(** All slots in the same flow component, sorted by key (deterministic —
+    the static checker's passes iterate this). *)
+
+val cast_occs : t -> slot_info -> (string * string) list
+(** Cast occurrences whose source value was loaded from this slot:
+    (function, target type). Non-empty means values flowing out of the
+    slot are laundered through pointer casts. *)
+
 val pointer_vars : t -> slot_info list
 (** All named pointer variables (locals, params, globals, fields) — the
     population Table 3 counts. *)
 
 val type_class_of : t -> Rsti_minic.Ctype.t -> string list
 (** The STC compatible-type class containing a type (as type names). *)
+
+val type_class_names : t -> string -> string list
+(** Same, keyed by the canonical type name (qualifiers stripped). *)
 
 type stats = {
   nt : int;                  (** distinct basic pointer types (Table 3 NT) *)

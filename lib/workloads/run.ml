@@ -22,9 +22,16 @@ let run_once ?costs modul pp_table =
       invalid_arg
         (Printf.sprintf "workload trapped: %s" (Interp.trap_to_string tr))
 
-let measure ?(costs = Rsti_machine.Cost.default) (w : Workload.t) mechs =
+let measure ?(costs = Rsti_machine.Cost.default) ?(elide = false)
+    (w : Workload.t) mechs =
   let m = Rsti_ir.Lower.compile ~file:(w.Workload.name ^ ".c") w.Workload.source in
   let anal = Rsti_sti.Analysis.analyze m in
+  let elide =
+    if elide then
+      let e = Rsti_staticcheck.Elide.analyze anal m in
+      Some (Rsti_staticcheck.Elide.elide e)
+    else None
+  in
   let base_outcome, base_code = run_once ~costs m [] in
   List.map
     (fun mech ->
@@ -33,7 +40,7 @@ let measure ?(costs = Rsti_machine.Cost.default) (w : Workload.t) mechs =
           { Rsti_machine.Cost.parts_codegen with pac = costs.Rsti_machine.Cost.pac }
         else costs
       in
-      let r = Rsti_rsti.Instrument.instrument mech anal m in
+      let r = Rsti_rsti.Instrument.instrument ?elide mech anal m in
       let o, code = run_once ~costs r.Rsti_rsti.Instrument.modul r.pp_table in
       if code <> base_code || o.Interp.output <> base_outcome.Interp.output then
         raise
@@ -55,8 +62,8 @@ let measure ?(costs = Rsti_machine.Cost.default) (w : Workload.t) mechs =
       })
     mechs
 
-let measure_suite ?costs ws mechs =
-  List.concat_map (fun w -> measure ?costs w mechs) ws
+let measure_suite ?costs ?elide ws mechs =
+  List.concat_map (fun w -> measure ?costs ?elide w mechs) ws
 
 let analyze_workload (w : Workload.t) =
   Rsti_sti.Analysis.analyze

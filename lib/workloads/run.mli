@@ -21,15 +21,21 @@ type measurement = {
 
 val measure :
   ?costs:Rsti_machine.Cost.t ->
+  ?elide:bool ->
   Workload.t ->
   Rsti_sti.Rsti_type.mechanism list ->
   measurement list
 (** One measurement per mechanism. [costs] defaults to
     {!Rsti_machine.Cost.default}, except that the [Parts] mechanism
-    always runs under {!Rsti_machine.Cost.parts_codegen}. *)
+    always runs under {!Rsti_machine.Cost.parts_codegen}. [~elide:true]
+    enables {!Rsti_staticcheck.Elide} proof-based instrumentation
+    elision for the STWC/STC/STL runs; sites skipped are counted in
+    [static_counts.elided]. The output-equality assertion still applies,
+    so a behaviour-changing elision raises [Divergence]. *)
 
 val measure_suite :
   ?costs:Rsti_machine.Cost.t ->
+  ?elide:bool ->
   Workload.t list ->
   Rsti_sti.Rsti_type.mechanism list ->
   measurement list

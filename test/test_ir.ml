@@ -211,12 +211,128 @@ let test_verifier_rejects_undefined_reg () =
   main.Ir.blocks.(0).Ir.term <- Ir.Ret (Some (Ir.Reg 77));
   checkb "undefined register flagged" true (Rsti_ir.Verify.verify m <> [])
 
+(* Append one bogus argument to every direct call of [callee] in [fn]. *)
+let pad_call_args fn callee =
+  Array.iter
+    (fun (b : Ir.block) ->
+      b.Ir.instrs <-
+        List.map
+          (fun (ins : Ir.instr) ->
+            match ins.Ir.i with
+            | Ir.Call ({ callee = Ir.Direct f; args; arg_tys; _ } as c)
+              when f = callee ->
+                {
+                  ins with
+                  Ir.i =
+                    Ir.Call
+                      {
+                        c with
+                        args = args @ [ Ir.Imm 0L ];
+                        arg_tys = arg_tys @ [ Ctype.Int ];
+                      };
+                }
+            | _ -> ins)
+          b.Ir.instrs)
+    fn.Ir.blocks
+
+let test_verifier_rejects_call_arity () =
+  let m =
+    compile
+      "int f(int a) { return a; }\nint main(void) { return f(1); }"
+  in
+  checkb "well-typed call passes" true (Rsti_ir.Verify.verify m = []);
+  pad_call_args (find_func m "main") "f";
+  let errs = Rsti_ir.Verify.verify m in
+  checkb "module-function arity flagged" true
+    (List.exists
+       (fun (e : Rsti_ir.Verify.error) ->
+         e.fn = "main"
+         && contains_sub ~sub:"passes 2 args, signature declares 1" e.msg)
+       errs)
+
+let test_verifier_rejects_extern_arity () =
+  let m =
+    compile
+      "extern int puts(const char* s);\nint main(void) { return puts(\"x\"); }"
+  in
+  checkb "declared extern call passes" true (Rsti_ir.Verify.verify m = []);
+  pad_call_args (find_func m "main") "puts";
+  let errs = Rsti_ir.Verify.verify m in
+  checkb "extern arity flagged" true
+    (List.exists
+       (fun (e : Rsti_ir.Verify.error) ->
+         contains_sub ~sub:"extern @puts passes 2 args, declared 1" e.msg)
+       errs)
+
+let test_verifier_accepts_variadic_extern () =
+  (* printf's fixed part is one parameter: extra args are fine, too few
+     are not. *)
+  let m =
+    compile
+      "extern int printf(const char* fmt, ...);\n\
+       int main(void) { printf(\"%d %d\\n\", 1, 2); return 0; }"
+  in
+  checkb "variadic extras pass" true (Rsti_ir.Verify.verify m = []);
+  let main = find_func m "main" in
+  Array.iter
+    (fun (b : Ir.block) ->
+      b.Ir.instrs <-
+        List.map
+          (fun (ins : Ir.instr) ->
+            match ins.Ir.i with
+            | Ir.Call ({ callee = Ir.Direct "printf"; _ } as c) ->
+                { ins with Ir.i = Ir.Call { c with args = []; arg_tys = [] } }
+            | _ -> ins)
+          b.Ir.instrs)
+    main.Ir.blocks;
+  checkb "too few variadic args flagged" true
+    (List.exists
+       (fun (e : Rsti_ir.Verify.error) ->
+         contains_sub ~sub:"variadic extern @printf" e.msg)
+       (Rsti_ir.Verify.verify m))
+
+let strip_store_dbg fn munge =
+  Array.iter
+    (fun (b : Ir.block) ->
+      b.Ir.instrs <-
+        List.map
+          (fun (ins : Ir.instr) ->
+            match ins.Ir.i with
+            | Ir.Store _ -> { ins with Ir.dbg = munge ins.Ir.dbg }
+            | _ -> ins)
+          b.Ir.instrs)
+    fn.Ir.blocks
+
+let test_verifier_rejects_missing_dbg () =
+  let m = compile "int main(void) { int x = 1; return x; }" in
+  strip_store_dbg (find_func m "main") (fun _ -> None);
+  checkb "store without !dbg flagged" true
+    (List.exists
+       (fun (e : Rsti_ir.Verify.error) ->
+         contains_sub ~sub:"store without !dbg" e.msg)
+       (Rsti_ir.Verify.verify m))
+
+let test_verifier_rejects_dangling_dbg () =
+  let m = compile "int main(void) { int x = 1; return x; }" in
+  strip_store_dbg (find_func m "main") (fun dbg ->
+      Option.map (fun d -> { d with Rsti_ir.Dinfo.dl_func = "ghost" }) dbg);
+  checkb "dangling !dbg function flagged" true
+    (List.exists
+       (fun (e : Rsti_ir.Verify.error) ->
+         contains_sub ~sub:"names unknown function ghost" e.msg)
+       (Rsti_ir.Verify.verify m))
+
 let tests =
   [
     Alcotest.test_case "verify: lowered modules" `Quick test_verifier_accepts_lowered;
     Alcotest.test_case "verify: generated modules" `Quick test_verifier_accepts_generated;
     Alcotest.test_case "verify: bad branch" `Quick test_verifier_rejects_bad_branch;
     Alcotest.test_case "verify: undefined register" `Quick test_verifier_rejects_undefined_reg;
+    Alcotest.test_case "verify: call arity" `Quick test_verifier_rejects_call_arity;
+    Alcotest.test_case "verify: extern arity" `Quick test_verifier_rejects_extern_arity;
+    Alcotest.test_case "verify: variadic extern" `Quick test_verifier_accepts_variadic_extern;
+    Alcotest.test_case "verify: missing !dbg" `Quick test_verifier_rejects_missing_dbg;
+    Alcotest.test_case "verify: dangling !dbg" `Quick test_verifier_rejects_dangling_dbg;
     Alcotest.test_case "lower: DIVariable allocas" `Quick test_lower_locals_get_allocas_with_divariables;
     Alcotest.test_case "lower: param spills" `Quick test_lower_params_spilled;
     Alcotest.test_case "lower: !dbg locations" `Quick test_lower_dbg_locations;

@@ -9,6 +9,7 @@ let () =
       ("ir", Test_ir.tests);
       ("machine", Test_machine.tests);
       ("sti", Test_sti.tests);
+      ("staticcheck", Test_staticcheck.tests);
       ("rsti", Test_rsti.tests);
       ("security", Test_security.tests);
       ("punning", Test_punning.tests);

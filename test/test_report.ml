@@ -78,7 +78,7 @@ let test_backend_report () =
   let s = Rsti_report.Ablation.backend_comparison () in
   checkb "compares PAC and MAC" true
     (contains ~sub:"STWC via PAC" s && contains ~sub:"shadow MAC" s);
-  checkb "numeric kernels filtered out" false (contains ~sub:"lbm" s)
+  checkb "numeric kernels filtered out" false (contains ~sub:"milc" s)
 
 let tests =
   [

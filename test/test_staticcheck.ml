@@ -1,0 +1,180 @@
+(* Tests for the static checker: lint determinism and coverage over the
+   attack catalog, elision's safety invariant (no detection verdict ever
+   changes), and the prover's bookkeeping invariants. *)
+
+module Lint = Rsti_staticcheck.Lint
+module Elide = Rsti_staticcheck.Elide
+module Finding = Rsti_staticcheck.Finding
+module Scenario = Rsti_attacks.Scenario
+module RT = Rsti_sti.Rsti_type
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let analyze src =
+  let m = Rsti_ir.Lower.compile ~file:"t.c" src in
+  let anal = Rsti_sti.Analysis.analyze m in
+  (m, anal)
+
+let lint_src src =
+  let m, anal = analyze src in
+  Lint.run anal m
+
+(* ------------------------- lint: determinism ----------------------- *)
+
+(* Findings are a function of the source alone: compiling and linting a
+   generated program twice (fresh module, fresh analysis, fresh hash
+   tables) renders byte-identical reports. *)
+let prop_lint_deterministic =
+  QCheck.Test.make ~name:"lint deterministic over generated programs"
+    ~count:15
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let src =
+        Rsti_workloads.Generator.generate ~seed:(Int64.of_int seed) ()
+      in
+      let render () = Lint.render_json ~file:"gen.c" (lint_src src) in
+      String.equal (render ()) (render ()))
+
+(* ---------------------- lint: catalog coverage --------------------- *)
+
+(* Every Table-1 victim program trips the checker, and across the
+   catalog at least five distinct rules fire. *)
+let test_catalog_coverage () =
+  let kinds = Hashtbl.create 8 in
+  List.iter
+    (fun (sc : Scenario.t) ->
+      let findings = lint_src sc.program in
+      checkb (sc.id ^ " has findings") true (findings <> []);
+      List.iter
+        (fun (f : Finding.t) ->
+          Hashtbl.replace kinds (Finding.kind_name f.kind) ())
+        findings)
+    Rsti_attacks.Catalog.all;
+  let distinct = Hashtbl.length kinds in
+  if distinct < 5 then
+    Alcotest.failf "only %d distinct finding kinds across the catalog: %s"
+      distinct
+      (String.concat ", " (Hashtbl.fold (fun k () acc -> k :: acc) kinds []))
+
+let test_lint_locations () =
+  (* Findings that point into a function carry a usable line. *)
+  List.iter
+    (fun (sc : Scenario.t) ->
+      List.iter
+        (fun (f : Finding.t) ->
+          if f.func <> "" then
+            checkb
+              (Printf.sprintf "%s: %s in %s has a line" sc.id
+                 (Finding.kind_name f.kind) f.func)
+              true (f.line >= 0))
+        (lint_src sc.program))
+    Rsti_attacks.Catalog.all
+
+(* ------------------- elision: the safety invariant ------------------ *)
+
+(* Elision must never change a detection verdict: any scenario, any
+   mechanism, full vs elided instrumentation agree. Exercised as a
+   property over the substitution micro-scenarios (where a wrongly
+   elided auth shows up immediately as Detected -> Attack_succeeded). *)
+let sub_scenarios =
+  List.map fst Rsti_attacks.Substitution.expected
+  @ List.map fst Rsti_attacks.Memory_safety.expected
+
+let prop_elide_preserves_verdicts =
+  let n = List.length sub_scenarios in
+  let mechs = RT.all_mechanisms in
+  QCheck.Test.make ~name:"elision preserves substitution verdicts"
+    ~count:(n * List.length mechs)
+    QCheck.(pair (int_bound (n - 1)) (int_bound (List.length mechs - 1)))
+    (fun (i, j) ->
+      let sc = List.nth sub_scenarios i in
+      let mech = List.nth mechs j in
+      let full = (Scenario.run sc mech).Scenario.verdict in
+      let elided = (Scenario.run ~elide:true sc mech).Scenario.verdict in
+      full = elided)
+
+let test_table1_detected_under_elision () =
+  List.iter
+    (fun (sc : Scenario.t) ->
+      List.iter
+        (fun mech ->
+          let r = Scenario.run ~elide:true sc mech in
+          Alcotest.(check string)
+            (Printf.sprintf "%s under %s+elide" sc.id
+               (RT.mechanism_to_string mech))
+            "detected"
+            (Scenario.verdict_to_string r.Scenario.verdict))
+        RT.all_mechanisms)
+    Rsti_attacks.Catalog.all
+
+(* -------------------- elision: prover bookkeeping ------------------- *)
+
+let test_summary_partition () =
+  (* safe + sum(must-check tallies) = candidates, on every workload. *)
+  List.iter
+    (fun (w : Rsti_workloads.Workload.t) ->
+      let m, anal = analyze w.source in
+      let e = Elide.analyze anal m in
+      let s = Elide.summary e in
+      let tallied = List.fold_left (fun acc (_, n) -> acc + n) 0 s.reasons in
+      checki (w.name ^ " partition") s.candidates (s.safe + tallied))
+    Rsti_workloads.Spec2006.all
+
+let test_elision_fires_on_pointer_light_kernels () =
+  (* lbm and namd route their arrays through swap pointers the prover
+     can discharge: the instrumenter must actually drop sites there. *)
+  List.iter
+    (fun name ->
+      let w =
+        List.find
+          (fun (w : Rsti_workloads.Workload.t) -> w.name = name)
+          Rsti_workloads.Spec2006.all
+      in
+      let m, anal = analyze w.source in
+      let e = Elide.analyze anal m in
+      let r =
+        Rsti_rsti.Instrument.instrument ~elide:(Elide.elide e) RT.Stwc anal m
+      in
+      checkb (name ^ " elides sites") true
+        (r.Rsti_rsti.Instrument.counts.elided > 0))
+    [ "lbm"; "namd" ]
+
+let test_code_pointers_never_elided () =
+  let src =
+    {|
+extern int printf(const char *fmt, ...);
+int hello(int x) { return x + 1; }
+int (*handler)(int);
+int main(void) {
+  handler = hello;
+  printf("%d\n", handler(41));
+  return 0;
+}
+|}
+  in
+  let m, anal = analyze src in
+  let e = Elide.analyze anal m in
+  List.iter
+    (fun (si : Rsti_sti.Analysis.slot_info) ->
+      if Rsti_minic.Ctype.is_code_pointer si.sty then
+        checkb "code pointer stays checked" false (Elide.elide e si.slot))
+    (Rsti_sti.Analysis.pointer_vars anal)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_lint_deterministic;
+    Alcotest.test_case "lint: catalog coverage (>=5 kinds, all victims)"
+      `Quick test_catalog_coverage;
+    Alcotest.test_case "lint: findings carry locations" `Quick
+      test_lint_locations;
+    QCheck_alcotest.to_alcotest prop_elide_preserves_verdicts;
+    Alcotest.test_case "elide: Table 1 still detected" `Slow
+      test_table1_detected_under_elision;
+    Alcotest.test_case "elide: summary partitions candidates" `Quick
+      test_summary_partition;
+    Alcotest.test_case "elide: fires on lbm/namd" `Quick
+      test_elision_fires_on_pointer_light_kernels;
+    Alcotest.test_case "elide: code pointers kept" `Quick
+      test_code_pointers_never_elided;
+  ]
