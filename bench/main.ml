@@ -2,28 +2,36 @@
    paper's evaluation and times the machinery behind each with Bechamel
    (one Test.make per table/figure, all in this one executable).
 
+   Experiment execution goes through the engine (lib/engine): the staged
+   pipeline memoizes compile/analysis artifacts across sections in the
+   content-keyed cache, and suite measurements fan out over the domain
+   pool (--jobs / RSTI_JOBS). Output is byte-identical for any job count.
+
    Usage:
-     dune exec bench/main.exe                 # everything
-     dune exec bench/main.exe -- table1 fig9  # selected sections
-     dune exec bench/main.exe -- list         # section names
+     dune exec bench/main.exe                      # everything
+     dune exec bench/main.exe -- table1 fig9       # selected sections
+     dune exec bench/main.exe -- --jobs 4 fig9     # 4 worker domains
+     dune exec bench/main.exe -- list              # section names
 
    Sections: table1 table2 table3 fig9 fig10 pp-census parts correlation
-             ablation-pac ablation-merge ablation-stl ablation-ce elide
-             micro *)
+             ablation-pac ablation-merge ablation-stl ablation-ce
+             ablation-pac-width backend elide micro
+
+   Every run also writes a machine-readable summary (BENCH_fig9.json by
+   default): per-benchmark overheads and geomeans when the perf sections
+   ran, plus wall-clock per section, the job count, and artifact-cache
+   statistics — the perf trajectory tracked across PRs. *)
 
 module RT = Rsti_sti.Rsti_type
 module Tab = Rsti_util.Tab
-
-let sections_requested =
-  match Array.to_list Sys.argv with [] | [ _ ] -> None | _ :: rest -> Some rest
-
-let want name =
-  match sections_requested with None -> true | Some l -> List.mem name l
+module J = Rsti_staticcheck.Json
+module Perf = Rsti_report.Perf
 
 let section title = print_endline (Tab.section title)
 
-(* Perf data is shared between fig9/fig10/correlation; collected lazily. *)
-let perf = lazy (Rsti_report.Perf.collect ())
+(* Perf data is shared between fig9/fig10/correlation; collected lazily,
+   fanned out over the engine's domain pool. *)
+let perf = lazy (Perf.collect ())
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per reproduced table or
@@ -33,6 +41,7 @@ let perf = lazy (Rsti_report.Perf.collect ())
 
 let bechamel_tests () =
   let open Bechamel in
+  let module Pipeline = Rsti_engine.Pipeline in
   (* primitives *)
   let pac_ctx = Rsti_pa.Pac.make ~seed:7L () in
   let qkey = Rsti_pa.Qarma.key_of_rng (Rsti_util.Splitmix.create 5L) in
@@ -93,14 +102,19 @@ let bechamel_tests () =
            ignore
              (Rsti_sti.Analysis.pp_census (Rsti_workloads.Run.analyze_workload pp_w))))
   in
-  (* the instrumentation pass itself *)
-  let modul = lazy (Rsti_ir.Lower.compile ~file:"b.c" pp_w.Rsti_workloads.Workload.source) in
+  (* the instrumentation pass itself, through the staged pipeline with
+     the cache off (timing the pass, not the memo table) *)
+  let cold = { Pipeline.default with Pipeline.cache = false } in
+  let analyzed =
+    lazy
+      (Pipeline.analyze ~config:cold
+         (Pipeline.compile ~config:cold
+            (Pipeline.source ~file:"b.c" pp_w.Rsti_workloads.Workload.source)))
+  in
   let t_pass =
     Test.make ~name:"pass: instrument perlbench kernel (STWC)"
       (Staged.stage (fun () ->
-           let m = Lazy.force modul in
-           let anal = Rsti_sti.Analysis.analyze m in
-           ignore (Rsti_rsti.Instrument.instrument RT.Stwc anal m)))
+           ignore (Pipeline.instrument ~config:cold RT.Stwc (Lazy.force analyzed))))
   in
   Test.make_grouped ~name:"rsti"
     [ t_qarma; t_pac; t_table1; t_table2; t_table3; t_fig9; t_fig10; t_census; t_pass ]
@@ -129,79 +143,187 @@ let run_bechamel () =
   print_endline (Tab.render ~header:[ "benchmark"; "ns/run" ] rows)
 
 (* ------------------------------------------------------------------ *)
+(* Sections                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sections : (string * string * (unit -> unit)) list =
+  [
+    ( "table1", "Table 1: attack catalog",
+      fun () -> print_endline (Rsti_report.Security.table1 ()) );
+    ( "table2", "Table 2: substitution matrix",
+      fun () -> print_endline (Rsti_report.Security.table2 ()) );
+    ( "table3", "Table 3: equivalence classes",
+      fun () -> print_endline (Rsti_report.Figures.table3 ()) );
+    ( "fig9", "Figure 9: overheads",
+      fun () -> print_endline (Rsti_report.Figures.fig9 (Lazy.force perf)) );
+    ( "fig10", "Figure 10: distributions",
+      fun () -> print_endline (Rsti_report.Figures.fig10 (Lazy.force perf)) );
+    ( "pp-census", "6.2.2: pointer-to-pointer census",
+      fun () -> print_endline (Rsti_report.Figures.pp_census ()) );
+    ( "parts", "6.3.2: PARTS comparison (nbench)",
+      fun () -> print_endline (Rsti_report.Figures.parts_comparison ()) );
+    ( "correlation", "6.3.2: overhead/instrumentation correlation",
+      fun () -> print_endline (Rsti_report.Figures.correlation (Lazy.force perf)) );
+    ( "ablation-pac", "Ablation: PA cost sweep",
+      fun () -> print_endline (Rsti_report.Ablation.pac_cost_sweep ()) );
+    ( "ablation-merge", "Ablation: STC merging",
+      fun () -> print_endline (Rsti_report.Ablation.merge_effect ()) );
+    ( "ablation-stl", "Ablation: STL argument re-signing",
+      fun () -> print_endline (Rsti_report.Ablation.stl_argument_cost ()) );
+    ( "ablation-ce", "Ablation: CE width",
+      fun () -> print_endline (Rsti_report.Ablation.ce_width ()) );
+    ( "ablation-pac-width", "Ablation: PAC width vs brute force",
+      fun () -> print_endline (Rsti_report.Ablation.pac_brute_force ()) );
+    ( "backend", "Extension: shadow-MAC backend (section 7)",
+      fun () -> print_endline (Rsti_report.Ablation.backend_comparison ()) );
+    ( "elide", "Elision: instrumented-site reduction and overhead delta",
+      fun () ->
+        print_endline (Rsti_report.Ablation.elision ());
+        section "Elision: safety invariant (Table 1 under elision)";
+        print_endline (Rsti_report.Security.elide_safety ()) );
+    ("micro", "Bechamel micro-benchmarks", run_bechamel);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable summary (BENCH_fig9.json)                          *)
+(* ------------------------------------------------------------------ *)
+
+let mech_slug = function
+  | RT.Stwc -> "stwc"
+  | RT.Stc -> "stc"
+  | RT.Stl -> "stl"
+  | RT.Parts -> "parts"
+  | RT.Nop -> "none"
+
+let json_summary ~jobs ~wall_clock ~timed =
+  let cache = Rsti_engine.Cache.stats () in
+  let perf_fields =
+    if not (Lazy.is_val perf) then []
+    else begin
+      let p = Lazy.force perf in
+      let benchmarks =
+        List.map
+          (fun (m : Rsti_workloads.Run.measurement) ->
+            J.Obj
+              [
+                ("name", J.Str m.workload.Rsti_workloads.Workload.name);
+                ( "suite",
+                  J.Str
+                    (Rsti_workloads.Workload.suite_to_string
+                       m.workload.Rsti_workloads.Workload.suite) );
+                ("mech", J.Str (mech_slug m.mech));
+                ("base_cycles", J.Int m.base_cycles);
+                ("mech_cycles", J.Int m.mech_cycles);
+                ("overhead_pct", J.Float m.overhead_pct);
+              ])
+          (Perf.all p)
+      in
+      let geomean ms mech =
+        Rsti_util.Stats.geomean_overhead (Perf.overheads (Perf.of_mech ms mech))
+      in
+      let geomeans =
+        List.concat_map
+          (fun (label, ms) ->
+            List.map
+              (fun mech ->
+                J.Obj
+                  [
+                    ("suite", J.Str label);
+                    ("mech", J.Str (mech_slug mech));
+                    ("overhead_pct", J.Float (geomean ms mech));
+                  ])
+              RT.all_mechanisms)
+          [
+            ("SPEC2006", p.Perf.spec2006);
+            ("SPEC2017", p.Perf.spec2017);
+            ("nbench", p.Perf.nbench);
+            ("CPython", p.Perf.pytorch);
+            ("NGINX", p.Perf.nginx);
+            ("all", Perf.all p);
+          ]
+      in
+      [ ("benchmarks", J.List benchmarks); ("geomeans", J.List geomeans) ]
+    end
+  in
+  J.Obj
+    ([
+       ("schema", J.Str "rsti-bench-fig9/1");
+       ("jobs", J.Int jobs);
+       ("wall_clock_s", J.Float wall_clock);
+       ( "sections",
+         J.List
+           (List.map
+              (fun (name, seconds) ->
+                J.Obj [ ("name", J.Str name); ("seconds", J.Float seconds) ])
+              (List.rev timed)) );
+       ( "cache",
+         J.Obj
+           [
+             ("hits", J.Int cache.Rsti_engine.Cache.hits);
+             ("misses", J.Int cache.Rsti_engine.Cache.misses);
+           ] );
+     ]
+    @ perf_fields)
+
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let json_path_arg =
+  Arg.(
+    value
+    & opt string "BENCH_fig9.json"
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:"Where to write the machine-readable summary.")
+
+let sections_arg =
+  Arg.(
+    value
+    & pos_all string []
+    & info [] ~docv:"SECTION"
+        ~doc:
+          "Sections to run (default: all). $(b,list) prints the section \
+           names and exits.")
+
+let main () json_path requested =
+  if requested = [ "list" ] then begin
+    List.iter (fun (name, _, _) -> print_endline name) sections;
+    exit 0
+  end;
+  (match
+     List.filter (fun s -> not (List.exists (fun (n, _, _) -> n = s) sections)) requested
+   with
+  | [] -> ()
+  | unknown ->
+      Printf.eprintf "unknown section(s): %s\n" (String.concat " " unknown);
+      exit 2);
+  let want name = requested = [] || List.mem name requested in
+  let t_start = Unix.gettimeofday () in
+  let timed = ref [] in
+  List.iter
+    (fun (name, title, f) ->
+      if want name then begin
+        section title;
+        let t0 = Unix.gettimeofday () in
+        f ();
+        timed := (name, Unix.gettimeofday () -. t0) :: !timed
+      end)
+    sections;
+  let wall_clock = Unix.gettimeofday () -. t_start in
+  let jobs = Rsti_engine_cli.resolved_jobs () in
+  let oc = open_out json_path in
+  output_string oc (J.to_string (json_summary ~jobs ~wall_clock ~timed:!timed));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n[bench] %d section(s) in %.2f s at %d job(s); summary: %s\n"
+    (List.length !timed) wall_clock jobs json_path
 
 let () =
-  (match sections_requested with
-  | Some [ "list" ] ->
-      List.iter print_endline
-        [ "table1"; "table2"; "table3"; "fig9"; "fig10"; "pp-census"; "parts";
-          "correlation"; "ablation-pac"; "ablation-merge"; "ablation-stl";
-          "ablation-ce"; "ablation-pac-width"; "backend"; "elide"; "micro" ];
-      exit 0
-  | _ -> ());
-  if want "table1" then begin
-    section "Table 1: attack catalog";
-    print_endline (Rsti_report.Security.table1 ())
-  end;
-  if want "table2" then begin
-    section "Table 2: substitution matrix";
-    print_endline (Rsti_report.Security.table2 ())
-  end;
-  if want "table3" then begin
-    section "Table 3: equivalence classes";
-    print_endline (Rsti_report.Figures.table3 ())
-  end;
-  if want "fig9" then begin
-    section "Figure 9: overheads";
-    print_endline (Rsti_report.Figures.fig9 (Lazy.force perf))
-  end;
-  if want "fig10" then begin
-    section "Figure 10: distributions";
-    print_endline (Rsti_report.Figures.fig10 (Lazy.force perf))
-  end;
-  if want "pp-census" then begin
-    section "6.2.2: pointer-to-pointer census";
-    print_endline (Rsti_report.Figures.pp_census ())
-  end;
-  if want "parts" then begin
-    section "6.3.2: PARTS comparison (nbench)";
-    print_endline (Rsti_report.Figures.parts_comparison ())
-  end;
-  if want "correlation" then begin
-    section "6.3.2: overhead/instrumentation correlation";
-    print_endline (Rsti_report.Figures.correlation (Lazy.force perf))
-  end;
-  if want "ablation-pac" then begin
-    section "Ablation: PA cost sweep";
-    print_endline (Rsti_report.Ablation.pac_cost_sweep ())
-  end;
-  if want "ablation-merge" then begin
-    section "Ablation: STC merging";
-    print_endline (Rsti_report.Ablation.merge_effect ())
-  end;
-  if want "ablation-stl" then begin
-    section "Ablation: STL argument re-signing";
-    print_endline (Rsti_report.Ablation.stl_argument_cost ())
-  end;
-  if want "ablation-ce" then begin
-    section "Ablation: CE width";
-    print_endline (Rsti_report.Ablation.ce_width ())
-  end;
-  if want "ablation-pac-width" then begin
-    section "Ablation: PAC width vs brute force";
-    print_endline (Rsti_report.Ablation.pac_brute_force ())
-  end;
-  if want "backend" then begin
-    section "Extension: shadow-MAC backend (section 7)";
-    print_endline (Rsti_report.Ablation.backend_comparison ())
-  end;
-  if want "elide" then begin
-    section "Elision: instrumented-site reduction and overhead delta";
-    print_endline (Rsti_report.Ablation.elision ());
-    section "Elision: safety invariant (Table 1 under elision)";
-    print_endline (Rsti_report.Security.elide_safety ())
-  end;
-  if want "micro" then begin
-    section "Bechamel micro-benchmarks";
-    run_bechamel ()
-  end
+  let doc = "RSTI paper-reproduction benchmark harness" in
+  let info = Cmd.info "bench" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            const main $ Rsti_engine_cli.setup_jobs_term $ json_path_arg
+            $ sections_arg)))

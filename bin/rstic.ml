@@ -1,5 +1,11 @@
 (* rstic — the RSTI "compiler driver" command-line tool.
 
+   All compilation goes through the engine's staged pipeline
+   (lib/engine): source -> compiled -> analyzed -> instrumented -> run,
+   with content-keyed artifact caching. run/analyze/lint/report share
+   the engine's --jobs flag; lint fans a directory's files out over the
+   domain pool.
+
    Subcommands:
      run       compile a MiniC file, instrument it, execute it
                (--elide turns on proof-based instrumentation elision)
@@ -16,6 +22,8 @@ open Cmdliner
 
 module RT = Rsti_sti.Rsti_type
 module Interp = Rsti_machine.Interp
+module Pipeline = Rsti_engine.Pipeline
+module Scheduler = Rsti_engine.Scheduler
 
 let mech_conv =
   let parse = function
@@ -67,18 +75,16 @@ let with_frontend path f =
       Printf.eprintf "%s: type error: %s\n" (Rsti_minic.Loc.to_string loc) msg;
       exit 1
 
-let compile_instrumented ?(elide = false) path mech =
+(* source -> analyzed -> instrumented(mech), frontend errors reported *)
+let analyzed_of_path ?(config = Pipeline.default) path =
   with_frontend path (fun src ->
-      let m = Rsti_ir.Lower.compile ~file:path src in
-      let anal = Rsti_sti.Analysis.analyze m in
-      let elide =
-        if elide then
-          let e = Rsti_staticcheck.Elide.analyze anal m in
-          Some (Rsti_staticcheck.Elide.elide e)
-        else None
-      in
-      let r = Rsti_rsti.Instrument.instrument ?elide mech anal m in
-      (m, anal, r))
+      Pipeline.analyze ~config
+        (Pipeline.compile ~config (Pipeline.source ~file:path src)))
+
+let compile_instrumented ?(elide = false) path mech =
+  let config = { Pipeline.default with Pipeline.elide } in
+  let a = analyzed_of_path ~config path in
+  (a, Pipeline.instrument ~config mech a)
 
 let format_arg =
   let fmt_conv =
@@ -112,10 +118,10 @@ let run_cmd =
             "Elide sign/auth pairs the static checker proves safe (see \
              $(b,rstic lint)); no-op under parts/none.")
   in
-  let action file mech stats elide =
-    let _, _, r = compile_instrumented ~elide file mech in
-    let vm = Interp.create ~pp_table:r.pp_table r.modul in
-    let o = Interp.run vm in
+  let action () file mech stats elide =
+    let _, inst = compile_instrumented ~elide file mech in
+    let o = Pipeline.run inst in
+    let r = Pipeline.result inst in
     print_string o.Interp.output;
     if stats then begin
       Printf.printf "--- %s%s ---\n"
@@ -143,20 +149,23 @@ let run_cmd =
         exit 139
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const action $ file_arg $ mech_arg $ stats $ elide_flag)
+    Term.(
+      const action $ Rsti_engine_cli.setup_jobs_term $ file_arg $ mech_arg
+      $ stats $ elide_flag)
 
 let emit_ir_cmd =
   let doc = "Print the (optionally instrumented) IR of a MiniC program." in
   let action file mech =
-    let _, _, r = compile_instrumented file mech in
-    print_string (Rsti_ir.Ir.modul_to_string r.modul)
+    let _, inst = compile_instrumented file mech in
+    print_string (Rsti_ir.Ir.modul_to_string (Pipeline.instrumented_ir inst))
   in
   Cmd.v (Cmd.info "emit-ir" ~doc) Term.(const action $ file_arg $ mech_arg)
 
 let analyze_cmd =
   let doc = "Print the STI analysis of a MiniC program." in
-  let action file format =
-    let m, anal, _ = compile_instrumented file RT.Nop in
+  let action () file format =
+    let a = analyzed_of_path file in
+    let m = Pipeline.analyzed_ir a and anal = Pipeline.analysis a in
     let vars = Rsti_sti.Analysis.pointer_vars anal in
     let s = Rsti_sti.Analysis.stats anal in
     let c = Rsti_sti.Analysis.pp_census anal in
@@ -220,7 +229,8 @@ let analyze_cmd =
         print_string (J.to_string j);
         print_newline ()
   in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const action $ file_arg $ format_arg)
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const action $ Rsti_engine_cli.setup_jobs_term $ file_arg $ format_arg)
 
 let lint_cmd =
   let doc =
@@ -241,7 +251,7 @@ let lint_cmd =
     else if Filename.check_suffix path ".c" then [ path ]
     else []
   in
-  let action target format =
+  let action () target format =
     if not (Sys.file_exists target) then begin
       Printf.eprintf "rstic lint: no such file or directory: %s\n" target;
       exit 2
@@ -251,20 +261,24 @@ let lint_cmd =
     in
     if files = [] then
       Printf.eprintf "rstic lint: no .c files under %s\n" target;
-    List.iter
-      (fun file ->
-        let findings =
-          with_frontend file (fun src ->
-              let m = Rsti_ir.Lower.compile ~file src in
-              let anal = Rsti_sti.Analysis.analyze m in
-              Rsti_staticcheck.Lint.run anal m)
-        in
-        match format with
-        | `Text -> print_string (Rsti_staticcheck.Lint.render_text ~file findings)
-        | `Json -> print_string (Rsti_staticcheck.Lint.render_json ~file findings))
-      files
+    (* fan the files out over the domain pool; render in workers, print
+       in input order so output is identical for any job count *)
+    let rendered =
+      Scheduler.map
+        (fun file ->
+          let a = analyzed_of_path file in
+          let findings =
+            Rsti_staticcheck.Lint.run (Pipeline.analysis a) (Pipeline.analyzed_ir a)
+          in
+          match format with
+          | `Text -> Rsti_staticcheck.Lint.render_text ~file findings
+          | `Json -> Rsti_staticcheck.Lint.render_json ~file findings)
+        files
+    in
+    List.iter print_string rendered
   in
-  Cmd.v (Cmd.info "lint" ~doc) Term.(const action $ target_arg $ format_arg)
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const action $ Rsti_engine_cli.setup_jobs_term $ target_arg $ format_arg)
 
 let attacks_cmd =
   let doc = "Run the paper's attack catalog (Tables 1 and 2)." in
@@ -286,7 +300,7 @@ let report_cmd =
              correlation, ablation-pac, ablation-merge, ablation-stl, \
              ablation-ce, elide.")
   in
-  let action which =
+  let action () which =
     match which with
     | "table1" -> print_endline (Rsti_report.Security.table1 ())
     | "table2" -> print_endline (Rsti_report.Security.table2 ())
@@ -310,7 +324,8 @@ let report_cmd =
         Printf.eprintf "unknown report %S\n" s;
         exit 2
   in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const action $ which)
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const action $ Rsti_engine_cli.setup_jobs_term $ which)
 
 let gen_cmd =
   let doc = "Generate a random MiniC program (seeded, reproducible)." in

@@ -22,7 +22,9 @@ let survey_point ~structs ~funcs seed =
     }
   in
   let src = Generator.generate ~config ~seed () in
-  let anal = Analysis.analyze (Rsti_ir.Lower.compile ~file:"survey.c" src) in
+  let anal =
+    Rsti_engine.Pipeline.(analysis (analyze (compile (source ~file:"survey.c" src))))
+  in
   (Analysis.stats anal, Analysis.pp_census anal)
 
 let () =

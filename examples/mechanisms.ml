@@ -6,6 +6,7 @@
 
 module RT = Rsti_sti.Rsti_type
 module Analysis = Rsti_sti.Analysis
+module Pipeline = Rsti_engine.Pipeline
 
 (* Figure 5's example: a ctx object laundered through void*, plus a const
    void* bystander. *)
@@ -54,8 +55,10 @@ int main(void) {
 
 let show_types label source =
   Printf.printf "=== %s ===\n\n" label;
-  let m = Rsti_ir.Lower.compile ~file:"fig.c" source in
-  let anal = Analysis.analyze m in
+  let anal =
+    Pipeline.analysis
+      (Pipeline.analyze (Pipeline.compile (Pipeline.source ~file:"fig.c" source)))
+  in
   let vars = Analysis.pointer_vars anal in
   List.iter
     (fun mech ->
@@ -84,12 +87,10 @@ let show_types label source =
 
 let show_instrumentation source =
   Printf.printf "=== instrumentation counts for the Figure 5 program ===\n\n";
-  let m = Rsti_ir.Lower.compile ~file:"fig5.c" source in
-  let anal = Analysis.analyze m in
+  let a = Pipeline.analyze (Pipeline.compile (Pipeline.source ~file:"fig5.c" source)) in
   List.iter
     (fun mech ->
-      let r = Rsti_rsti.Instrument.instrument mech anal m in
-      let c = r.Rsti_rsti.Instrument.counts in
+      let c = Pipeline.counts (Pipeline.instrument mech a) in
       Printf.printf "  %-10s signs=%d auths=%d cast-resigns=%d strips=%d\n"
         (RT.mechanism_to_string mech)
         c.signs c.auths c.resigns c.strips)

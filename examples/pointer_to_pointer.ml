@@ -10,6 +10,7 @@
 
 module RT = Rsti_sti.Rsti_type
 module Interp = Rsti_machine.Interp
+module Pipeline = Rsti_engine.Pipeline
 
 let source =
   {|
@@ -42,8 +43,8 @@ int main(void) {
 
 let () =
   print_endline "Pointer-to-pointer handling (paper Figure 7 / section 4.7.7)\n";
-  let m = Rsti_ir.Lower.compile ~file:"pp.c" source in
-  let anal = Rsti_sti.Analysis.analyze m in
+  let a = Pipeline.analyze (Pipeline.compile (Pipeline.source ~file:"pp.c" source)) in
+  let anal = Pipeline.analysis a in
   let census = Rsti_sti.Analysis.pp_census anal in
   Printf.printf "double-pointer sites: %d;  type-loss sites needing CE/FE: %d\n"
     census.pp_total_sites
@@ -64,9 +65,7 @@ let () =
   print_newline ();
   List.iter
     (fun mech ->
-      let r = Rsti_rsti.Instrument.instrument mech anal m in
-      let vm = Interp.create ~pp_table:r.pp_table r.modul in
-      let o = Interp.run vm in
+      let o = Pipeline.run (Pipeline.instrument mech a) in
       Printf.printf "--- %s ---\n%s" (RT.mechanism_to_string mech) o.Interp.output;
       (match o.Interp.status with
       | Interp.Exited n -> Printf.printf "exit %Ld;" n

@@ -10,6 +10,7 @@
 
 module RT = Rsti_sti.Rsti_type
 module Interp = Rsti_machine.Interp
+module Pipeline = Rsti_engine.Pipeline
 
 let source =
   {|
@@ -53,12 +54,12 @@ let hijack =
         | [] -> ());
   }
 
+(* the staged pipeline end to end; repeat runs hit the artifact cache *)
+let analyzed () =
+  Pipeline.analyze (Pipeline.compile (Pipeline.source ~file:"quickstart.c" source))
+
 let run ~mech ~attacks label =
-  let m = Rsti_ir.Lower.compile ~file:"quickstart.c" source in
-  let anal = Rsti_sti.Analysis.analyze m in
-  let r = Rsti_rsti.Instrument.instrument mech anal m in
-  let vm = Interp.create ~pp_table:r.pp_table r.modul in
-  let o = Interp.run ~attacks vm in
+  let o = Pipeline.run ~attacks (Pipeline.instrument mech (analyzed ())) in
   Printf.printf "--- %s ---\n%s" label o.Interp.output;
   (match o.Interp.status with
   | Interp.Exited code -> Printf.printf "exited with %Ld\n" code
@@ -70,8 +71,7 @@ let run ~mech ~attacks label =
 let () =
   print_endline "RSTI quickstart: protecting a function-pointer table\n";
   (* The analysis view: what STI recovered as the programmer's intent. *)
-  let m = Rsti_ir.Lower.compile ~file:"quickstart.c" source in
-  let anal = Rsti_sti.Analysis.analyze m in
+  let anal = Pipeline.analysis (analyzed ()) in
   print_endline "STI view of the pointers in this program:";
   List.iter
     (fun (si : Rsti_sti.Analysis.slot_info) ->

@@ -29,18 +29,17 @@ let verdict_to_string = function
 
 type run_result = { verdict : verdict; outcome : Interp.outcome }
 
+module Pipeline = Rsti_engine.Pipeline
+
+let analyzed_victim scenario config =
+  Pipeline.analyze ~config
+    (Pipeline.compile ~config
+       (Pipeline.source ~file:(scenario.id ^ ".c") scenario.program))
+
 let run ?(elide = false) scenario mech =
-  let m = Rsti_ir.Lower.compile ~file:(scenario.id ^ ".c") scenario.program in
-  let anal = Rsti_sti.Analysis.analyze m in
-  let elide =
-    if elide then
-      let e = Rsti_staticcheck.Elide.analyze anal m in
-      Some (Rsti_staticcheck.Elide.elide e)
-    else None
-  in
-  let r = Rsti_rsti.Instrument.instrument ?elide mech anal m in
-  let vm = Interp.create ~pp_table:r.pp_table r.modul in
-  let outcome = Interp.run ~attacks:scenario.attacks vm in
+  let config = { Pipeline.default with Pipeline.elide } in
+  let inst = Pipeline.instrument ~config mech (analyzed_victim scenario config) in
+  let outcome = Pipeline.run ~config ~attacks:scenario.attacks inst in
   let verdict =
     if Interp.detected outcome then Detected
     else if scenario.success outcome then Attack_succeeded
@@ -54,9 +53,14 @@ let run_baseline scenario = run scenario Rsti_type.Nop
    call checking in the machine. The paper's introduction motivates STI
    by the attacks this misses. *)
 let run_cfi scenario =
-  let m = Rsti_ir.Lower.compile ~file:(scenario.id ^ ".c") scenario.program in
-  let vm = Interp.create ~cfi:true m in
-  let outcome = Interp.run ~attacks:scenario.attacks vm in
+  let config = Pipeline.default in
+  let compiled =
+    Pipeline.compile ~config
+      (Pipeline.source ~file:(scenario.id ^ ".c") scenario.program)
+  in
+  let outcome =
+    Pipeline.run_baseline ~config ~cfi:true ~attacks:scenario.attacks compiled
+  in
   let verdict =
     match outcome.Interp.status with
     | Interp.Trapped (Interp.Cfi_violation _) -> Detected

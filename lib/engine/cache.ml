@@ -1,0 +1,190 @@
+module RT = Rsti_sti.Rsti_type
+
+type stats = { hits : int; misses : int }
+
+type entry = {
+  modul : Rsti_ir.Ir.modul;
+  mutable analysis : Rsti_sti.Analysis.t option;
+  mutable elide_pred : (Rsti_ir.Ir.slot -> bool) option;
+  mutable instrumented : ((RT.mechanism * bool) * Rsti_rsti.Instrument.result) list;
+}
+
+let lock = Mutex.create ()
+let table : (string, entry) Hashtbl.t = Hashtbl.create 64
+let outcomes :
+    (string, Rsti_machine.Interp.outcome * Rsti_machine.Cost.t) Hashtbl.t =
+  Hashtbl.create 64
+let enabled_flag = Atomic.make true
+let hits = Atomic.make 0
+let misses = Atomic.make 0
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let clear () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  Hashtbl.reset outcomes;
+  Atomic.set hits 0;
+  Atomic.set misses 0;
+  Mutex.unlock lock
+
+let stats () = { hits = Atomic.get hits; misses = Atomic.get misses }
+
+let key ~file text = Digest.to_hex (Digest.string (file ^ "\x00" ^ text))
+let source_key = key
+
+let hit () = Atomic.incr hits
+let miss () = Atomic.incr misses
+
+(* Find the entry for a source, compiling on a miss. The compile runs
+   outside the lock; if two domains miss the same key at once the second
+   insert is dropped in favour of the first (both modules are equal —
+   the stage is deterministic). [count] is false when the lookup is a
+   sub-step of a later stage, so {!stats} counts each stage access
+   once. *)
+let entry ?(count = true) ~file text =
+  let k = key ~file text in
+  Mutex.lock lock;
+  let found = Hashtbl.find_opt table k in
+  Mutex.unlock lock;
+  match found with
+  | Some e ->
+      if count then hit ();
+      e
+  | None ->
+      if count then miss ();
+      let e =
+        {
+          modul = Rsti_ir.Lower.compile ~file text;
+          analysis = None;
+          elide_pred = None;
+          instrumented = [];
+        }
+      in
+      Mutex.lock lock;
+      let e =
+        match Hashtbl.find_opt table k with
+        | Some winner -> winner
+        | None ->
+            Hashtbl.replace table k e;
+            e
+      in
+      Mutex.unlock lock;
+      e
+
+let compiled ~file text =
+  if not (enabled ()) then Rsti_ir.Lower.compile ~file text
+  else (entry ~file text).modul
+
+(* Attack-free runs of a deterministic machine are pure functions of the
+   caller-assembled [key] (source digest x base-ISA prices x machine
+   knobs), so their outcomes memoize like any other artifact. The entry
+   remembers the full cost record the run was priced under, so a hit
+   whose instrumentation prices differ can be re-priced by the caller
+   instead of re-simulated ({!Rsti_machine.Interp.reprice}). The compute
+   runs outside the lock; first writer wins on a racing miss. *)
+let outcome ~key:k compute =
+  if not (enabled ()) then compute ()
+  else begin
+    Mutex.lock lock;
+    let found = Hashtbl.find_opt outcomes k in
+    Mutex.unlock lock;
+    match found with
+    | Some o ->
+        hit ();
+        o
+    | None ->
+        miss ();
+        let o = compute () in
+        Mutex.lock lock;
+        let o =
+          match Hashtbl.find_opt outcomes k with
+          | Some winner -> winner
+          | None ->
+              Hashtbl.replace outcomes k o;
+              o
+        in
+        Mutex.unlock lock;
+        o
+  end
+
+(* Fill a memoized field of an entry. The compute runs outside the lock
+   (it can take seconds); a racing duplicate is resolved in favour of
+   the first writer. *)
+let memo_field ~get ~set ~compute e =
+  Mutex.lock lock;
+  let found = get e in
+  Mutex.unlock lock;
+  match found with
+  | Some v ->
+      hit ();
+      v
+  | None ->
+      miss ();
+      let v = compute e in
+      Mutex.lock lock;
+      let v = match get e with Some w -> w | None -> set e v; v in
+      Mutex.unlock lock;
+      v
+
+let analysis ~file text =
+  if not (enabled ()) then
+    Rsti_sti.Analysis.analyze (Rsti_ir.Lower.compile ~file text)
+  else
+    memo_field
+      ~get:(fun e -> e.analysis)
+      ~set:(fun e v -> e.analysis <- Some v)
+      ~compute:(fun e -> Rsti_sti.Analysis.analyze e.modul)
+      (entry ~count:false ~file text)
+
+let elide_of anal modul =
+  Rsti_staticcheck.Elide.elide (Rsti_staticcheck.Elide.analyze anal modul)
+
+let elide ~file text =
+  if not (enabled ()) then begin
+    let m = Rsti_ir.Lower.compile ~file text in
+    elide_of (Rsti_sti.Analysis.analyze m) m
+  end
+  else begin
+    let anal = analysis ~file text in
+    memo_field
+      ~get:(fun e -> e.elide_pred)
+      ~set:(fun e v -> e.elide_pred <- Some v)
+      ~compute:(fun e -> elide_of anal e.modul)
+      (entry ~count:false ~file text)
+  end
+
+let instrumented ~file ~elide:el mech text =
+  if not (enabled ()) then begin
+    let m = Rsti_ir.Lower.compile ~file text in
+    let anal = Rsti_sti.Analysis.analyze m in
+    let pred = if el then Some (elide_of anal m) else None in
+    Rsti_rsti.Instrument.instrument ?elide:pred mech anal m
+  end
+  else begin
+    let anal = analysis ~file text in
+    let pred = if el then Some (elide ~file text) else None in
+    let e = entry ~count:false ~file text in
+    let k = (mech, el) in
+    Mutex.lock lock;
+    let found = List.assoc_opt k e.instrumented in
+    Mutex.unlock lock;
+    match found with
+    | Some r ->
+        hit ();
+        r
+    | None ->
+        miss ();
+        let r = Rsti_rsti.Instrument.instrument ?elide:pred mech anal e.modul in
+        Mutex.lock lock;
+        let r =
+          match List.assoc_opt k e.instrumented with
+          | Some winner -> winner
+          | None ->
+              e.instrumented <- (k, r) :: e.instrumented;
+              r
+        in
+        Mutex.unlock lock;
+        r
+  end

@@ -1,0 +1,19 @@
+open Cmdliner
+
+let jobs_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Number of worker domains for suite-level fan-out. Defaults to \
+           $(b,RSTI_JOBS), then the machine's recommended domain count. \
+           Results are deterministic: output is byte-identical for any N.")
+
+let apply = function
+  | Some n -> Rsti_engine.Scheduler.set_default_jobs n
+  | None -> ()
+
+let setup_jobs_term = Term.(const apply $ jobs_term)
+
+let resolved_jobs () = Rsti_engine.Scheduler.default_jobs ()

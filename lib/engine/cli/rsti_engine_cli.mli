@@ -1,0 +1,16 @@
+(** The one shared [--jobs] cmdliner term: both [rstic] (run / analyze /
+    lint / report) and [bench/main.exe] reuse it, so the flag parses and
+    routes into the engine identically everywhere. *)
+
+val jobs_term : int option Cmdliner.Term.t
+(** [--jobs N] / [-j N]: number of worker domains. Unset defers to
+    [RSTI_JOBS], then [Domain.recommended_domain_count ()]. *)
+
+val setup_jobs_term : unit Cmdliner.Term.t
+(** {!jobs_term} routed into the engine: evaluating the term installs
+    the override via {!Rsti_engine.Scheduler.set_default_jobs} (or
+    leaves the environment default in place when the flag is absent).
+    Compose it into a command with [Term.(const f $ setup_jobs_term $ ...)]. *)
+
+val resolved_jobs : unit -> int
+(** The job count the engine will use after term evaluation. *)

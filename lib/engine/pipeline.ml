@@ -1,0 +1,170 @@
+module RT = Rsti_sti.Rsti_type
+
+type config = {
+  costs : Rsti_machine.Cost.t;
+  elide : bool;
+  mechanisms : RT.mechanism list;
+  cache : bool;
+  jobs : int option;
+}
+
+let default =
+  {
+    costs = Rsti_machine.Cost.default;
+    elide = false;
+    mechanisms = RT.all_mechanisms;
+    cache = true;
+    jobs = None;
+  }
+
+type source = { file : string; text : string }
+type compiled = { src : source; modul : Rsti_ir.Ir.modul }
+type analyzed = { comp : compiled; anal : Rsti_sti.Analysis.t }
+
+type instrumented = {
+  stage : analyzed;
+  mech : RT.mechanism;
+  elided : bool;
+  result : Rsti_rsti.Instrument.result;
+}
+
+let source ?(file = "<memory>.c") text = { file; text }
+
+(* Each stage consults the cache exactly when [config.cache] is set; the
+   cache key is the stage value's source, so a stage value built with
+   cache off composes with later stages run with cache on. *)
+
+let compile ?(config = default) (s : source) =
+  let modul =
+    if config.cache then Cache.compiled ~file:s.file s.text
+    else Rsti_ir.Lower.compile ~file:s.file s.text
+  in
+  { src = s; modul }
+
+let analyze ?(config = default) (c : compiled) =
+  let anal =
+    if config.cache then Cache.analysis ~file:c.src.file c.src.text
+    else Rsti_sti.Analysis.analyze c.modul
+  in
+  { comp = c; anal }
+
+let elide_pred ?(config = default) (a : analyzed) =
+  if config.cache then Cache.elide ~file:a.comp.src.file a.comp.src.text
+  else
+    Rsti_staticcheck.Elide.elide
+      (Rsti_staticcheck.Elide.analyze a.anal a.comp.modul)
+
+let instrument ?(config = default) mech (a : analyzed) =
+  (* Parts/Nop model toolchains without the whole-program proof; the
+     elide stage key stays false for them so the cache never splits. *)
+  let elided = config.elide && mech <> RT.Parts && mech <> RT.Nop in
+  let result =
+    if config.cache then
+      Cache.instrumented ~file:a.comp.src.file ~elide:elided mech a.comp.src.text
+    else
+      let pred = if elided then Some (elide_pred ~config a) else None in
+      Rsti_rsti.Instrument.instrument ?elide:pred mech a.anal a.comp.modul
+  in
+  { stage = a; mech; elided; result }
+
+let instrument_all ?(config = default) (a : analyzed) =
+  List.map (fun mech -> instrument ~config mech a) config.mechanisms
+
+(* Run outcomes are memoizable exactly when no attack closure is
+   installed: the machine is deterministic, so the outcome is a pure
+   function of the module's source digest, the cost record, and the
+   machine knobs. Only the base ISA prices go into the key — the
+   instrumentation prices (pac, strip, pp, pac_spill) map 1:1 onto
+   outcome counters, so a hit under different ones is re-priced
+   ({!Rsti_machine.Interp.reprice}) instead of re-simulated. That is
+   what makes the PA-cost ablation cheap: one simulation per
+   (workload, mechanism) serves the whole sweep. *)
+let cost_key (c : Rsti_machine.Cost.t) =
+  Printf.sprintf "%d.%d.%d.%d.%d.%d.%d" c.Rsti_machine.Cost.alu
+    c.Rsti_machine.Cost.load c.Rsti_machine.Cost.store c.Rsti_machine.Cost.gep
+    c.Rsti_machine.Cost.branch c.Rsti_machine.Cost.call
+    c.Rsti_machine.Cost.extern_call
+
+let knobs_key ?seed ?fpac ?cfi ?backend ?entry () =
+  String.concat "|"
+    [
+      (match seed with None -> "-" | Some s -> Int64.to_string s);
+      (match fpac with None -> "-" | Some b -> string_of_bool b);
+      (match cfi with None -> "-" | Some b -> string_of_bool b);
+      (match backend with None | Some `Pac -> "pac" | Some `Shadow_mac -> "mac");
+      Option.value entry ~default:"main";
+    ]
+
+let cached_run ~key ~costs ~backend exec =
+  let o, priced = Cache.outcome ~key (fun () -> (exec (), costs)) in
+  if priced == costs || priced = costs then o
+  else
+    Rsti_machine.Interp.reprice ~from:priced ~to_:costs
+      ~pac_spill_charged:(backend <> Some `Shadow_mac)
+      o
+
+let run ?(config = default) ?(attacks = []) ?seed ?fpac ?backend ?entry
+    (i : instrumented) =
+  let exec () =
+    let vm =
+      Rsti_machine.Interp.create ~costs:config.costs ?seed ?fpac ?backend
+        ~pp_table:i.result.Rsti_rsti.Instrument.pp_table
+        i.result.Rsti_rsti.Instrument.modul
+    in
+    Rsti_machine.Interp.run ~attacks ?entry vm
+  in
+  if (not config.cache) || attacks <> [] then exec ()
+  else
+    let s = i.stage.comp.src in
+    let key =
+      String.concat "|"
+        [
+          "run";
+          Cache.source_key ~file:s.file s.text;
+          RT.mechanism_to_string i.mech;
+          string_of_bool i.elided;
+          cost_key config.costs;
+          knobs_key ?seed ?fpac ?backend ?entry ();
+        ]
+    in
+    cached_run ~key ~costs:config.costs ~backend exec
+
+let run_baseline ?(config = default) ?(attacks = []) ?seed ?fpac ?cfi ?backend
+    ?entry (c : compiled) =
+  let exec () =
+    let vm =
+      Rsti_machine.Interp.create ~costs:config.costs ?seed ?fpac ?cfi ?backend
+        c.modul
+    in
+    Rsti_machine.Interp.run ~attacks ?entry vm
+  in
+  if (not config.cache) || attacks <> [] then exec ()
+  else
+    (* An uninstrumented module executes no PA/xpac/pp instructions, so
+       on top of the key's price-blindness the whole PA-cost ablation
+       shares one baseline run per workload (re-pricing it is the
+       identity: every instrumentation counter is zero). *)
+    let key =
+      String.concat "|"
+        [
+          "base";
+          Cache.source_key ~file:c.src.file c.src.text;
+          cost_key config.costs;
+          knobs_key ?seed ?fpac ?cfi ?backend ?entry ();
+        ]
+    in
+    cached_run ~key ~costs:config.costs ~backend exec
+
+let file (s : source) = s.file
+let text (s : source) = s.text
+let source_of_compiled (c : compiled) = c.src
+let ir (c : compiled) = c.modul
+let compiled_of_analyzed (a : analyzed) = a.comp
+let analysis (a : analyzed) = a.anal
+let analyzed_ir (a : analyzed) = a.comp.modul
+let analyzed_of_instrumented (i : instrumented) = i.stage
+let mechanism (i : instrumented) = i.mech
+let elided (i : instrumented) = i.elided
+let result (i : instrumented) = i.result
+let instrumented_ir (i : instrumented) = i.result.Rsti_rsti.Instrument.modul
+let counts (i : instrumented) = i.result.Rsti_rsti.Instrument.counts

@@ -1,0 +1,118 @@
+(** The staged experiment pipeline — the one typed entry point every
+    consumer (bench harness, [rstic], the report/workload/attack
+    libraries) uses to go from MiniC source to a measured run:
+
+    {[ source --> compiled --> analyzed --> instrumented(mech) --> outcome ]}
+
+    Each arrow is an explicit stage function returning an opaque stage
+    value, so "compile then analyze then instrument then run" is written
+    once here instead of being hand-assembled at every call site, and the
+    only way to obtain an {!Rsti_rsti.Instrument.result} outside [lib/]
+    is through this API. A {!config} record replaces the optional-arg
+    soup that used to grow on [Workloads.Run.measure] ([?costs ?elide
+    ...]); the pointer-to-pointer table an instrumented module needs at
+    run time travels inside the {!instrumented} stage value, so {!run}
+    wires it into the machine automatically.
+
+    Every stage is memoized in the content-keyed {!Cache} (switched by
+    [config.cache]); fan-out over workloads happens in {!Scheduler}.
+    Attack-free runs memoize too — the machine is deterministic, so an
+    outcome is a pure function of the source digest, the cost record and
+    the machine knobs. {!run}/{!run_baseline} key on the source digest,
+    the base ISA prices and the knobs only: the instrumentation prices
+    ([pac], [strip], [pp], [pac_spill]) map 1:1 onto outcome counters,
+    so a hit under different ones is re-priced
+    ({!Rsti_machine.Interp.reprice}) instead of re-simulated — one
+    simulation per (workload, mechanism) serves an entire PA-cost sweep.
+    Runs with attacks installed always execute — attack closures are not
+    part of any key. *)
+
+type config = {
+  costs : Rsti_machine.Cost.t;  (** cycle model for {!run} *)
+  elide : bool;  (** apply the static checker's elision proof *)
+  mechanisms : Rsti_sti.Rsti_type.mechanism list;
+      (** the mechanism sweep {!instrument_all} expands *)
+  cache : bool;  (** consult/fill the artifact {!Cache} *)
+  jobs : int option;
+      (** fan-out width for suite-level consumers; [None] defers to
+          {!Scheduler.default_jobs} *)
+}
+
+val default : config
+(** [costs = Cost.default], [elide = false],
+    [mechanisms = Rsti_type.all_mechanisms], [cache = true],
+    [jobs = None]. *)
+
+type source
+type compiled
+type analyzed
+type instrumented
+
+val source : ?file:string -> string -> source
+(** Wrap MiniC text; [file] (default ["<memory>.c"]) names it in
+    diagnostics and debug metadata and is part of the cache key. *)
+
+val compile : ?config:config -> source -> compiled
+(** Parse, type-check, lower ([Ir.Lower.compile]). Frontend errors
+    ([Lexer.Error], [Parser.Error], [Typecheck.Error]) propagate. *)
+
+val analyze : ?config:config -> compiled -> analyzed
+(** The whole-program STI analysis ([Sti.Analysis.analyze]). *)
+
+val instrument :
+  ?config:config -> Rsti_sti.Rsti_type.mechanism -> analyzed -> instrumented
+(** The RSTI instrumentation pass; [config.elide] applies the
+    [Staticcheck.Elide] proof (no-op under [Parts]/[Nop], which the
+    pass itself never elides). *)
+
+val instrument_all : ?config:config -> analyzed -> instrumented list
+(** One {!instrumented} per [config.mechanisms], in order. *)
+
+val run :
+  ?config:config ->
+  ?attacks:Rsti_machine.Interp.attack list ->
+  ?seed:int64 ->
+  ?fpac:bool ->
+  ?backend:[ `Pac | `Shadow_mac ] ->
+  ?entry:string ->
+  instrumented ->
+  Rsti_machine.Interp.outcome
+(** Load the instrumented module (with its pointer-to-pointer table)
+    into a fresh machine under [config.costs] and execute it. *)
+
+val run_baseline :
+  ?config:config ->
+  ?attacks:Rsti_machine.Interp.attack list ->
+  ?seed:int64 ->
+  ?fpac:bool ->
+  ?cfi:bool ->
+  ?backend:[ `Pac | `Shadow_mac ] ->
+  ?entry:string ->
+  compiled ->
+  Rsti_machine.Interp.outcome
+(** Execute the uninstrumented module ([cfi] enables the signature-CFI
+    baseline machine). *)
+
+(** {2 Stage accessors} *)
+
+val file : source -> string
+val text : source -> string
+
+val source_of_compiled : compiled -> source
+val ir : compiled -> Rsti_ir.Ir.modul
+
+val compiled_of_analyzed : analyzed -> compiled
+val analysis : analyzed -> Rsti_sti.Analysis.t
+val analyzed_ir : analyzed -> Rsti_ir.Ir.modul
+
+val analyzed_of_instrumented : instrumented -> analyzed
+val mechanism : instrumented -> Rsti_sti.Rsti_type.mechanism
+val elided : instrumented -> bool
+val result : instrumented -> Rsti_rsti.Instrument.result
+(** The pass output: rewritten module, pp table, static counts. *)
+
+val instrumented_ir : instrumented -> Rsti_ir.Ir.modul
+val counts : instrumented -> Rsti_rsti.Instrument.static_counts
+val elide_pred : ?config:config -> analyzed -> Rsti_ir.Ir.slot -> bool
+(** The elision-proof predicate itself (what [config.elide] applies);
+    exposed for consumers that report per-slot verdicts. *)

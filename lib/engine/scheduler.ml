@@ -1,0 +1,110 @@
+let env_jobs () =
+  match Sys.getenv_opt "RSTI_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let override = Atomic.make None
+
+let set_default_jobs n = Atomic.set override (Some (max 1 n))
+let clear_default_jobs () = Atomic.set override None
+
+let default_jobs () =
+  match Atomic.get override with
+  | Some n -> n
+  | None -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> Domain.recommended_domain_count ())
+
+(* One block of the task-index space [lo, hi). The owning worker pops
+   from [lo]; thieves steal from [hi]. A mutex per deque keeps the claim
+   of every index exclusive — tasks are coarse (whole compile+run
+   pipelines), so contention is irrelevant next to task cost. *)
+type deque = { mutable lo : int; mutable hi : int; lock : Mutex.t }
+
+let pop_own d =
+  Mutex.lock d.lock;
+  let r =
+    if d.lo < d.hi then (
+      let i = d.lo in
+      d.lo <- i + 1;
+      Some i)
+    else None
+  in
+  Mutex.unlock d.lock;
+  r
+
+let steal d =
+  Mutex.lock d.lock;
+  let r =
+    if d.lo < d.hi then (
+      d.hi <- d.hi - 1;
+      Some d.hi)
+    else None
+  in
+  Mutex.unlock d.lock;
+  r
+
+(* Workers must not fan out again from inside a task: a nested [map]
+   runs serially in the calling worker. *)
+let in_pool = Domain.DLS.new_key (fun () -> false)
+
+let map ?jobs f xs =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 || Domain.DLS.get in_pool then List.map f xs
+  else begin
+    let tasks = Array.of_list xs in
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let workers = min jobs n in
+    let deques =
+      Array.init workers (fun w ->
+          { lo = w * n / workers; hi = (w + 1) * n / workers; lock = Mutex.create () })
+    in
+    let run_task i =
+      if Atomic.get error = None then
+        try results.(i) <- Some (f tasks.(i))
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set error None (Some (e, bt)))
+    in
+    let worker w () =
+      Domain.DLS.set in_pool true;
+      let d = deques.(w) in
+      let rec own () =
+        match pop_own d with
+        | Some i ->
+            run_task i;
+            own ()
+        | None -> hunt 1
+      and hunt tried =
+        if tried <= workers then
+          match steal deques.((w + tried) mod workers) with
+          | Some i ->
+              run_task i;
+              hunt tried
+          | None -> hunt (tried + 1)
+      in
+      own ()
+    in
+    let doms =
+      Array.init (workers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1) ()))
+    in
+    (* the calling domain is worker 0; restore its nesting flag after *)
+    worker 0 ();
+    Domain.DLS.set in_pool false;
+    Array.iter Domain.join doms;
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
+  end
+
+let iter ?jobs f xs = ignore (map ?jobs (fun x -> f x) xs)

@@ -1,0 +1,39 @@
+(** The experiment engine's domain-pool scheduler.
+
+    The paper's whole-suite measurements (Fig. 9/10: ~60 kernels x 4
+    mechanisms) are embarrassingly parallel, so the engine fans tasks out
+    over a pool of OCaml 5 domains with a per-worker work-stealing deque:
+    the task list is block-partitioned, each worker pops from the front of
+    its own block and, when empty, steals from the back of another
+    worker's block. Every task is claimed exactly once (the deque ranges
+    are mutex-guarded), so results are written to disjoint indices of one
+    result array and {!map} returns them in input order — output is
+    byte-identical for any job count.
+
+    Job-count resolution, highest priority first:
+    - an explicit [?jobs] argument,
+    - a process-wide override ({!set_default_jobs}, the [--jobs] flag),
+    - the [RSTI_JOBS] environment variable,
+    - [Domain.recommended_domain_count ()]. *)
+
+val env_jobs : unit -> int option
+(** [RSTI_JOBS] if set to a positive integer. *)
+
+val set_default_jobs : int -> unit
+(** Install a process-wide job-count override (what [--jobs] routes to);
+    clamped to at least 1. *)
+
+val clear_default_jobs : unit -> unit
+
+val default_jobs : unit -> int
+(** The resolved job count used when [?jobs] is omitted. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] over the domain pool; results in input order.
+    Runs serially when the resolved job count is 1, the list has fewer
+    than two elements, or the caller is itself a pool worker (nested
+    fan-out does not spawn domains over domains). The first task
+    exception (by task index claim order) is re-raised after all workers
+    join; remaining tasks are skipped once an exception is recorded. *)
+
+val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit

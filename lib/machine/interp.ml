@@ -48,6 +48,7 @@ type counts = {
   mutable pac_auths : int;
   mutable pac_strips : int;
   mutable pp_calls : int;
+  mutable pac_charges : int;
 }
 
 type outcome = {
@@ -69,6 +70,37 @@ let detected (o : outcome) =
   | Trapped (Pac_auth_failure _) ->
       true
   | _ -> false
+
+(* Costs never influence control flow (the step limit counts
+   instructions, not cycles), so a finished run's trace is identical
+   under any cost record and the cycle total is the only thing to
+   adjust. Each instrumentation price maps to one counter: [pac] was
+   charged [pac_charges] times (resigns count twice; the pp mechanism's
+   sign/auth price at [pp]), [strip] once per [pac_strips], [pp] once
+   per [pp_calls], and [pac_spill] rides along with every [pac] charge
+   on the [`Pac] backend and never on [`Shadow_mac]. The base ISA
+   prices have no exact counters, so a change there is refused. *)
+let reprice ~from ~to_ ~pac_spill_charged (o : outcome) =
+  let d get = get to_ - get from in
+  if
+    d (fun (c : Cost.t) -> c.alu) <> 0
+    || d (fun (c : Cost.t) -> c.load) <> 0
+    || d (fun (c : Cost.t) -> c.store) <> 0
+    || d (fun (c : Cost.t) -> c.gep) <> 0
+    || d (fun (c : Cost.t) -> c.branch) <> 0
+    || d (fun (c : Cost.t) -> c.call) <> 0
+    || d (fun (c : Cost.t) -> c.extern_call) <> 0
+  then invalid_arg "Interp.reprice: base ISA prices differ";
+  let spill =
+    if pac_spill_charged then d (fun (c : Cost.t) -> c.pac_spill) else 0
+  in
+  let cycles =
+    o.cycles
+    + ((d (fun (c : Cost.t) -> c.pac) + spill) * o.counts.pac_charges)
+    + (d (fun (c : Cost.t) -> c.strip) * o.counts.pac_strips)
+    + (d (fun (c : Cost.t) -> c.pp) * o.counts.pp_calls)
+  in
+  { o with cycles }
 
 type intruder = {
   read_word : int64 -> int64;
@@ -224,7 +256,7 @@ let create ?(costs = Cost.default) ?(seed = 0xC0FFEEL) ?(pp_table = []) ?(fpac =
     cycles = 0;
     counts =
       { instrs = 0; loads = 0; stores = 0; pac_signs = 0; pac_auths = 0;
-        pac_strips = 0; pp_calls = 0 };
+        pac_strips = 0; pp_calls = 0; pac_charges = 0 };
     events = [];
     out = Buffer.create 256;
     steps = 0;
@@ -575,12 +607,14 @@ and exec_shadow_mac t fname regs (p : Ir.pac) =
   | Ir.Ksign ->
       charge t (t.costs.pac + t.costs.load + t.costs.store);
       t.counts.pac_signs <- t.counts.pac_signs + 1;
+      t.counts.pac_charges <- t.counts.pac_charges + 1;
       if Int64.equal src 0L then Hashtbl.remove t.shadow slot
       else Hashtbl.replace t.shadow slot (mac_of t p.p_key ~modifier:m src);
       regs.(p.p_dst) <- src
   | Ir.Kauth ->
       charge t (t.costs.pac + t.costs.load);
       t.counts.pac_auths <- t.counts.pac_auths + 1;
+      t.counts.pac_charges <- t.counts.pac_charges + 1;
       let ok =
         if Int64.equal src 0L then not (Hashtbl.mem t.shadow slot)
         else
@@ -601,6 +635,7 @@ and exec_shadow_mac t fname regs (p : Ir.pac) =
       charge t (2 * t.costs.pac);
       t.counts.pac_auths <- t.counts.pac_auths + 1;
       t.counts.pac_signs <- t.counts.pac_signs + 1;
+      t.counts.pac_charges <- t.counts.pac_charges + 2;
       regs.(p.p_dst) <- src
   | Ir.Kstrip ->
       charge t t.costs.strip;
@@ -625,11 +660,13 @@ and exec_pac t fname regs (p : Ir.pac) =
   | Ir.Ksign ->
       charge t (t.costs.pac + t.costs.pac_spill);
       t.counts.pac_signs <- t.counts.pac_signs + 1;
+      t.counts.pac_charges <- t.counts.pac_charges + 1;
       let m = modifier_value t regs p.p_mod p.p_slot_addr in
       regs.(p.p_dst) <- Rsti_pa.Pac.sign t.pac ~key ~modifier:m src
   | Ir.Kauth -> (
       charge t (t.costs.pac + t.costs.pac_spill);
       t.counts.pac_auths <- t.counts.pac_auths + 1;
+      t.counts.pac_charges <- t.counts.pac_charges + 1;
       let m = modifier_value t regs p.p_mod p.p_slot_addr in
       match Rsti_pa.Pac.auth t.pac ~key ~modifier:m src with
       | Ok v -> regs.(p.p_dst) <- v
@@ -640,6 +677,7 @@ and exec_pac t fname regs (p : Ir.pac) =
       charge t (2 * (t.costs.pac + t.costs.pac_spill));
       t.counts.pac_auths <- t.counts.pac_auths + 1;
       t.counts.pac_signs <- t.counts.pac_signs + 1;
+      t.counts.pac_charges <- t.counts.pac_charges + 2;
       (* Fused aut+pac. In this codebase's discipline in-flight values are
          raw (canonical), so the pair acts as a checked identity; a signed
          value (the pp mechanism) gets a real authenticate + re-sign. *)

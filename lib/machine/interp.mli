@@ -40,6 +40,9 @@ type counts = {
   mutable pac_auths : int;      (** auths + the auth halves of resigns *)
   mutable pac_strips : int;
   mutable pp_calls : int;
+  mutable pac_charges : int;
+      (** times the [pac] price was charged (a resign charges twice;
+          the pp mechanism's sign/auth price at [pp], not here) *)
 }
 
 type outcome = {
@@ -57,6 +60,18 @@ type outcome = {
 val detected : outcome -> bool
 (** True when execution ended in a trap that followed a PAC authentication
     failure — i.e. RSTI detected and stopped an attack. *)
+
+val reprice :
+  from:Cost.t -> to_:Cost.t -> pac_spill_charged:bool -> outcome -> outcome
+(** Re-price a finished run under a different cost record without
+    re-simulating: costs never influence control flow, so the trace —
+    and with it {!counts}, status, events, output — is identical, and
+    only the cycle total moves. Valid only when [from] and [to_] differ
+    in the instrumentation prices ([pac], [strip], [pp], [pac_spill]);
+    the base ISA prices are not reconstructible from {!counts} and a
+    difference there raises [Invalid_argument]. [pac_spill_charged] is
+    whether the run's backend pays the spill price alongside each [pac]
+    charge ([`Pac] does, [`Shadow_mac] never spills). *)
 
 type t
 (** A loaded machine instance (module + memory image + PA keys). *)

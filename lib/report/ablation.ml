@@ -1,5 +1,6 @@
 module RT = Rsti_sti.Rsti_type
 module Run = Rsti_workloads.Run
+module Pipeline = Rsti_engine.Pipeline
 module Tab = Rsti_util.Tab
 
 let pct x = Printf.sprintf "%.2f%%" x
@@ -8,11 +9,18 @@ let pac_cost_sweep () =
   let rows =
     List.map
       (fun pac ->
-        let costs = Rsti_machine.Cost.with_pac Rsti_machine.Cost.default pac in
+        let config =
+          {
+            Run.default_config with
+            Run.costs = Rsti_machine.Cost.with_pac Rsti_machine.Cost.default pac;
+          }
+        in
         let cells =
           List.map
             (fun mech ->
-              let ms = Run.measure_suite ~costs Rsti_workloads.Spec2006.all [ mech ] in
+              let ms =
+                Run.measure_suite ~config Rsti_workloads.Spec2006.all [ mech ]
+              in
               pct (Run.geomean_overhead ms))
             RT.all_mechanisms
         in
@@ -23,10 +31,12 @@ let pac_cost_sweep () =
    (the paper's model point is 7, the measured 7-XOR equivalence)\n\n"
   ^ Tab.render ~header:[ "pac cost"; "RSTI-STWC"; "RSTI-STC"; "RSTI-STL" ] rows
 
+let analyzed_workload (w : Rsti_workloads.Workload.t) =
+  Pipeline.analyze (Pipeline.compile (Pipeline.source ~file:(w.name ^ ".c") w.source))
+
 let instrument_workload mech (w : Rsti_workloads.Workload.t) =
-  let m = Rsti_ir.Lower.compile ~file:(w.name ^ ".c") w.source in
-  let anal = Rsti_sti.Analysis.analyze m in
-  (Rsti_rsti.Instrument.instrument mech anal m, anal)
+  let a = analyzed_workload w in
+  (Pipeline.result (Pipeline.instrument mech a), Pipeline.analysis a)
 
 let merge_effect () =
   let rows =
@@ -150,12 +160,13 @@ let elision () =
   let sites (c : Rsti_rsti.Instrument.static_counts) =
     c.signs + c.auths + (2 * c.resigns)
   in
+  let elide_config = { Run.default_config with Run.elide = true } in
   let full = ref [] and elided = ref [] in
   let rows =
     List.map
       (fun (w : Rsti_workloads.Workload.t) ->
         let ms_full = Run.measure w mechs in
-        let ms_elide = Run.measure ~elide:true w mechs in
+        let ms_elide = Run.measure ~config:elide_config w mechs in
         full := !full @ ms_full;
         elided := !elided @ ms_elide;
         let stwc_full = List.find (fun m -> m.Run.mech = RT.Stwc) ms_full in
@@ -205,14 +216,10 @@ let backend_comparison () =
   let rows =
     List.filter_map
       (fun (w : Rsti_workloads.Workload.t) ->
-        let m = Rsti_ir.Lower.compile ~file:(w.name ^ ".c") w.source in
-        let anal = Rsti_sti.Analysis.analyze m in
-        let r = Rsti_rsti.Instrument.instrument mech anal m in
-        let base = Rsti_machine.Interp.run (Rsti_machine.Interp.create m) in
-        let run backend =
-          Rsti_machine.Interp.run
-            (Rsti_machine.Interp.create ~backend ~pp_table:r.pp_table r.modul)
-        in
+        let a = analyzed_workload w in
+        let inst = Pipeline.instrument mech a in
+        let base = Pipeline.run_baseline (Pipeline.compiled_of_analyzed a) in
+        let run backend = Pipeline.run ~backend inst in
         let pac = run `Pac and mac = run `Shadow_mac in
         let overhead (o : Rsti_machine.Interp.outcome) =
           (float_of_int o.cycles /. float_of_int base.Rsti_machine.Interp.cycles -. 1.)

@@ -1,5 +1,6 @@
 module RT = Rsti_sti.Rsti_type
 module Run = Rsti_workloads.Run
+module Scheduler = Rsti_engine.Scheduler
 
 type t = {
   spec2006 : Run.measurement list;
@@ -11,13 +12,36 @@ type t = {
 
 let mechs = RT.all_mechanisms
 
-let collect ?costs () =
+(* One scheduler task per workload across every suite at once (the
+   widest fan-out the data allows), then regroup per suite in workload
+   order — the result is independent of the job count. *)
+let collect ?(config = Run.default_config) () =
+  let suites =
+    [
+      Rsti_workloads.Spec2006.all;
+      Rsti_workloads.Spec2017.all;
+      Rsti_workloads.Nbench.all;
+      Rsti_workloads.Pytorch.all;
+      Rsti_workloads.Nginx.all;
+    ]
+  in
+  let tagged =
+    List.concat (List.mapi (fun i ws -> List.map (fun w -> (i, w)) ws) suites)
+  in
+  let measured =
+    Scheduler.map ?jobs:config.Run.jobs
+      (fun (i, w) -> (i, Run.measure ~config w mechs))
+      tagged
+  in
+  let of_suite i =
+    List.concat_map (fun (j, ms) -> if i = j then ms else []) measured
+  in
   {
-    spec2006 = Run.measure_suite ?costs Rsti_workloads.Spec2006.all mechs;
-    spec2017 = Run.measure_suite ?costs Rsti_workloads.Spec2017.all mechs;
-    nbench = Run.measure_suite ?costs Rsti_workloads.Nbench.all mechs;
-    pytorch = Run.measure_suite ?costs Rsti_workloads.Pytorch.all mechs;
-    nginx = Run.measure_suite ?costs Rsti_workloads.Nginx.all mechs;
+    spec2006 = of_suite 0;
+    spec2017 = of_suite 1;
+    nbench = of_suite 2;
+    pytorch = of_suite 3;
+    nginx = of_suite 4;
   }
 
 let of_mech ms mech = List.filter (fun (m : Run.measurement) -> m.mech = mech) ms

@@ -1,6 +1,8 @@
 (** Shared performance-measurement data for the Figure 9 / Figure 10 /
     correlation reproductions: every workload of every suite, run under
-    the three RSTI mechanisms, measured once and reused. *)
+    the three RSTI mechanisms, measured once and reused. Collection fans
+    out over the engine's domain pool (one task per workload) and merges
+    deterministically — the record is identical for any job count. *)
 
 type t = {
   spec2006 : Rsti_workloads.Run.measurement list;
@@ -10,8 +12,10 @@ type t = {
   nginx : Rsti_workloads.Run.measurement list;
 }
 
-val collect : ?costs:Rsti_machine.Cost.t -> unit -> t
-(** Run everything (takes tens of seconds of simulation). *)
+val collect : ?config:Rsti_workloads.Run.config -> unit -> t
+(** Run everything (takes tens of seconds of simulation at one job;
+    [config.jobs] parallelizes, [config.cache] reuses compile/analysis
+    artifacts across sections). *)
 
 val of_mech : Rsti_workloads.Run.measurement list -> Rsti_sti.Rsti_type.mechanism ->
   Rsti_workloads.Run.measurement list

@@ -1,7 +1,19 @@
 module Interp = Rsti_machine.Interp
 module RT = Rsti_sti.Rsti_type
+module Pipeline = Rsti_engine.Pipeline
+module Scheduler = Rsti_engine.Scheduler
 
 exception Divergence of string
+
+type config = {
+  costs : Rsti_machine.Cost.t;
+  elide : bool;
+  cache : bool;
+  jobs : int option;
+}
+
+let default_config =
+  { costs = Rsti_machine.Cost.default; elide = false; cache = true; jobs = None }
 
 type measurement = {
   workload : Workload.t;
@@ -13,35 +25,50 @@ type measurement = {
   static_counts : Rsti_rsti.Instrument.static_counts;
 }
 
-let run_once ?costs modul pp_table =
-  let vm = Interp.create ?costs ~pp_table modul in
-  let o = Interp.run vm in
+let pipeline_config ?(mechs = RT.all_mechanisms) (c : config) =
+  {
+    Pipeline.costs = c.costs;
+    elide = c.elide;
+    cache = c.cache;
+    jobs = c.jobs;
+    mechanisms = mechs;
+  }
+
+let exit_code (o : Interp.outcome) =
   match o.Interp.status with
-  | Interp.Exited code -> (o, code)
+  | Interp.Exited code -> code
   | Interp.Trapped tr ->
       invalid_arg
         (Printf.sprintf "workload trapped: %s" (Interp.trap_to_string tr))
 
-let measure ?(costs = Rsti_machine.Cost.default) ?(elide = false)
-    (w : Workload.t) mechs =
-  let m = Rsti_ir.Lower.compile ~file:(w.Workload.name ^ ".c") w.Workload.source in
-  let anal = Rsti_sti.Analysis.analyze m in
-  let elide =
-    if elide then
-      let e = Rsti_staticcheck.Elide.analyze anal m in
-      Some (Rsti_staticcheck.Elide.elide e)
-    else None
+let measure ?(config = default_config) (w : Workload.t) mechs =
+  let pcfg = pipeline_config ~mechs config in
+  let analyzed =
+    Pipeline.analyze ~config:pcfg
+      (Pipeline.compile ~config:pcfg
+         (Pipeline.source ~file:(w.Workload.name ^ ".c") w.Workload.source))
   in
-  let base_outcome, base_code = run_once ~costs m [] in
+  let base_outcome =
+    Pipeline.run_baseline ~config:pcfg (Pipeline.compiled_of_analyzed analyzed)
+  in
+  let base_code = exit_code base_outcome in
   List.map
     (fun mech ->
-      let costs =
+      let run_cfg =
         if mech = RT.Parts then
-          { Rsti_machine.Cost.parts_codegen with pac = costs.Rsti_machine.Cost.pac }
-        else costs
+          {
+            pcfg with
+            Pipeline.costs =
+              {
+                Rsti_machine.Cost.parts_codegen with
+                pac = config.costs.Rsti_machine.Cost.pac;
+              };
+          }
+        else pcfg
       in
-      let r = Rsti_rsti.Instrument.instrument ?elide mech anal m in
-      let o, code = run_once ~costs r.Rsti_rsti.Instrument.modul r.pp_table in
+      let inst = Pipeline.instrument ~config:pcfg mech analyzed in
+      let o = Pipeline.run ~config:run_cfg inst in
+      let code = exit_code o in
       if code <> base_code || o.Interp.output <> base_outcome.Interp.output then
         raise
           (Divergence
@@ -58,17 +85,21 @@ let measure ?(costs = Rsti_machine.Cost.default) ?(elide = false)
         overhead_pct =
           (float_of_int mech_cycles /. float_of_int base_cycles -. 1.) *. 100.;
         dyn = o.Interp.counts;
-        static_counts = r.Rsti_rsti.Instrument.counts;
+        static_counts = (Pipeline.result inst).Rsti_rsti.Instrument.counts;
       })
     mechs
 
-let measure_suite ?costs ?elide ws mechs =
-  List.concat_map (fun w -> measure ?costs ?elide w mechs) ws
+let measure_suite ?(config = default_config) ws mechs =
+  List.concat
+    (Scheduler.map ?jobs:config.jobs (fun w -> measure ~config w mechs) ws)
 
-let analyze_workload (w : Workload.t) =
-  Rsti_sti.Analysis.analyze
-    (Rsti_ir.Lower.compile ~file:(w.Workload.name ^ ".c")
-       (Workload.analysis_source w))
+let analyze_workload ?(config = default_config) (w : Workload.t) =
+  let pcfg = pipeline_config config in
+  Pipeline.analysis
+    (Pipeline.analyze ~config:pcfg
+       (Pipeline.compile ~config:pcfg
+          (Pipeline.source ~file:(w.Workload.name ^ ".c")
+             (Workload.analysis_source w))))
 
 let geomean_overhead ms =
   Rsti_util.Stats.geomean_overhead (List.map (fun m -> m.overhead_pct) ms)

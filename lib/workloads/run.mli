@@ -1,5 +1,6 @@
-(** The measurement runner behind Figures 9 and 10: compiles a workload
-    once, runs it uninstrumented and under each requested mechanism, and
+(** The measurement runner behind Figures 9 and 10, built on the
+    engine's staged pipeline: compiles a workload once (artifact-cached),
+    runs it uninstrumented and under each requested mechanism, and
     reports cycle overheads. Instrumentation must not change program
     behaviour — the runner asserts that the instrumented run's output and
     exit status equal the baseline's, and raises [Divergence] otherwise
@@ -8,6 +9,23 @@
 
 exception Divergence of string
 (** A mechanism changed a workload's observable behaviour. *)
+
+type config = {
+  costs : Rsti_machine.Cost.t;
+      (** cycle model; the [Parts] mechanism always runs under
+          {!Rsti_machine.Cost.parts_codegen} with this record's [pac] *)
+  elide : bool;
+      (** proof-based instrumentation elision ({!Rsti_staticcheck.Elide})
+          for the STWC/STC/STL runs; skipped sites are counted in
+          [static_counts.elided] *)
+  cache : bool;  (** consult the engine's content-keyed artifact cache *)
+  jobs : int option;
+      (** fan-out width of {!measure_suite}; [None] defers to
+          {!Rsti_engine.Scheduler.default_jobs} *)
+}
+
+val default_config : config
+(** [Cost.default], no elision, cache on, engine-default jobs. *)
 
 type measurement = {
   workload : Workload.t;
@@ -20,27 +38,24 @@ type measurement = {
 }
 
 val measure :
-  ?costs:Rsti_machine.Cost.t ->
-  ?elide:bool ->
+  ?config:config ->
   Workload.t ->
   Rsti_sti.Rsti_type.mechanism list ->
   measurement list
-(** One measurement per mechanism. [costs] defaults to
-    {!Rsti_machine.Cost.default}, except that the [Parts] mechanism
-    always runs under {!Rsti_machine.Cost.parts_codegen}. [~elide:true]
-    enables {!Rsti_staticcheck.Elide} proof-based instrumentation
-    elision for the STWC/STC/STL runs; sites skipped are counted in
-    [static_counts.elided]. The output-equality assertion still applies,
-    so a behaviour-changing elision raises [Divergence]. *)
+(** One measurement per mechanism, in mechanism order. The
+    output-equality assertion applies under elision too, so a
+    behaviour-changing elision raises [Divergence]. *)
 
 val measure_suite :
-  ?costs:Rsti_machine.Cost.t ->
-  ?elide:bool ->
+  ?config:config ->
   Workload.t list ->
   Rsti_sti.Rsti_type.mechanism list ->
   measurement list
+(** {!measure} fanned out over the engine's domain pool
+    ([config.jobs]); the result is flattened in workload order, so it is
+    identical for any job count. *)
 
-val analyze_workload : Workload.t -> Rsti_sti.Analysis.t
+val analyze_workload : ?config:config -> Workload.t -> Rsti_sti.Analysis.t
 (** The STI analysis of a workload over its full static population
     ([Workload.analysis_source] — kernel plus the generated module that
     scales types/variables to 1/8 of the real benchmark). *)

@@ -1,0 +1,31 @@
+(** A named benchmark workload: a MiniC program standing in for one of
+    the paper's benchmarks, with the suite it belongs to. Instrumentation
+    must never change program results — the runner ({!Run}) asserts it. *)
+
+type suite = Spec2006 | Spec2017 | Nbench | Pytorch | Nginx
+
+val suite_to_string : suite -> string
+
+type t = {
+  name : string;        (** the paper's benchmark name, e.g. ["perlbench"] *)
+  suite : suite;
+  description : string;
+      (** which pointer behaviour of the original the kernel models *)
+  source : string;      (** MiniC, executed by the runner *)
+  analysis_extra : string;
+      (** additional never-executed code joined to [source] for the
+          static analyses (Table 3, pp census): generated modules scaling
+          the variable/type population to 1/8 of the real benchmark's *)
+}
+
+val make :
+  ?analysis_extra:string ->
+  name:string ->
+  suite:suite ->
+  description:string ->
+  string ->
+  t
+
+val analysis_source : t -> string
+(** [source] joined with [analysis_extra] — the static population the
+    Table 3 / census analyses run over. *)

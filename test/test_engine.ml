@@ -1,0 +1,206 @@
+(* Tests for the experiment engine: the domain-pool scheduler (every
+   task claimed exactly once, results in input order, for any job
+   count), the content-keyed artifact cache (a hit returns exactly what
+   a fresh computation would), and the headline determinism guarantee —
+   figure and table renderings are byte-identical whether the suite runs
+   on one domain or four. *)
+
+module Scheduler = Rsti_engine.Scheduler
+module Cache = Rsti_engine.Cache
+module Pipeline = Rsti_engine.Pipeline
+module Run = Rsti_workloads.Run
+module Workload = Rsti_workloads.Workload
+module Perf = Rsti_report.Perf
+module Figures = Rsti_report.Figures
+module RT = Rsti_sti.Rsti_type
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ----------------------------- scheduler ---------------------------- *)
+
+(* Every task runs exactly once and the result order is the input order,
+   for any job count — the invariant all merge determinism rests on. *)
+let prop_scheduler_exactly_once =
+  QCheck.Test.make ~name:"scheduler: each task exactly once, in order" ~count:30
+    QCheck.(pair (int_range 0 40) (int_range 1 4))
+    (fun (n, jobs) ->
+      let xs = List.init n (fun i -> i) in
+      let runs = Array.make (max n 1) 0 in
+      let lock = Mutex.create () in
+      let ys =
+        Scheduler.map ~jobs
+          (fun i ->
+            Mutex.lock lock;
+            runs.(i) <- runs.(i) + 1;
+            Mutex.unlock lock;
+            i * i)
+          xs
+      in
+      ys = List.map (fun i -> i * i) xs
+      && List.for_all (fun i -> runs.(i) = 1) xs)
+
+let test_scheduler_exception_propagates () =
+  checkb "task exception re-raised" true
+    (try
+       ignore
+         (Scheduler.map ~jobs:3
+            (fun i -> if i = 5 then failwith "boom" else i)
+            (List.init 10 (fun i -> i)));
+       false
+     with Failure msg -> msg = "boom")
+
+let test_scheduler_nested_map_serializes () =
+  (* fan-out inside a pool worker must not spawn domains over domains,
+     and must still return correct results *)
+  let grid =
+    Scheduler.map ~jobs:4
+      (fun i -> Scheduler.map ~jobs:4 (fun j -> (10 * i) + j) [ 0; 1; 2 ])
+      [ 0; 1; 2; 3 ]
+  in
+  checkb "nested results correct" true
+    (grid = List.init 4 (fun i -> List.init 3 (fun j -> (10 * i) + j)))
+
+let test_jobs_resolution_override () =
+  Scheduler.set_default_jobs 3;
+  checki "override wins" 3 (Scheduler.default_jobs ());
+  Scheduler.set_default_jobs 0;
+  checki "override clamped to 1" 1 (Scheduler.default_jobs ());
+  Scheduler.clear_default_jobs ();
+  checkb "cleared falls back to a positive count" true
+    (Scheduler.default_jobs () >= 1)
+
+(* ------------------------------- cache ------------------------------ *)
+
+(* A cached artifact must be indistinguishable from a fresh computation:
+   same static counts whether the pipeline runs cold, fills the cache, or
+   is served from it. *)
+let test_cache_hit_identical () =
+  let w = List.hd Rsti_workloads.Nbench.all in
+  let counts ~cache mech =
+    let config = { Pipeline.default with Pipeline.cache } in
+    let src = Pipeline.source ~file:(w.Workload.name ^ ".c") w.Workload.source in
+    Pipeline.counts
+      (Pipeline.instrument ~config mech
+         (Pipeline.analyze ~config (Pipeline.compile ~config src)))
+  in
+  Cache.clear ();
+  let fresh = counts ~cache:false RT.Stwc in
+  let filling = counts ~cache:true RT.Stwc in
+  let before = Cache.stats () in
+  let served = counts ~cache:true RT.Stwc in
+  let after = Cache.stats () in
+  checkb "second cached call hits" true (after.Cache.hits > before.Cache.hits);
+  checkb "no extra miss on the hit" true (after.Cache.misses = before.Cache.misses);
+  checkb "cold = filling" true (fresh = filling);
+  checkb "filling = served" true (filling = served)
+
+(* Run keys omit the instrumentation prices: a hit under a different
+   [pac] cost is re-priced from the outcome's counters instead of
+   re-simulated. The re-priced cycle totals must equal what a fresh
+   simulation at that cost produces — for instrumented runs, baselines,
+   and the shadow-MAC backend alike. *)
+let test_run_reprice_matches_simulation () =
+  Cache.clear ();
+  let w = List.hd Rsti_workloads.Spec2006.all in
+  let src = Pipeline.source ~file:"reprice.c" w.Workload.source in
+  let a = Pipeline.analyze (Pipeline.compile src) in
+  let i = Pipeline.instrument RT.Stwc a in
+  let config pac =
+    { Pipeline.default with
+      Pipeline.costs = Rsti_machine.Cost.(with_pac default pac) }
+  in
+  let uncached pac = { (config pac) with Pipeline.cache = false } in
+  (* prime the cache at the default cost, then sweep *)
+  ignore (Pipeline.run ~config:(config 7) i);
+  ignore (Pipeline.run_baseline ~config:(config 7) (Pipeline.compiled_of_analyzed a));
+  List.iter
+    (fun pac ->
+      let cached = Pipeline.run ~config:(config pac) i in
+      let fresh = Pipeline.run ~config:(uncached pac) i in
+      checki
+        (Printf.sprintf "instrumented cycles at pac=%d" pac)
+        fresh.Rsti_machine.Interp.cycles cached.Rsti_machine.Interp.cycles;
+      let cached_b =
+        Pipeline.run_baseline ~config:(config pac) (Pipeline.compiled_of_analyzed a)
+      in
+      let fresh_b =
+        Pipeline.run_baseline ~config:(uncached pac) (Pipeline.compiled_of_analyzed a)
+      in
+      checki
+        (Printf.sprintf "baseline cycles at pac=%d" pac)
+        fresh_b.Rsti_machine.Interp.cycles cached_b.Rsti_machine.Interp.cycles;
+      let cached_s = Pipeline.run ~config:(config pac) ~backend:`Shadow_mac i in
+      let fresh_s = Pipeline.run ~config:(uncached pac) ~backend:`Shadow_mac i in
+      checki
+        (Printf.sprintf "shadow-MAC cycles at pac=%d" pac)
+        fresh_s.Rsti_machine.Interp.cycles cached_s.Rsti_machine.Interp.cycles)
+    [ 3; 5; 9; 12 ]
+
+let test_cache_disabled_bypasses_table () =
+  Cache.clear ();
+  Cache.set_enabled false;
+  let w = List.hd Rsti_workloads.Nbench.all in
+  ignore (Cache.compiled ~file:"off.c" w.Workload.source);
+  let s = Cache.stats () in
+  Cache.set_enabled true;
+  checki "no hits recorded while disabled" 0 s.Cache.hits;
+  checki "no misses recorded while disabled" 0 s.Cache.misses
+
+(* --------------------- serial vs parallel output -------------------- *)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+(* A reduced Perf.t (two kernels per suite) keeps the double measurement
+   affordable while exercising the same fan-out/merge path as the full
+   figure reproduction. *)
+let reduced_perf ~jobs () =
+  let config = { Run.default_config with Run.jobs = Some jobs } in
+  let suite ws = Run.measure_suite ~config (take 2 ws) RT.all_mechanisms in
+  {
+    Perf.spec2006 = suite Rsti_workloads.Spec2006.all;
+    spec2017 = suite Rsti_workloads.Spec2017.all;
+    nbench = suite Rsti_workloads.Nbench.all;
+    pytorch = suite Rsti_workloads.Pytorch.all;
+    nginx = suite Rsti_workloads.Nginx.all;
+  }
+
+let test_fig9_fig10_identical_across_jobs () =
+  let serial = reduced_perf ~jobs:1 () in
+  (* Drop the artifacts the serial pass populated, so the parallel pass
+     recomputes everything rather than trivially serving cache hits. *)
+  Cache.clear ();
+  let four = reduced_perf ~jobs:4 () in
+  checks "fig9 byte-identical" (Figures.fig9 serial) (Figures.fig9 four);
+  checks "fig10 byte-identical" (Figures.fig10 serial) (Figures.fig10 four)
+
+let test_table3_identical_across_jobs () =
+  Scheduler.set_default_jobs 1;
+  let serial = Figures.table3 () in
+  Cache.clear ();
+  Scheduler.set_default_jobs 4;
+  let four = Figures.table3 () in
+  Scheduler.clear_default_jobs ();
+  checks "table3 byte-identical" serial four
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_scheduler_exactly_once;
+    Alcotest.test_case "scheduler: exceptions propagate" `Quick
+      test_scheduler_exception_propagates;
+    Alcotest.test_case "scheduler: nested fan-out" `Quick
+      test_scheduler_nested_map_serializes;
+    Alcotest.test_case "scheduler: jobs resolution" `Quick
+      test_jobs_resolution_override;
+    Alcotest.test_case "cache: hit = fresh computation" `Quick
+      test_cache_hit_identical;
+    Alcotest.test_case "cache: run re-pricing = fresh simulation" `Quick
+      test_run_reprice_matches_simulation;
+    Alcotest.test_case "cache: disabled bypasses table" `Quick
+      test_cache_disabled_bypasses_table;
+    Alcotest.test_case "determinism: fig9/fig10 jobs=1 vs 4" `Slow
+      test_fig9_fig10_identical_across_jobs;
+    Alcotest.test_case "determinism: table3 jobs=1 vs 4" `Quick
+      test_table3_identical_across_jobs;
+  ]

@@ -8,7 +8,13 @@ module Ctype = Rsti_minic.Ctype
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 
-let compile src = Lower.compile ~file:"t.c" src
+(* Several tests below corrupt the returned module in place to provoke
+   the verifier, so compile with the artifact cache off — a mutated
+   module must never be shared with other suites through the cache. *)
+let compile src =
+  let module P = Rsti_engine.Pipeline in
+  let config = { P.default with P.cache = false } in
+  P.ir (P.compile ~config (P.source ~file:"t.c" src))
 
 let find_func m name =
   match Ir.find_func m name with

@@ -5,6 +5,9 @@ module Memory = Rsti_machine.Memory
 module Interp = Rsti_machine.Interp
 module Cost = Rsti_machine.Cost
 module Layout = Rsti_machine.Layout
+module Pipeline = Rsti_engine.Pipeline
+
+let compiled src = Pipeline.compile (Pipeline.source ~file:"t.c" src)
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -63,10 +66,7 @@ let test_mem_cstring () =
 
 (* ---------------------------- interpreter --------------------------- *)
 
-let run ?attacks src =
-  let m = Rsti_ir.Lower.compile ~file:"t.c" src in
-  let vm = Interp.create m in
-  Interp.run ?attacks vm
+let run ?attacks src = Pipeline.run_baseline ?attacks (compiled src)
 
 let exit_code src =
   match (run src).Interp.status with
@@ -183,7 +183,9 @@ let test_interp_stack_overflow () =
         | Interp.Trapped t -> Interp.trap_to_string t)
 
 let test_interp_step_limit () =
-  let m = Rsti_ir.Lower.compile ~file:"t.c" "int main(void) { while (1) { } return 0; }" in
+  (* step_limit is an Interp-level knob, so build the machine by hand
+     from the pipeline's compiled module *)
+  let m = Pipeline.ir (compiled "int main(void) { while (1) { } return 0; }") in
   let vm = Interp.create m in
   match (Interp.run ~step_limit:10_000 vm).status with
   | Interp.Trapped Interp.Step_limit_exceeded -> ()
@@ -205,7 +207,7 @@ let test_interp_snprintf () =
   checks "snprintf" "4-2" o.Interp.output
 
 let test_interp_machine_single_use () =
-  let m = Rsti_ir.Lower.compile ~file:"t.c" "int main(void) { return 0; }" in
+  let m = Pipeline.ir (compiled "int main(void) { return 0; }") in
   let vm = Interp.create m in
   ignore (Interp.run vm);
   checkb "second run rejected" true
@@ -228,12 +230,12 @@ let test_interp_qsort_callback () =
      return 0; }"
   in
   (* must hold both uninstrumented and under STWC (strip at the boundary) *)
-  let m = Rsti_ir.Lower.compile ~file:"t.c" src in
-  let plain = Interp.run (Interp.create m) in
+  let c = compiled src in
+  let plain = Pipeline.run_baseline c in
   checks "sorted" "012349" plain.Interp.output;
-  let anal = Rsti_sti.Analysis.analyze m in
-  let r = Rsti_rsti.Instrument.instrument Rsti_sti.Rsti_type.Stwc anal m in
-  let o = Interp.run (Interp.create ~pp_table:r.pp_table r.modul) in
+  let o =
+    Pipeline.run (Pipeline.instrument Rsti_sti.Rsti_type.Stwc (Pipeline.analyze c))
+  in
   checks "sorted under STWC" "012349" o.Interp.output
 
 let test_interp_strdup () =
@@ -274,8 +276,8 @@ let test_interp_atoi_putchar () =
 let test_interp_unknown_function_traps () =
   (* the type checker rejects undeclared calls, so the runtime trap is
      only reachable through a missing entry point *)
-  let m = Rsti_ir.Lower.compile ~file:"t.c" "int main(void) { return 0; }" in
-  match (Interp.run ~entry:"not_main" (Interp.create m)).Interp.status with
+  let c = compiled "int main(void) { return 0; }" in
+  match (Pipeline.run_baseline ~entry:"not_main" c).Interp.status with
   | Interp.Trapped (Interp.Unknown_function _) -> ()
   | _ -> Alcotest.fail "expected unknown-function trap"
 
@@ -358,12 +360,13 @@ let test_attack_heap_allocs_listed () =
 (* ------------------------------- cost ------------------------------- *)
 
 let test_cost_model_scales () =
-  let m = Rsti_ir.Lower.compile ~file:"t.c"
+  let c =
+    compiled
       "int main(void) { int s = 0; for (int i = 0; i < 50; i++) { s += i; } return s; }"
   in
   let run_with costs =
-    let vm = Interp.create ~costs m in
-    (Interp.run vm).Interp.cycles
+    (Pipeline.run_baseline ~config:{ Pipeline.default with Pipeline.costs } c)
+      .Interp.cycles
   in
   let base = run_with Cost.default in
   let double = run_with { Cost.default with alu = Cost.default.alu * 2 } in

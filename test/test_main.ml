@@ -14,6 +14,7 @@ let () =
       ("security", Test_security.tests);
       ("punning", Test_punning.tests);
       ("workloads", Test_workloads.tests);
+      ("engine", Test_engine.tests);
       ("report", Test_report.tests);
       ("perf", Test_perf.tests);
     ]

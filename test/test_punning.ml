@@ -9,16 +9,15 @@ module Ir = Rsti_ir.Ir
 
 let checkb = Alcotest.(check bool)
 
+module Pipeline = Rsti_engine.Pipeline
+
 let build mech src =
-  let m = Rsti_ir.Lower.compile ~file:"t.c" src in
-  let anal = Rsti_sti.Analysis.analyze m in
-  let r = Rsti_rsti.Instrument.instrument mech anal m in
-  (r, anal)
+  let a = Pipeline.(analyze (compile (source ~file:"t.c" src))) in
+  (Pipeline.result (Pipeline.instrument mech a), Pipeline.analysis a)
 
 let run_src ?attacks mech src =
-  let r, _ = build mech src in
-  let vm = Interp.create ~pp_table:r.Rsti_rsti.Instrument.pp_table r.modul in
-  Interp.run ?attacks vm
+  let a = Pipeline.(analyze (compile (source ~file:"t.c" src))) in
+  Pipeline.run ?attacks (Pipeline.instrument mech a)
 
 (* C++-style inheritance modelled the way the paper's prototype sees it:
    the base object embedded as the first member, upcasts as explicit
@@ -105,9 +104,7 @@ let test_punning_resigned_under_stwc () =
    is accepted by the PA check exactly when the two slots carry the same
    modifier under that mechanism. *)
 let replay_outcome mech src n_globals =
-  let m = Rsti_ir.Lower.compile ~file:"g.c" src in
-  let anal = Rsti_sti.Analysis.analyze m in
-  let r = Rsti_rsti.Instrument.instrument mech anal m in
+  let a = Pipeline.(analyze (compile (source ~file:"g.c" src))) in
   let atk =
     {
       (* fires after main's last global malloc: all globals initialised *)
@@ -118,8 +115,7 @@ let replay_outcome mech src n_globals =
             (intr.read_word (intr.global_addr "gptr0")));
     }
   in
-  let vm = Interp.create ~pp_table:r.pp_table r.modul in
-  Interp.run ~attacks:[ atk ] vm
+  Pipeline.run ~attacks:[ atk ] (Pipeline.instrument mech a)
 
 let prop_replay_soundness =
   QCheck.Test.make ~name:"replay accepted iff modifiers equal" ~count:12
@@ -129,8 +125,7 @@ let prop_replay_soundness =
         { Rsti_workloads.Generator.default with n_globals = 4; n_structs = 2 }
       in
       let src = Rsti_workloads.Generator.generate ~config ~seed:(Int64.of_int seed) () in
-      let m = Rsti_ir.Lower.compile ~file:"g.c" src in
-      let anal = Rsti_sti.Analysis.analyze m in
+      let anal = Pipeline.(analysis (analyze (compile (source ~file:"g.c" src)))) in
       List.for_all
         (fun mech ->
           (* find the two globals' slots by variable id order *)

@@ -10,10 +10,13 @@ module Interp = Rsti_machine.Interp
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 
+module Pipeline = Rsti_engine.Pipeline
+
 let instrument mech src =
-  let m = Rsti_ir.Lower.compile ~file:"t.c" src in
-  let anal = Analysis.analyze m in
-  (Instrument.instrument mech anal m, m, anal)
+  let a = Pipeline.(analyze (compile (source ~file:"t.c" src))) in
+  ( Pipeline.result (Pipeline.instrument mech a),
+    Pipeline.analyzed_ir a,
+    Pipeline.analysis a )
 
 let ptr_heavy_src =
   {|
@@ -50,15 +53,18 @@ let test_nop_returns_unchanged () =
   checki "no static ops" 0 r.Instrument.counts.signs
 
 let test_input_not_mutated () =
-  let m = Rsti_ir.Lower.compile ~file:"t.c" ptr_heavy_src in
-  let anal = Analysis.analyze m in
+  let a = Pipeline.(analyze (compile (source ~file:"t.c" ptr_heavy_src))) in
+  let m = Pipeline.analyzed_ir a in
   let count_pac fn =
     Ir.fold_instrs
       (fun acc ins -> match ins.Ir.i with Ir.Pac _ -> acc + 1 | _ -> acc)
       0 fn
   in
   let before = List.fold_left (fun a f -> a + count_pac f) 0 m.Ir.m_funcs in
-  ignore (Instrument.instrument RT.Stwc anal m);
+  (* cache = false forces a fresh pass over [m], not a memoized artifact *)
+  ignore
+    (Pipeline.instrument ~config:{ Pipeline.default with Pipeline.cache = false }
+       RT.Stwc a);
   let after = List.fold_left (fun a f -> a + count_pac f) 0 m.Ir.m_funcs in
   checki "input module untouched" before after
 

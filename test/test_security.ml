@@ -7,6 +7,7 @@
 module S = Rsti_attacks.Scenario
 module RT = Rsti_sti.Rsti_type
 module Interp = Rsti_machine.Interp
+module Pipeline = Rsti_engine.Pipeline
 
 let checkb = Alcotest.(check bool)
 
@@ -93,18 +94,18 @@ let cfi_tests =
       Alcotest.test_case "signature-CFI does not break benign dispatch" `Quick
         (fun () ->
           (* a legitimate function-pointer program must run under CFI *)
-          let m =
-            Rsti_ir.Lower.compile ~file:"cfi.c"
-              "extern int printf(const char* f, ...);\n\
-               long twice(long x) { return 2 * x; }\n\
-               long thrice(long x) { return 3 * x; }\n\
-               long (*ops[2])(long x);\n\
-               int main(void) { ops[0] = twice; ops[1] = thrice;\n\
-               long s = 0; for (int i = 0; i < 6; i++) { s += ops[i % 2](i); }\n\
-               printf(\"%ld\\n\", s); return (int) s; }"
+          let c =
+            Pipeline.compile
+              (Pipeline.source ~file:"cfi.c"
+                 "extern int printf(const char* f, ...);\n\
+                  long twice(long x) { return 2 * x; }\n\
+                  long thrice(long x) { return 3 * x; }\n\
+                  long (*ops[2])(long x);\n\
+                  int main(void) { ops[0] = twice; ops[1] = thrice;\n\
+                  long s = 0; for (int i = 0; i < 6; i++) { s += ops[i % 2](i); }\n\
+                  printf(\"%ld\\n\", s); return (int) s; }")
           in
-          let vm = Interp.create ~cfi:true m in
-          match (Interp.run vm).Interp.status with
+          match (Pipeline.run_baseline ~cfi:true c).Interp.status with
           | Interp.Exited n -> Alcotest.(check int64) "sum" 39L n
           | Interp.Trapped t -> Alcotest.failf "CFI broke benign code: %s"
                                   (Interp.trap_to_string t));
@@ -113,11 +114,9 @@ let cfi_tests =
 (* --------------------- shadow-MAC backend (sec. 7) ------------------ *)
 
 let run_shadow sc mech =
-  let m = Rsti_ir.Lower.compile ~file:"t.c" sc.S.program in
-  let anal = Rsti_sti.Analysis.analyze m in
-  let r = Rsti_rsti.Instrument.instrument mech anal m in
-  let vm = Interp.create ~backend:`Shadow_mac ~pp_table:r.pp_table r.modul in
-  Interp.run ~attacks:sc.S.attacks vm
+  let a = Pipeline.(analyze (compile (source ~file:"t.c" sc.S.program))) in
+  Pipeline.run ~backend:`Shadow_mac ~attacks:sc.S.attacks
+    (Pipeline.instrument mech a)
 
 let shadow_backend_tests =
   List.map
@@ -134,16 +133,16 @@ let shadow_backend_tests =
       Alcotest.test_case "shadow-MAC preserves clean behaviour" `Quick
         (fun () ->
           let w = List.hd Rsti_workloads.Nginx.all in
-          let m = Rsti_ir.Lower.compile ~file:"w.c" w.Rsti_workloads.Workload.source in
-          let base = Interp.run (Interp.create m) in
-          let anal = Rsti_sti.Analysis.analyze m in
-          let r = Rsti_rsti.Instrument.instrument RT.Stwc anal m in
-          let o =
-            Interp.run (Interp.create ~backend:`Shadow_mac ~pp_table:r.pp_table r.modul)
+          let c =
+            Pipeline.compile
+              (Pipeline.source ~file:"w.c" w.Rsti_workloads.Workload.source)
           in
+          let base = Pipeline.run_baseline c in
+          let i = Pipeline.instrument RT.Stwc (Pipeline.analyze c) in
+          let o = Pipeline.run ~backend:`Shadow_mac i in
           Alcotest.(check string) "same output" base.Interp.output o.Interp.output;
           checkb "costs more than PAC" true
-            (let p = Interp.run (Interp.create ~pp_table:r.pp_table r.modul) in
+            (let p = Pipeline.run i in
              o.Interp.cycles > p.Interp.cycles));
     ]
 
@@ -154,11 +153,10 @@ let test_without_fpac_crash_at_use () =
      crash happens at the subsequent use, still attributable to the
      authentication failure *)
   let sc = Rsti_attacks.Catalog.cve_libtiff in
-  let m = Rsti_ir.Lower.compile ~file:"t.c" sc.S.program in
-  let anal = Rsti_sti.Analysis.analyze m in
-  let r = Rsti_rsti.Instrument.instrument RT.Stwc anal m in
-  let vm = Interp.create ~fpac:false ~pp_table:r.pp_table r.modul in
-  let o = Interp.run ~attacks:sc.S.attacks vm in
+  let a = Pipeline.(analyze (compile (source ~file:"t.c" sc.S.program))) in
+  let o =
+    Pipeline.run ~fpac:false ~attacks:sc.S.attacks (Pipeline.instrument RT.Stwc a)
+  in
   checkb "still detected (deref faults)" true (Interp.detected o);
   (match o.Interp.status with
   | Interp.Trapped (Interp.Pac_auth_failure _) ->
@@ -206,11 +204,8 @@ let test_attacker_cannot_forge_pac () =
       action = (fun intr -> intr.write_word (intr.global_addr "msg") forged_guess);
     }
   in
-  let m = Rsti_ir.Lower.compile ~file:"t.c" src in
-  let anal = Rsti_sti.Analysis.analyze m in
-  let r = Rsti_rsti.Instrument.instrument RT.Stwc anal m in
-  let vm = Interp.create ~pp_table:r.pp_table r.modul in
-  let o = Interp.run ~attacks:[ atk ] vm in
+  let a = Pipeline.(analyze (compile (source ~file:"t.c" src))) in
+  let o = Pipeline.run ~attacks:[ atk ] (Pipeline.instrument RT.Stwc a) in
   checkb "forged PAC rejected" true (Interp.detected o)
 
 let test_detected_requires_auth_failure () =
@@ -218,10 +213,7 @@ let test_detected_requires_auth_failure () =
   let src =
     "int main(void) { long* p = NULL; long* q = p + 1; return (int) *q; }"
   in
-  let o =
-    let m = Rsti_ir.Lower.compile ~file:"t.c" src in
-    Interp.run (Interp.create m)
-  in
+  let o = Pipeline.run_baseline (Pipeline.compile (Pipeline.source ~file:"t.c" src)) in
   checkb "null-deref crash is not detection" false (Interp.detected o)
 
 let tests =

@@ -11,10 +11,11 @@ module RT = Rsti_sti.Rsti_type
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 
+module Pipeline = Rsti_engine.Pipeline
+
 let analyze src =
-  let m = Rsti_ir.Lower.compile ~file:"t.c" src in
-  let anal = Rsti_sti.Analysis.analyze m in
-  (m, anal)
+  let a = Pipeline.(analyze (compile (source ~file:"t.c" src))) in
+  (Pipeline.analyzed_ir a, Pipeline.analysis a)
 
 let lint_src src =
   let m, anal = analyze src in
@@ -131,13 +132,11 @@ let test_elision_fires_on_pointer_light_kernels () =
           (fun (w : Rsti_workloads.Workload.t) -> w.name = name)
           Rsti_workloads.Spec2006.all
       in
-      let m, anal = analyze w.source in
-      let e = Elide.analyze anal m in
-      let r =
-        Rsti_rsti.Instrument.instrument ~elide:(Elide.elide e) RT.Stwc anal m
-      in
+      let a = Pipeline.(analyze (compile (source ~file:"t.c" w.source))) in
+      let elide_config = { Pipeline.default with Pipeline.elide = true } in
+      let i = Pipeline.instrument ~config:elide_config RT.Stwc a in
       checkb (name ^ " elides sites") true
-        (r.Rsti_rsti.Instrument.counts.elided > 0))
+        ((Pipeline.counts i).Rsti_rsti.Instrument.elided > 0))
     [ "lbm"; "namd" ]
 
 let test_code_pointers_never_elided () =

@@ -10,7 +10,10 @@ module Ctype = Rsti_minic.Ctype
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 
-let analyze src = Analysis.analyze (Rsti_ir.Lower.compile ~file:"t.c" src)
+module Pipeline = Rsti_engine.Pipeline
+
+let analyze src =
+  Pipeline.(analysis (analyze (compile (source ~file:"t.c" src))))
 
 (* Figure 5's program. *)
 let fig5 =
@@ -291,11 +294,8 @@ let test_alias_consistency_through_double_pointer () =
   in
   List.iter
     (fun mech ->
-      let m = Rsti_ir.Lower.compile ~file:"t.c" src in
-      let anal = Analysis.analyze m in
-      let r = Rsti_rsti.Instrument.instrument mech anal m in
-      let vm = Rsti_machine.Interp.create ~pp_table:r.pp_table r.modul in
-      match (Rsti_machine.Interp.run vm).status with
+      let a = Pipeline.(analyze (compile (source ~file:"t.c" src))) in
+      match (Pipeline.run (Pipeline.instrument mech a)).status with
       | Rsti_machine.Interp.Exited 5L -> ()
       | s ->
           Alcotest.failf "alias run under %s: %s" (RT.mechanism_to_string mech)

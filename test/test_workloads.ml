@@ -12,6 +12,12 @@ module RT = Rsti_sti.Rsti_type
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 
+module Pipeline = Rsti_engine.Pipeline
+
+let analyzed ~file src =
+  Pipeline.analyze (Pipeline.compile (Pipeline.source ~file src))
+let analyze_src ~file src = Pipeline.analysis (analyzed ~file src)
+
 let all_workloads =
   Rsti_workloads.Spec2006.all @ Rsti_workloads.Spec2017.all
   @ Rsti_workloads.Nbench.all @ Rsti_workloads.Pytorch.all
@@ -26,16 +32,14 @@ let per_workload_static_tests =
            (Workload.suite_to_string w.suite) w.name)
         `Quick
         (fun () ->
-          let m = Rsti_ir.Lower.compile ~file:(w.name ^ ".c") w.Workload.source in
-          (match Rsti_ir.Verify.verify m with
+          let a = analyzed ~file:(w.name ^ ".c") w.Workload.source in
+          (match Rsti_ir.Verify.verify (Pipeline.analyzed_ir a) with
           | [] -> ()
           | { fn; msg } :: _ -> Alcotest.failf "verify %s: %s" fn msg);
           (* instrumented forms must verify too *)
-          let anal = Analysis.analyze m in
           List.iter
             (fun mech ->
-              let r = Rsti_rsti.Instrument.instrument mech anal m in
-              match Rsti_ir.Verify.verify r.Rsti_rsti.Instrument.modul with
+              match Rsti_ir.Verify.verify (Pipeline.instrumented_ir (Pipeline.instrument mech a)) with
               | [] -> ()
               | { fn; msg } :: _ ->
                   Alcotest.failf "verify %s under %s: %s" fn
@@ -58,8 +62,7 @@ let test_archetype_pointer_profiles () =
   (* pointer-chasing kernels must have pointer slots; numeric kernels
      (before population augmentation) must not *)
   let has_pointer_vars name source =
-    let anal = Analysis.analyze (Rsti_ir.Lower.compile ~file:(name ^ ".c") source) in
-    Analysis.pointer_vars anal <> []
+    Analysis.pointer_vars (analyze_src ~file:(name ^ ".c") source) <> []
   in
   let find name =
     List.find (fun (w : Workload.t) -> w.name = name) all_workloads
@@ -77,8 +80,8 @@ let test_archetype_pointer_profiles () =
   List.iter
     (fun n ->
       let w = find n in
-      let m = Rsti_ir.Lower.compile ~file:(n ^ ".c") w.Workload.source in
-      let anal = Analysis.analyze m in
+      let a = analyzed ~file:(n ^ ".c") w.Workload.source in
+      let m = Pipeline.analyzed_ir a and anal = Pipeline.analysis a in
       let e = Rsti_staticcheck.Elide.analyze anal m in
       let s = Rsti_staticcheck.Elide.summary e in
       checkb (n ^ " has elidable pointer slots") true
@@ -115,7 +118,7 @@ let test_generator_deterministic () =
 let test_generator_no_main_mode () =
   let config = { Generator.default with emit_main = false; prefix = "q_" } in
   let src = Generator.generate ~config ~seed:3L () in
-  let m = Rsti_ir.Lower.compile ~file:"g.c" src in
+  let m = Pipeline.(ir (compile (source ~file:"g.c" src))) in
   checkb "no main emitted" true (Ir.find_func m "main" = None);
   checkb "prefixed workers present" true (Ir.find_func m "q_work0" <> None)
 
@@ -124,12 +127,12 @@ let test_generator_pp_rates () =
     { Generator.default with pp_typed_rate = 1.0; n_funcs = 6; emit_main = false }
   in
   let src = Generator.generate ~config ~seed:11L () in
-  let anal = Analysis.analyze (Rsti_ir.Lower.compile ~file:"g.c" src) in
+  let anal = analyze_src ~file:"g.c" src in
   checkb "pp sites generated" true ((Analysis.pp_census anal).pp_total_sites > 0)
 
 let test_generator_zero_pp_by_default () =
   let src = Generator.generate ~seed:13L () in
-  let anal = Analysis.analyze (Rsti_ir.Lower.compile ~file:"g.c" src) in
+  let anal = analyze_src ~file:"g.c" src in
   checki "no pp sites by default" 0 (Analysis.pp_census anal).pp_total_sites
 
 let test_generator_cast_bias_extremes () =
@@ -140,7 +143,7 @@ let test_generator_cast_bias_extremes () =
       { Generator.default with cast_bias = bias; n_funcs = 8; n_structs = 1 }
     in
     let src = Generator.generate ~config ~seed:21L () in
-    let anal = Analysis.analyze (Rsti_ir.Lower.compile ~file:"g.c" src) in
+    let anal = analyze_src ~file:"g.c" src in
     List.length
       (List.filter (fun (_, _, to_) -> to_ = "void*") (Analysis.casts anal))
   in
