@@ -15,7 +15,8 @@
 
    Sections: table1 table2 table3 fig9 fig10 pp-census parts correlation
              ablation-pac ablation-merge ablation-stl ablation-ce
-             ablation-pac-width backend elide micro
+             ablation-pac-width backend elide elide-precision validate
+             micro
 
    Every run also writes a machine-readable summary (BENCH_fig9.json by
    default): per-benchmark overheads and geomeans when the perf sections
@@ -181,6 +182,15 @@ let sections : (string * string * (unit -> unit)) list =
         print_endline (Rsti_report.Ablation.elision ());
         section "Elision: safety invariant (Table 1 under elision)";
         print_endline (Rsti_report.Security.elide_safety ()) );
+    ( "elide-precision", "Elision precision: syntactic vs points-to",
+      fun () ->
+        print_endline (Rsti_report.Ablation.elide_precision ());
+        section "Elision: safety invariant (points-to precision)";
+        print_endline
+          (Rsti_report.Security.elide_safety
+             ~elision:Rsti_staticcheck.Elide.With_points_to ()) );
+    ( "validate", "PAC-typestate translation validation",
+      fun () -> print_endline (Rsti_report.Security.validation ()) );
     ("micro", "Bechamel micro-benchmarks", run_bechamel);
   ]
 

@@ -8,13 +8,17 @@
 
    Subcommands:
      run       compile a MiniC file, instrument it, execute it
-               (--elide turns on proof-based instrumentation elision)
+               (--elide=off|syntactic|points-to selects proof-based
+               instrumentation elision; --validate runs the
+               PAC-typestate translation validator on the result)
      emit-ir   print the (optionally instrumented) IR
      analyze   print the STI analysis: pointer variables, RSTI-types,
                equivalence-class statistics, pointer-to-pointer census
-               (--format=json for machine-readable output)
+               (--format=json for machine-readable output; --points-to
+               adds the Andersen confinement verdicts)
      lint      run the whole-program static STI checker over a file or
-               a directory of MiniC sources (--format=text|json)
+               a directory of MiniC sources (--format=text|json);
+               exits 1 when any error-severity finding is reported
      attacks   run the paper's attack catalog
      report    print one of the paper-reproduction reports *)
 
@@ -24,6 +28,7 @@ module RT = Rsti_sti.Rsti_type
 module Interp = Rsti_machine.Interp
 module Pipeline = Rsti_engine.Pipeline
 module Scheduler = Rsti_engine.Scheduler
+module Elide = Rsti_staticcheck.Elide
 
 let mech_conv =
   let parse = function
@@ -81,10 +86,27 @@ let analyzed_of_path ?(config = Pipeline.default) path =
       Pipeline.analyze ~config
         (Pipeline.compile ~config (Pipeline.source ~file:path src)))
 
-let compile_instrumented ?(elide = false) path mech =
-  let config = { Pipeline.default with Pipeline.elide } in
+let elide_conv =
+  let parse s =
+    match Elide.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown elision mode %S (off|syntactic|points-to)"
+               s))
+  in
+  let print fmt m = Format.pp_print_string fmt (Elide.mode_to_string m) in
+  Arg.conv (parse, print)
+
+let compile_instrumented ?(elision = Elide.Off) ?(validate = false) path mech =
+  let config = { Pipeline.default with Pipeline.elision; validate } in
   let a = analyzed_of_path ~config path in
-  (a, Pipeline.instrument ~config mech a)
+  try (a, Pipeline.instrument ~config mech a)
+  with Pipeline.Validation_failed report ->
+    Printf.eprintf "rstic: translation validation failed:\n%s"
+      (Rsti_dataflow.Validate.report_to_string report);
+    exit 1
 
 let format_arg =
   let fmt_conv =
@@ -112,21 +134,34 @@ let run_cmd =
   in
   let elide_flag =
     Arg.(
-      value & flag
-      & info [ "elide" ]
+      value
+      & opt elide_conv Elide.Off
+      & info [ "elide" ] ~docv:"MODE"
           ~doc:
             "Elide sign/auth pairs the static checker proves safe (see \
-             $(b,rstic lint)); no-op under parts/none.")
+             $(b,rstic lint)): $(b,off) (default), $(b,syntactic) \
+             (flow-component proof) or $(b,points-to) (adds Andersen \
+             confinement); no-op under parts/none.")
   in
-  let action () file mech stats elide =
-    let _, inst = compile_instrumented ~elide file mech in
+  let validate_flag =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Check the instrumented module with the PAC-typestate \
+             translation validator before running; exit 1 on any issue.")
+  in
+  let action () file mech stats elision validate =
+    let _, inst = compile_instrumented ~elision ~validate file mech in
     let o = Pipeline.run inst in
     let r = Pipeline.result inst in
     print_string o.Interp.output;
     if stats then begin
       Printf.printf "--- %s%s ---\n"
         (RT.mechanism_to_string mech)
-        (if elide then "+elide" else "");
+        (match elision with
+        | Elide.Off -> ""
+        | m -> "+elide:" ^ Elide.mode_to_string m);
       Printf.printf "static sites: signs=%d auths=%d resigns=%d elided=%d\n"
         r.counts.signs r.counts.auths r.counts.resigns r.counts.elided;
       Printf.printf "cycles: %d  instructions: %d\n" o.cycles o.counts.instrs;
@@ -151,7 +186,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const action $ Rsti_engine_cli.setup_jobs_term $ file_arg $ mech_arg
-      $ stats $ elide_flag)
+      $ stats $ elide_flag $ validate_flag)
 
 let emit_ir_cmd =
   let doc = "Print the (optionally instrumented) IR of a MiniC program." in
@@ -163,9 +198,27 @@ let emit_ir_cmd =
 
 let analyze_cmd =
   let doc = "Print the STI analysis of a MiniC program." in
-  let action () file format =
+  let pt_flag =
+    Arg.(
+      value & flag
+      & info [ "points-to" ]
+          ~doc:
+            "Run the Andersen points-to analysis and report each pointer \
+             variable's confinement verdict and the points-to-precision \
+             elision classification alongside the syntactic one.")
+  in
+  let action () file format points_to =
     let a = analyzed_of_path file in
     let m = Pipeline.analyzed_ir a and anal = Pipeline.analysis a in
+    let pt_elide =
+      if not points_to then None
+      else begin
+        let pt =
+          Pipeline.points_to (Pipeline.compiled_of_analyzed a)
+        in
+        Some (pt, Elide.analyze ~points_to:pt anal m)
+      end
+    in
     let vars = Rsti_sti.Analysis.pointer_vars anal in
     let s = Rsti_sti.Analysis.stats anal in
     let c = Rsti_sti.Analysis.pp_census anal in
@@ -175,10 +228,26 @@ let analyze_cmd =
         List.iter
           (fun (si : Rsti_sti.Analysis.slot_info) ->
             let rt = Rsti_sti.Analysis.rsti_of anal RT.Stwc si.slot in
-            Printf.printf "  %-28s %s\n"
+            Printf.printf "  %-28s %s%s\n"
               (Rsti_ir.Ir.slot_to_string si.slot)
-              (RT.to_string rt))
+              (RT.to_string rt)
+              (match pt_elide with
+              | None -> ""
+              | Some (_, e) ->
+                  Printf.sprintf "  [elide: %s]"
+                    (Elide.verdict_to_string (Elide.verdict e si.slot))))
           vars;
+        (match pt_elide with
+        | None -> ()
+        | Some (pt, _) ->
+            let st = Rsti_dataflow.Points_to.stats pt in
+            Printf.printf
+              "\npoints-to: %d nodes, %d objects (%d heap, %d escaped), \
+               %d iterations\n"
+              st.Rsti_dataflow.Points_to.nodes st.Rsti_dataflow.Points_to.objects
+              st.Rsti_dataflow.Points_to.heap_objects
+              st.Rsti_dataflow.Points_to.escaped_objects
+              st.Rsti_dataflow.Points_to.iterations);
         Printf.printf
           "\nNT=%d RT(STC)=%d RT(STWC)=%d NV=%d  largest ECV: STC=%d STWC=%d  \
            largest ECT: STC=%d STWC=%d\n"
@@ -193,17 +262,26 @@ let analyze_cmd =
         let var si =
           let slot = si.Rsti_sti.Analysis.slot in
           J.Obj
-            [
-              ("slot", J.Str (Rsti_ir.Ir.slot_to_string slot));
-              ("rsti_stwc", J.Str (RT.to_string (Rsti_sti.Analysis.rsti_of anal RT.Stwc slot)));
-              ("rsti_stc", J.Str (RT.to_string (Rsti_sti.Analysis.rsti_of anal RT.Stc slot)));
-              ("elision", J.Str (Rsti_staticcheck.Elide.verdict_to_string
-                                   (Rsti_staticcheck.Elide.verdict e slot)));
-            ]
+            ([
+               ("slot", J.Str (Rsti_ir.Ir.slot_to_string slot));
+               ("rsti_stwc", J.Str (RT.to_string (Rsti_sti.Analysis.rsti_of anal RT.Stwc slot)));
+               ("rsti_stc", J.Str (RT.to_string (Rsti_sti.Analysis.rsti_of anal RT.Stc slot)));
+               ("elision", J.Str (Rsti_staticcheck.Elide.verdict_to_string
+                                    (Rsti_staticcheck.Elide.verdict e slot)));
+             ]
+            @
+            match pt_elide with
+            | None -> []
+            | Some (_, e_pt) ->
+                [
+                  ( "elision_points_to",
+                    J.Str
+                      (Elide.verdict_to_string (Elide.verdict e_pt slot)) );
+                ])
         in
         let j =
           J.Obj
-            [
+            ([
               ("file", J.Str file);
               ("pointer_vars", J.List (List.map var vars));
               ( "stats",
@@ -225,18 +303,40 @@ let analyze_cmd =
                     ("type_loss_sites", J.Int (List.length c.pp_special));
                   ] );
             ]
+            @
+            (match pt_elide with
+            | None -> []
+            | Some (pt, _) ->
+                let st = Rsti_dataflow.Points_to.stats pt in
+                [
+                  ( "points_to",
+                    J.Obj
+                      [
+                        ("nodes", J.Int st.Rsti_dataflow.Points_to.nodes);
+                        ("objects", J.Int st.Rsti_dataflow.Points_to.objects);
+                        ( "heap_objects",
+                          J.Int st.Rsti_dataflow.Points_to.heap_objects );
+                        ( "escaped_objects",
+                          J.Int st.Rsti_dataflow.Points_to.escaped_objects );
+                        ( "iterations",
+                          J.Int st.Rsti_dataflow.Points_to.iterations );
+                      ] );
+                ]))
         in
         print_string (J.to_string j);
         print_newline ()
   in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const action $ Rsti_engine_cli.setup_jobs_term $ file_arg $ format_arg)
+    Term.(
+      const action $ Rsti_engine_cli.setup_jobs_term $ file_arg $ format_arg
+      $ pt_flag)
 
 let lint_cmd =
   let doc =
     "Run the whole-program static STI checker over MiniC sources. FILE may \
      be a single source file or a directory (linted recursively, *.c only). \
-     Exit status is 0 even when findings are reported."
+     Exit status is 1 when any error-severity finding is reported, 0 \
+     otherwise (warnings and notes do not affect it)."
   in
   let target_arg =
     Arg.(
@@ -270,12 +370,20 @@ let lint_cmd =
           let findings =
             Rsti_staticcheck.Lint.run (Pipeline.analysis a) (Pipeline.analyzed_ir a)
           in
-          match format with
-          | `Text -> Rsti_staticcheck.Lint.render_text ~file findings
-          | `Json -> Rsti_staticcheck.Lint.render_json ~file findings)
+          let errors =
+            List.exists
+              (fun (f : Rsti_staticcheck.Finding.t) ->
+                f.severity = Rsti_staticcheck.Finding.Error)
+              findings
+          in
+          ( (match format with
+            | `Text -> Rsti_staticcheck.Lint.render_text ~file findings
+            | `Json -> Rsti_staticcheck.Lint.render_json ~file findings),
+            errors ))
         files
     in
-    List.iter print_string rendered
+    List.iter (fun (text, _) -> print_string text) rendered;
+    if List.exists snd rendered then exit 1
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(const action $ Rsti_engine_cli.setup_jobs_term $ target_arg $ format_arg)
@@ -298,7 +406,7 @@ let report_cmd =
           ~doc:
             "One of: table1, table2, table3, fig9, fig10, pp-census, parts, \
              correlation, ablation-pac, ablation-merge, ablation-stl, \
-             ablation-ce, elide.")
+             ablation-ce, elide, elide-precision, validate.")
   in
   let action () which =
     match which with
@@ -320,6 +428,12 @@ let report_cmd =
     | "elide" ->
         print_endline (Rsti_report.Ablation.elision ());
         print_endline (Rsti_report.Security.elide_safety ())
+    | "elide-precision" ->
+        print_endline (Rsti_report.Ablation.elide_precision ());
+        print_endline
+          (Rsti_report.Security.elide_safety
+             ~elision:Rsti_staticcheck.Elide.With_points_to ())
+    | "validate" -> print_endline (Rsti_report.Security.validation ())
     | s ->
         Printf.eprintf "unknown report %S\n" s;
         exit 2

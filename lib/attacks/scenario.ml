@@ -36,8 +36,8 @@ let analyzed_victim scenario config =
     (Pipeline.compile ~config
        (Pipeline.source ~file:(scenario.id ^ ".c") scenario.program))
 
-let run ?(elide = false) scenario mech =
-  let config = { Pipeline.default with Pipeline.elide } in
+let run ?(elision = Rsti_staticcheck.Elide.Off) scenario mech =
+  let config = { Pipeline.default with Pipeline.elision } in
   let inst = Pipeline.instrument ~config mech (analyzed_victim scenario config) in
   let outcome = Pipeline.run ~config ~attacks:scenario.attacks inst in
   let verdict =

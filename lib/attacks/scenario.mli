@@ -42,12 +42,17 @@ type run_result = {
   outcome : Rsti_machine.Interp.outcome;
 }
 
-val run : ?elide:bool -> t -> Rsti_sti.Rsti_type.mechanism -> run_result
+val run :
+  ?elision:Rsti_staticcheck.Elide.mode ->
+  t ->
+  Rsti_sti.Rsti_type.mechanism ->
+  run_result
 (** Compile the victim, instrument under the mechanism, execute with the
-    scenario's corruption hooks, and classify the result. [~elide:true]
-    turns on the static checker's proof-based instrumentation elision
-    ({!Rsti_staticcheck.Elide}) — the safety invariant the report module
-    asserts is that this never changes a verdict. *)
+    scenario's corruption hooks, and classify the result. [~elision]
+    (default [Off]) selects the precision of the static checker's
+    proof-based instrumentation elision ({!Rsti_staticcheck.Elide}) —
+    the safety invariant the report module asserts is that neither
+    precision ever changes a verdict. *)
 
 val run_baseline : t -> run_result
 (** [run] with no instrumentation — must yield [Attack_succeeded] for a

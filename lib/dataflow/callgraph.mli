@@ -1,0 +1,22 @@
+(** The module call graph: direct-call edges plus sound indirect-call
+    edges (every address-taken function), condensed into strongly
+    connected components listed callees-first — the bottom-up order an
+    interprocedural driver processes functions in. *)
+
+type t
+
+val of_modul : Rsti_ir.Ir.modul -> t
+
+val sccs : t -> string list list
+(** SCCs, callees-first (a component appears after every component it
+    calls into). Mutually recursive functions share a component. *)
+
+val bottom_up : t -> string list
+(** {!sccs} flattened: every defined function once, callees before
+    callers. *)
+
+val callees : t -> string -> string list
+(** Direct successors of a function (defined functions only). *)
+
+val reachable : t -> roots:string list -> string -> bool
+(** Membership test for the set of functions reachable from [roots]. *)

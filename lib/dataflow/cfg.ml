@@ -1,0 +1,52 @@
+(* Control-flow graph view of an [Ir.func]: successor/predecessor maps
+   over the block array (branch targets in this IR are already block
+   indices) plus a reverse postorder, the iteration order that makes the
+   forward worklist solver converge in few passes over reducible
+   flowgraphs. *)
+
+module Ir = Rsti_ir.Ir
+
+type t = {
+  fn : Ir.func;
+  succ : int list array;
+  pred : int list array;
+  rpo : int array; (* block indices, reverse postorder from the entry *)
+  rpo_pos : int array; (* block index -> position in [rpo]; -1 if dead *)
+}
+
+let successors (b : Ir.block) =
+  match b.Ir.term with
+  | Ir.Ret _ | Ir.Unreachable -> []
+  | Ir.Br l -> [ l ]
+  | Ir.Condbr (_, a, b') -> if a = b' then [ a ] else [ a; b' ]
+
+let of_func (fn : Ir.func) =
+  let n = Array.length fn.Ir.blocks in
+  let succ = Array.map successors fn.Ir.blocks in
+  let pred = Array.make n [] in
+  Array.iteri
+    (fun i ss -> List.iter (fun s -> pred.(s) <- i :: pred.(s)) ss)
+    succ;
+  Array.iteri (fun i ps -> pred.(i) <- List.rev ps) pred;
+  (* reverse postorder via iterative DFS from block 0 (the entry) *)
+  let seen = Array.make n false in
+  let post = ref [] in
+  let rec dfs i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter dfs succ.(i);
+      post := i :: !post
+    end
+  in
+  if n > 0 then dfs 0;
+  let rpo = Array.of_list !post in
+  let rpo_pos = Array.make n (-1) in
+  Array.iteri (fun pos b -> rpo_pos.(b) <- pos) rpo;
+  { fn; succ; pred; rpo; rpo_pos }
+
+let func t = t.fn
+let n_blocks t = Array.length t.fn.Ir.blocks
+let succ t i = t.succ.(i)
+let pred t i = t.pred.(i)
+let rpo t = t.rpo
+let reachable t i = t.rpo_pos.(i) >= 0

@@ -1,0 +1,23 @@
+(** Control-flow graph over an [Ir.func]'s basic blocks: successor and
+    predecessor maps (branch targets in this IR are block indices) and a
+    reverse postorder from the entry block — the iteration order the
+    forward solver seeds its worklist with. *)
+
+type t
+
+val of_func : Rsti_ir.Ir.func -> t
+val func : t -> Rsti_ir.Ir.func
+val n_blocks : t -> int
+
+val succ : t -> int -> int list
+val pred : t -> int -> int list
+
+val rpo : t -> int array
+(** Reachable block indices in reverse postorder (entry first). *)
+
+val reachable : t -> int -> bool
+(** Whether a block is reachable from the entry; unreachable blocks are
+    skipped by the solver and keep their bottom state. *)
+
+val successors : Rsti_ir.Ir.block -> int list
+(** Branch targets of a block's terminator (deduplicated). *)

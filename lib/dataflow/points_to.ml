@@ -1,0 +1,576 @@
+(* Inclusion-based (Andersen) points-to analysis over the IR, solved
+   with the {!Worklist} engine.
+
+   Abstract objects are field-sensitive and instance-summarized: every
+   named variable (local, param, global) is one object, every anonymous
+   alloca site one object, every (struct, field) pair one object shared
+   by all instances (matching the analysis' [Sfield] slots), and every
+   extern call site one heap object. Each object has one "content" cell
+   holding the pointers stored into it; registers and the per-function
+   return channel are the other pointer nodes.
+
+   Constraint generation walks functions in the call graph's bottom-up
+   order (callees first — deterministic and convergence-friendly);
+   loads/stores through pointers and indirect calls are the classic
+   complex constraints, re-evaluated as the address node's set grows.
+
+   On top of the raw sets sits the attacker model the elision client
+   consumes ({!confinement}): attacker-writable memory is the heap
+   (extern allocations), extern data objects, globals behind a
+   linear-overflow window, everything whose address was passed to an
+   external function or laundered through int<->pointer casts — closed
+   under stored-pointer contents (a pointer at rest in attacker memory
+   makes its target attacker-reachable). A slot is *confined* when no
+   attacker-writable object can back it, which is what turns the
+   syntactic checker's "a cast/escape appears somewhere in the
+   component" obligations into "an attacker-writable store can actually
+   reach this slot". *)
+
+module Ir = Rsti_ir.Ir
+module Ctype = Rsti_minic.Ctype
+
+type obj =
+  | Ovar of int                (* named variable/global storage (var id) *)
+  | Otmp of string * int       (* anonymous alloca site: (function, reg) *)
+  | Ofield of string * string  (* struct field cell, instance-summarized *)
+  | Oheap of string * int      (* extern allocation: (callee, site id) *)
+  | Oextern of string          (* extern data object *)
+  | Ostr                       (* the string table (read-only) *)
+  | Ofun of string             (* a function's code *)
+  | Ounknown                   (* int-to-pointer launder: anything *)
+
+let obj_to_string = function
+  | Ovar id -> Printf.sprintf "var#%d" id
+  | Otmp (f, r) -> Printf.sprintf "tmp:%s/%d" f r
+  | Ofield (s, f) -> Printf.sprintf "%s.%s" s f
+  | Oheap (f, i) -> Printf.sprintf "heap:%s#%d" f i
+  | Oextern n -> "extern:" ^ n
+  | Ostr -> "str"
+  | Ofun f -> "fun:" ^ f
+  | Ounknown -> "unknown"
+
+type node =
+  | Nreg of string * int (* virtual register, per function *)
+  | Ncell of obj         (* the pointer content stored in an object *)
+  | Nret of string       (* return-value channel of a defined function *)
+
+module IntSet = Set.Make (Int)
+
+type t = {
+  modul : Ir.modul;
+  (* interning *)
+  node_ids : (node, int) Hashtbl.t;
+  mutable nodes : node array;
+  mutable n_nodes : int;
+  obj_ids : (obj, int) Hashtbl.t;
+  mutable objs : obj array;
+  mutable n_objs : int;
+  (* the constraint graph *)
+  mutable pts : IntSet.t array;       (* node id -> object ids *)
+  mutable copy_edges : int list array; (* node id -> successor node ids *)
+  (* complex constraints attached to an address/function-pointer node *)
+  mutable loads_at : int list array;   (* addr node -> dst node ids *)
+  mutable stores_at : (int * int) list array;
+      (* addr node -> (src node, store site id) *)
+  mutable geps_at : string list array; (* base node -> struct names *)
+  mutable calls_at : (Ir.value list * int option * string) list array;
+      (* fnptr node -> (args, dst node, caller) for indirect calls *)
+  (* side tables *)
+  instances : (string, IntSet.t ref) Hashtbl.t; (* struct -> base objects *)
+  mutable escaped : IntSet.t ref; (* objects handed to extern code *)
+  globals_by_name : (string, int) Hashtbl.t; (* global name -> var id *)
+  defined : (string, Ir.func) Hashtbl.t;
+  (* per-Sanon-class address nodes: type-class key -> addr node ids *)
+  sanon_addrs : (string, IntSet.t ref) Hashtbl.t;
+  mutable heap_sites : int;
+  mutable iterations : int;
+  work : Worklist.t; (* the solver's queue; per-analysis, domain-safe *)
+}
+
+(* ---------------------------- interning --------------------------- *)
+
+let node_id t n =
+  match Hashtbl.find_opt t.node_ids n with
+  | Some i -> i
+  | None ->
+      let i = t.n_nodes in
+      Hashtbl.replace t.node_ids n i;
+      if i >= Array.length t.nodes then begin
+        let grow a fill = Array.append a (Array.make (max 64 (Array.length a)) fill) in
+        t.nodes <- grow t.nodes (Nret "");
+        t.pts <- grow t.pts IntSet.empty;
+        t.copy_edges <- grow t.copy_edges [];
+        t.loads_at <- grow t.loads_at [];
+        t.stores_at <- grow t.stores_at [];
+        t.geps_at <- grow t.geps_at [];
+        t.calls_at <- grow t.calls_at []
+      end;
+      t.nodes.(i) <- n;
+      t.n_nodes <- i + 1;
+      i
+
+let obj_id t o =
+  match Hashtbl.find_opt t.obj_ids o with
+  | Some i -> i
+  | None ->
+      let i = t.n_objs in
+      Hashtbl.replace t.obj_ids o i;
+      if i >= Array.length t.objs then
+        t.objs <- Array.append t.objs (Array.make (max 64 (Array.length t.objs)) Ostr);
+      t.objs.(i) <- o;
+      t.n_objs <- i + 1;
+      i
+
+let sanon_key ty = Ctype.to_string (Ctype.strip_all_quals ty)
+
+let sanon_set t ty =
+  let k = sanon_key ty in
+  match Hashtbl.find_opt t.sanon_addrs k with
+  | Some s -> s
+  | None ->
+      let s = ref IntSet.empty in
+      Hashtbl.replace t.sanon_addrs k s;
+      s
+
+let instance_set t sname =
+  match Hashtbl.find_opt t.instances sname with
+  | Some s -> s
+  | None ->
+      let s = ref IntSet.empty in
+      Hashtbl.replace t.instances sname s;
+      s
+
+(* ------------------------- constraint solving --------------------- *)
+
+let create (m : Ir.modul) =
+  let t =
+    {
+      modul = m;
+      node_ids = Hashtbl.create 256;
+      nodes = Array.make 256 (Nret "");
+      n_nodes = 0;
+      obj_ids = Hashtbl.create 128;
+      objs = Array.make 128 Ostr;
+      n_objs = 0;
+      pts = Array.make 256 IntSet.empty;
+      copy_edges = Array.make 256 [];
+      loads_at = Array.make 256 [];
+      stores_at = Array.make 256 [];
+      geps_at = Array.make 256 [];
+      calls_at = Array.make 256 [];
+      instances = Hashtbl.create 32;
+      escaped = ref IntSet.empty;
+      globals_by_name = Hashtbl.create 32;
+      defined = Hashtbl.create 32;
+      sanon_addrs = Hashtbl.create 32;
+      heap_sites = 0;
+      iterations = 0;
+      work = Worklist.create 1024;
+    }
+  in
+  List.iter
+    (fun (g : Ir.global_def) ->
+      Hashtbl.replace t.globals_by_name g.Ir.gvar.Rsti_minic.Tast.v_name
+        g.Ir.gvar.Rsti_minic.Tast.v_id)
+    m.Ir.m_globals;
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace t.defined f.Ir.name f) m.Ir.m_funcs;
+  t
+
+let add_obj t n o =
+  if not (IntSet.mem o t.pts.(n)) then begin
+    t.pts.(n) <- IntSet.add o t.pts.(n);
+    Worklist.push t.work n
+  end
+
+let add_objs t n os =
+  let merged = IntSet.union t.pts.(n) os in
+  if not (IntSet.equal merged t.pts.(n)) then begin
+    t.pts.(n) <- merged;
+    Worklist.push t.work n
+  end
+
+let add_copy t a b =
+  if not (List.mem b t.copy_edges.(a)) then begin
+    t.copy_edges.(a) <- b :: t.copy_edges.(a);
+    if not (IntSet.is_empty t.pts.(a)) then Worklist.push t.work a
+  end
+
+(* The address-of facts a bare value contributes. *)
+let value_objs t ~fn:_ (v : Ir.value) =
+  match v with
+  | Ir.Global name -> (
+      match Hashtbl.find_opt t.globals_by_name name with
+      | Some id -> [ obj_id t (Ovar id) ]
+      | None -> [ obj_id t (Oextern name) ])
+  | Ir.Funcaddr f -> [ obj_id t (Ofun f) ]
+  | Ir.Str _ -> [ obj_id t Ostr ]
+  | Ir.Imm _ | Ir.Fimm _ | Ir.Null | Ir.Reg _ -> []
+
+(* Route a value into a node: registers become copy edges, address
+   constants become base facts. *)
+let flow_value t ~fn v ~into =
+  match v with
+  | Ir.Reg r -> add_copy t (node_id t (Nreg (fn, r))) into
+  | _ -> List.iter (fun o -> add_obj t into o) (value_objs t ~fn v)
+
+let content_node t o =
+  match t.objs.(o) with
+  | Ofun _ -> None (* code has no pointer content cell *)
+  | o -> Some (node_id t (Ncell o))
+
+let mark_escaped t o =
+  if not (IntSet.mem o !(t.escaped)) then begin
+    t.escaped := IntSet.add o !(t.escaped);
+    (* contents of escaped objects flow onward during closure, not here *)
+    ()
+  end
+
+(* Pointer arguments handed to external code: the objects escape. *)
+let escape_value t ~fn v =
+  match v with
+  | Ir.Reg r ->
+      let n = node_id t (Nreg (fn, r)) in
+      (* record as a pseudo-store into an "escape sink": simplest is to
+         walk at solve time; we instead re-use stores_at with a sink. *)
+      IntSet.iter (fun o -> mark_escaped t o) t.pts.(n);
+      (* future growth: tag the node so new objects escape too *)
+      t.geps_at.(n) <- "!escape" :: t.geps_at.(n);
+      Worklist.push t.work n
+  | _ -> List.iter (fun o -> mark_escaped t o) (value_objs t ~fn v)
+
+let bind_call t ~caller args dst (callee : string) =
+  match Hashtbl.find_opt t.defined callee with
+  | Some callee_fn ->
+      List.iteri
+        (fun i arg ->
+          (* parameter i occupies register i in the callee's entry *)
+          if i < List.length callee_fn.Ir.params then
+            flow_value t ~fn:caller arg
+              ~into:(node_id t (Nreg (callee_fn.Ir.name, i))))
+        args;
+      (match dst with
+      | Some d -> add_copy t (node_id t (Nret callee)) d
+      | None -> ())
+  | None ->
+      (* external function: arguments escape, result is a fresh heap
+         object per call site *)
+      List.iter (fun a -> escape_value t ~fn:caller a) args;
+      (match dst with
+      | Some d ->
+          t.heap_sites <- t.heap_sites + 1;
+          add_obj t d (obj_id t (Oheap (callee, t.heap_sites)))
+      | None -> ())
+
+let gen_function t (fn : Ir.func) =
+  let fname = fn.Ir.name in
+  let reg r = node_id t (Nreg (fname, r)) in
+  Ir.iter_instrs
+    (fun ins ->
+      match ins.Ir.i with
+      | Ir.Alloca { dst; dv = Some d; _ } ->
+          add_obj t (reg dst) (obj_id t (Ovar d.Rsti_ir.Dinfo.dv_id))
+      | Ir.Alloca { dst; dv = None; _ } ->
+          add_obj t (reg dst) (obj_id t (Otmp (fname, dst)))
+      | Ir.Load { dst; addr; ty; slot } ->
+          (match slot with
+          | Ir.Sanon sty when Ctype.is_pointer ty -> (
+              match addr with
+              | Ir.Reg r -> (sanon_set t sty) := IntSet.add (reg r) !(sanon_set t sty)
+              | _ -> ())
+          | _ -> ());
+          if Ctype.is_pointer ty then begin
+            match addr with
+            | Ir.Reg r ->
+                let a = reg r in
+                t.loads_at.(a) <- reg dst :: t.loads_at.(a);
+                if not (IntSet.is_empty t.pts.(a)) then Worklist.push t.work a
+            | _ ->
+                List.iter
+                  (fun o ->
+                    match content_node t o with
+                    | Some c -> add_copy t c (reg dst)
+                    | None -> ())
+                  (value_objs t ~fn:fname addr)
+          end
+      | Ir.Store { src; addr; ty; slot } ->
+          (match slot with
+          | Ir.Sanon sty when Ctype.is_pointer ty -> (
+              match addr with
+              | Ir.Reg r -> (sanon_set t sty) := IntSet.add (reg r) !(sanon_set t sty)
+              | _ -> ())
+          | _ -> ());
+          if Ctype.is_pointer ty then begin
+            match addr with
+            | Ir.Reg r -> (
+                let a = reg r in
+                match src with
+                | Ir.Reg s ->
+                    t.stores_at.(a) <- (reg s, 0) :: t.stores_at.(a);
+                    if not (IntSet.is_empty t.pts.(a)) then Worklist.push t.work a
+                | _ ->
+                    let objs = value_objs t ~fn:fname src in
+                    if objs <> [] then begin
+                      (* constant address stored through a pointer: model
+                         with a synthetic source node *)
+                      let s = node_id t (Nreg (fname, -1 - Hashtbl.hash ins)) in
+                      List.iter (fun o -> add_obj t s o) objs;
+                      t.stores_at.(a) <- (s, 0) :: t.stores_at.(a);
+                      Worklist.push t.work a
+                    end)
+            | _ ->
+                List.iter
+                  (fun o ->
+                    match content_node t o with
+                    | Some c -> flow_value t ~fn:fname src ~into:c
+                    | None -> ())
+                  (value_objs t ~fn:fname addr)
+          end
+      | Ir.Gep { dst; base; sname; field } ->
+          add_obj t (reg dst) (obj_id t (Ofield (sname, field)));
+          (match base with
+          | Ir.Reg r ->
+              let b = reg r in
+              t.geps_at.(b) <- sname :: t.geps_at.(b);
+              if not (IntSet.is_empty t.pts.(b)) then Worklist.push t.work b
+          | _ ->
+              List.iter
+                (fun o -> instance_set t sname := IntSet.add o !(instance_set t sname))
+                (value_objs t ~fn:fname base))
+      | Ir.Gepidx { dst; base; _ } ->
+          (* an element address points into the same object *)
+          flow_value t ~fn:fname base ~into:(reg dst)
+      | Ir.Bitcast { dst; src; _ } -> flow_value t ~fn:fname src ~into:(reg dst)
+      | Ir.Cast_num { dst; src; from_ty; to_ty } ->
+          (* pointer laundered through an integer: everything it points
+             to escapes; an integer cast back to a pointer can point
+             anywhere *)
+          if Ctype.is_pointer (Ctype.strip_all_quals from_ty) then
+            escape_value t ~fn:fname src;
+          if Ctype.is_pointer (Ctype.strip_all_quals to_ty) then
+            add_obj t (reg dst) (obj_id t Ounknown)
+      | Ir.Call { dst; callee; args; _ } -> (
+          let dstn = Option.map reg dst in
+          match callee with
+          | Ir.Direct f -> bind_call t ~caller:fname args dstn f
+          | Ir.Indirect v -> (
+              match v with
+              | Ir.Reg r ->
+                  let n = reg r in
+                  t.calls_at.(n) <- (args, dstn, fname) :: t.calls_at.(n);
+                  if not (IntSet.is_empty t.pts.(n)) then Worklist.push t.work n
+              | Ir.Funcaddr f -> bind_call t ~caller:fname args dstn f
+              | _ -> ()))
+      | Ir.Binop _ | Ir.Neg _ | Ir.Lognot _ | Ir.Bitnot _ | Ir.Pac _ | Ir.Pp _ ->
+          ())
+    fn;
+  (* the return channel *)
+  Array.iter
+    (fun (b : Ir.block) ->
+      match b.Ir.term with
+      | Ir.Ret (Some v) -> flow_value t ~fn:fname v ~into:(node_id t (Nret fname))
+      | _ -> ())
+    fn.Ir.blocks
+
+let solve t =
+  let processed_calls : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec drain () =
+    match Worklist.pop t.work with
+    | None -> ()
+    | Some n ->
+        t.iterations <- t.iterations + 1;
+        let set = t.pts.(n) in
+        (* copy edges *)
+        List.iter (fun s -> add_objs t s set) t.copy_edges.(n);
+        (* complex: loads through n *)
+        List.iter
+          (fun dst ->
+            IntSet.iter
+              (fun o ->
+                match content_node t o with
+                | Some c -> add_copy t c dst
+                | None -> ())
+              set)
+          t.loads_at.(n);
+        (* complex: stores through n *)
+        List.iter
+          (fun (src, _) ->
+            IntSet.iter
+              (fun o ->
+                match content_node t o with
+                | Some c -> add_copy t src c
+                | None -> ())
+              set)
+          t.stores_at.(n);
+        (* complex: geps and escape sinks on n *)
+        List.iter
+          (fun sname ->
+            if sname = "!escape" then
+              IntSet.iter (fun o -> mark_escaped t o) set
+            else
+              let is = instance_set t sname in
+              let merged = IntSet.union !is set in
+              if not (IntSet.equal merged !is) then is := merged)
+          t.geps_at.(n);
+        (* complex: indirect calls through n *)
+        List.iter
+          (fun (args, dstn, caller) ->
+            IntSet.iter
+              (fun o ->
+                match t.objs.(o) with
+                | Ofun f when not (Hashtbl.mem processed_calls (n, Hashtbl.hash (f, caller, args))) ->
+                    Hashtbl.replace processed_calls (n, Hashtbl.hash (f, caller, args)) ();
+                    bind_call t ~caller args dstn f
+                | _ -> ())
+              set)
+          t.calls_at.(n);
+        drain ()
+  in
+  (* run to fixpoint; new edges/facts push nodes back onto the list *)
+  drain ()
+
+let analyze (m : Ir.modul) =
+  let t = create m in
+  let cg = Callgraph.of_modul m in
+  (* bottom-up: callees' facts exist before callers copy into them *)
+  let by_name = Hashtbl.create 64 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace by_name f.Ir.name f) m.Ir.m_funcs;
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt by_name name with
+      | Some fn -> gen_function t fn
+      | None -> ())
+    (Callgraph.bottom_up cg);
+  solve t;
+  t
+
+(* ----------------------------- queries ---------------------------- *)
+
+let points_to t ~fn (v : Ir.value) =
+  match v with
+  | Ir.Reg r -> (
+      match Hashtbl.find_opt t.node_ids (Nreg (fn, r)) with
+      | Some n -> List.map (fun o -> t.objs.(o)) (IntSet.elements t.pts.(n))
+      | None -> [])
+  | _ -> List.map (fun o -> t.objs.(o)) (value_objs t ~fn v)
+
+let instances_of t sname =
+  match Hashtbl.find_opt t.instances sname with
+  | Some s -> List.map (fun o -> t.objs.(o)) (IntSet.elements !s)
+  | None -> []
+
+type stats = {
+  nodes : int;
+  objects : int;
+  iterations : int;
+  heap_objects : int;
+  escaped_objects : int;
+}
+
+let stats t =
+  {
+    nodes = t.n_nodes;
+    objects = t.n_objs;
+    iterations = t.iterations;
+    heap_objects = t.heap_sites;
+    escaped_objects = IntSet.cardinal !(t.escaped);
+  }
+
+(* ------------------------- the attacker model ---------------------- *)
+
+type confinement = { pt : t; attacker : IntSet.t }
+
+let confinement ?(windowed = []) (pt : t) =
+  (* seeds: heap objects, extern data, escaped objects, int-laundered
+     pointers, and globals behind a linear-overflow window *)
+  let seeds = ref IntSet.empty in
+  for o = 0 to pt.n_objs - 1 do
+    match pt.objs.(o) with
+    | Oheap _ | Oextern _ | Ounknown -> seeds := IntSet.add o !seeds
+    | Ovar id when List.mem id windowed -> seeds := IntSet.add o !seeds
+    | _ -> ()
+  done;
+  seeds := IntSet.union !seeds !(pt.escaped);
+  (* a struct field cell lives inside its instances: if any instance is
+     attacker memory, the field cell is attacker-writable *)
+  let field_attacker attacker =
+    Hashtbl.fold
+      (fun sname is acc ->
+        if IntSet.exists (fun o -> IntSet.mem o attacker) !is then
+          List.fold_left
+            (fun acc (fname, _) -> IntSet.add (obj_id pt (Ofield (sname, fname))) acc)
+            acc
+            (match List.assoc_opt sname pt.modul.Ir.m_structs with
+            | Some fs -> fs
+            | None -> [])
+        else acc)
+      pt.instances IntSet.empty
+  in
+  (* close under contents: a pointer stored in attacker memory makes its
+     target attacker-reachable (and hence writable) *)
+  let rec close attacker =
+    let next = ref (IntSet.union attacker (field_attacker attacker)) in
+    IntSet.iter
+      (fun o ->
+        match Hashtbl.find_opt pt.node_ids (Ncell pt.objs.(o)) with
+        | Some c -> next := IntSet.union !next pt.pts.(c)
+        | None -> ())
+      !next;
+    if IntSet.equal !next attacker then attacker else close !next
+  in
+  { pt; attacker = close !seeds }
+
+let attacker_obj c o =
+  match Hashtbl.find_opt c.pt.obj_ids o with
+  | Some i -> IntSet.mem i c.attacker
+  | None -> false
+
+let attacker_objects c = List.map (fun o -> c.pt.objs.(o)) (IntSet.elements c.attacker)
+
+(* Is this slot's storage provably out of the attacker's reach?
+
+   - [Svar id]: the variable's own object is not attacker memory.
+   - [Sfield (s, f)]: no instance of [s] is attacker memory and the
+     summarized field cell was not reached by the closure.
+   - [Sanon ty]: every object any same-typed deref access can touch
+     (the union over the class' address nodes) is private — variables
+     and anonymous stack cells only, none attacker. An empty access set
+     is trivially confined (the class has no executable access paths).
+
+   Modifier consistency across the aliased paths is by construction:
+   the instrumentation keys every address-taken variable and every
+   deref through its [Sanon] type class ([Analysis.alias_slot]), so all
+   paths that can reach a confined slot sign/auth under one modifier. *)
+let confined_slot c (slot : Ir.slot) =
+  let pt = c.pt in
+  let att o = IntSet.mem o c.attacker in
+  match slot with
+  | Ir.Svar id -> (
+      match Hashtbl.find_opt pt.obj_ids (Ovar id) with
+      | Some o -> not (att o)
+      | None -> true)
+  | Ir.Sfield (s, f) ->
+      (match Hashtbl.find_opt pt.instances s with
+      | Some is -> not (IntSet.exists att !is)
+      | None -> true)
+      && (match Hashtbl.find_opt pt.obj_ids (Ofield (s, f)) with
+         | Some o -> not (att o)
+         | None -> true)
+  | Ir.Sanon ty -> (
+      match Hashtbl.find_opt pt.sanon_addrs (sanon_key ty) with
+      | None -> true
+      | Some addrs ->
+          IntSet.for_all
+            (fun a ->
+              IntSet.for_all
+                (fun o ->
+                  (not (att o))
+                  &&
+                  match pt.objs.(o) with
+                  | Ovar _ | Otmp _ -> true
+                  | Ofield _ | Oheap _ | Oextern _ | Ostr | Ofun _ | Ounknown ->
+                      false)
+                pt.pts.(a))
+            !addrs)
+
+let confinement_stats c =
+  (IntSet.cardinal c.attacker, c.pt.n_objs)

@@ -1,0 +1,72 @@
+(** Inclusion-based (Andersen) points-to analysis over the IR, solved
+    with the {!Worklist} engine: field-sensitive, instance-summarized
+    abstract objects, copy edges from moves/casts/calls, and the classic
+    complex constraints for loads/stores through pointers and indirect
+    calls. Constraint generation walks functions in {!Callgraph} bottom-up
+    order.
+
+    The {!confinement} view on top is the attacker model the elision
+    client consumes: heap allocations, extern data, linear-overflow
+    window victims and everything that escapes to external code —
+    closed under stored-pointer contents — are attacker-writable; a slot
+    backed only by other memory is {e confined}, so the syntactic
+    "a cast/escape appears somewhere" obligations can be discharged. *)
+
+type obj =
+  | Ovar of int                (** named variable/global storage (var id) *)
+  | Otmp of string * int       (** anonymous alloca site: (function, reg) *)
+  | Ofield of string * string  (** struct field cell, instance-summarized *)
+  | Oheap of string * int      (** extern allocation: (callee, site id) *)
+  | Oextern of string          (** extern data object *)
+  | Ostr                       (** the string table (read-only) *)
+  | Ofun of string             (** a function's code *)
+  | Ounknown                   (** int-to-pointer launder: may be anything *)
+
+val obj_to_string : obj -> string
+
+type t
+
+val analyze : Rsti_ir.Ir.modul -> t
+(** Generate and solve the constraint system for a module (call once;
+    the result is immutable thereafter and safe to share). *)
+
+val points_to : t -> fn:string -> Rsti_ir.Ir.value -> obj list
+(** The objects a value may point to, evaluated in function [fn]. *)
+
+val instances_of : t -> string -> obj list
+(** The base objects field accesses of struct [sname] were applied to —
+    where instances of the struct may live. *)
+
+type stats = {
+  nodes : int;
+  objects : int;
+  iterations : int;
+  heap_objects : int;
+  escaped_objects : int;
+}
+
+val stats : t -> stats
+
+(** {2 The attacker model} *)
+
+type confinement
+
+val confinement : ?windowed:int list -> t -> confinement
+(** Compute the attacker-writable object closure. [windowed] lists the
+    var ids of globals behind a linear-overflow window (the static
+    checker's layout walk) to include as seeds alongside heap objects,
+    extern data, int-laundered pointers and extern-call escapees. *)
+
+val attacker_obj : confinement -> obj -> bool
+val attacker_objects : confinement -> obj list
+
+val confined_slot : confinement -> Rsti_ir.Ir.slot -> bool
+(** No attacker-writable object can back this slot: the discharge
+    predicate behind [Elide]'s [~points_to] precision. [Svar] checks the
+    variable's own object; [Sfield] checks every recorded instance of
+    the struct plus the summarized cell; [Sanon] checks every object
+    reachable from the class' recorded access paths (private stack/
+    global storage only). *)
+
+val confinement_stats : confinement -> int * int
+(** (attacker objects, total objects) — for reports. *)

@@ -1,0 +1,16 @@
+(** Deduplicating FIFO worklist over dense integer ids. *)
+
+type t
+
+val create : int -> t
+(** [create n] sizes the membership bitmap for ids below [n]; larger ids
+    grow it transparently. *)
+
+val push : t -> int -> unit
+(** Enqueue an id; a no-op if it is already queued. *)
+
+val pop : t -> int option
+(** Dequeue in FIFO order; [None] when empty. *)
+
+val is_empty : t -> bool
+val length : t -> int

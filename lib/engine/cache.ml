@@ -1,12 +1,18 @@
 module RT = Rsti_sti.Rsti_type
+module Elide = Rsti_staticcheck.Elide
 
 type stats = { hits : int; misses : int }
 
 type entry = {
   modul : Rsti_ir.Ir.modul;
   mutable analysis : Rsti_sti.Analysis.t option;
+  mutable points_to : Rsti_dataflow.Points_to.t option;
   mutable elide_pred : (Rsti_ir.Ir.slot -> bool) option;
-  mutable instrumented : ((RT.mechanism * bool) * Rsti_rsti.Instrument.result) list;
+  mutable elide_pred_pt : (Rsti_ir.Ir.slot -> bool) option;
+  mutable instrumented :
+    ((RT.mechanism * Elide.mode) * Rsti_rsti.Instrument.result) list;
+  mutable validated :
+    ((RT.mechanism * Elide.mode) * Rsti_dataflow.Validate.report) list;
 }
 
 let lock = Mutex.create ()
@@ -58,8 +64,11 @@ let entry ?(count = true) ~file text =
         {
           modul = Rsti_ir.Lower.compile ~file text;
           analysis = None;
+          points_to = None;
           elide_pred = None;
+          elide_pred_pt = None;
           instrumented = [];
+          validated = [];
         }
       in
       Mutex.lock lock;
@@ -141,6 +150,16 @@ let analysis ~file text =
 let elide_of anal modul =
   Rsti_staticcheck.Elide.elide (Rsti_staticcheck.Elide.analyze anal modul)
 
+let points_to ~file text =
+  if not (enabled ()) then
+    Rsti_dataflow.Points_to.analyze (Rsti_ir.Lower.compile ~file text)
+  else
+    memo_field
+      ~get:(fun e -> e.points_to)
+      ~set:(fun e v -> e.points_to <- Some v)
+      ~compute:(fun e -> Rsti_dataflow.Points_to.analyze e.modul)
+      (entry ~count:false ~file text)
+
 let elide ~file text =
   if not (enabled ()) then begin
     let m = Rsti_ir.Lower.compile ~file text in
@@ -155,36 +174,90 @@ let elide ~file text =
       (entry ~count:false ~file text)
   end
 
-let instrumented ~file ~elide:el mech text =
+let elide_pt ~file text =
   if not (enabled ()) then begin
     let m = Rsti_ir.Lower.compile ~file text in
     let anal = Rsti_sti.Analysis.analyze m in
-    let pred = if el then Some (elide_of anal m) else None in
+    let pt = Rsti_dataflow.Points_to.analyze m in
+    Elide.elide (Elide.analyze ~points_to:pt anal m)
+  end
+  else begin
+    let anal = analysis ~file text in
+    let pt = points_to ~file text in
+    memo_field
+      ~get:(fun e -> e.elide_pred_pt)
+      ~set:(fun e v -> e.elide_pred_pt <- Some v)
+      ~compute:(fun e -> Elide.elide (Elide.analyze ~points_to:pt anal e.modul))
+      (entry ~count:false ~file text)
+  end
+
+(* The elision predicate at a precision; [Off] means "no predicate" and
+   instruments every candidate site. *)
+let elide_pred ~file ~mode text =
+  match mode with
+  | Elide.Off -> None
+  | Elide.Syntactic -> Some (elide ~file text)
+  | Elide.With_points_to -> Some (elide_pt ~file text)
+
+(* Memoize one slot of an entry's association-list field; same
+   first-writer-wins discipline as {!memo_field}. *)
+let memo_assoc ~get ~add ~key:k ~compute e =
+  Mutex.lock lock;
+  let found = List.assoc_opt k (get e) in
+  Mutex.unlock lock;
+  match found with
+  | Some v ->
+      hit ();
+      v
+  | None ->
+      miss ();
+      let v = compute e in
+      Mutex.lock lock;
+      let v =
+        match List.assoc_opt k (get e) with
+        | Some winner -> winner
+        | None ->
+            add e k v;
+            v
+      in
+      Mutex.unlock lock;
+      v
+
+let instrumented ~file ~elision mech text =
+  if not (enabled ()) then begin
+    let m = Rsti_ir.Lower.compile ~file text in
+    let anal = Rsti_sti.Analysis.analyze m in
+    let pred = Rsti_staticcheck.Elide.pred elision anal m in
     Rsti_rsti.Instrument.instrument ?elide:pred mech anal m
   end
   else begin
     let anal = analysis ~file text in
-    let pred = if el then Some (elide ~file text) else None in
-    let e = entry ~count:false ~file text in
-    let k = (mech, el) in
-    Mutex.lock lock;
-    let found = List.assoc_opt k e.instrumented in
-    Mutex.unlock lock;
-    match found with
-    | Some r ->
-        hit ();
-        r
-    | None ->
-        miss ();
-        let r = Rsti_rsti.Instrument.instrument ?elide:pred mech anal e.modul in
-        Mutex.lock lock;
-        let r =
-          match List.assoc_opt k e.instrumented with
-          | Some winner -> winner
-          | None ->
-              e.instrumented <- (k, r) :: e.instrumented;
-              r
-        in
-        Mutex.unlock lock;
-        r
+    let pred = elide_pred ~file ~mode:elision text in
+    memo_assoc
+      ~get:(fun e -> e.instrumented)
+      ~add:(fun e k r -> e.instrumented <- (k, r) :: e.instrumented)
+      ~key:(mech, elision)
+      ~compute:(fun e ->
+        Rsti_rsti.Instrument.instrument ?elide:pred mech anal e.modul)
+      (entry ~count:false ~file text)
+  end
+
+let validation ~file ~elision mech text =
+  if not (enabled ()) then begin
+    let m = Rsti_ir.Lower.compile ~file text in
+    let anal = Rsti_sti.Analysis.analyze m in
+    let pred = Rsti_staticcheck.Elide.pred elision anal m in
+    let r = Rsti_rsti.Instrument.instrument ?elide:pred mech anal m in
+    Rsti_dataflow.Validate.check anal mech r.Rsti_rsti.Instrument.modul
+  end
+  else begin
+    let anal = analysis ~file text in
+    let r = instrumented ~file ~elision mech text in
+    memo_assoc
+      ~get:(fun e -> e.validated)
+      ~add:(fun e k v -> e.validated <- (k, v) :: e.validated)
+      ~key:(mech, elision)
+      ~compute:(fun _ ->
+        Rsti_dataflow.Validate.check anal mech r.Rsti_rsti.Instrument.modul)
+      (entry ~count:false ~file text)
   end

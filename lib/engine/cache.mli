@@ -6,8 +6,10 @@
 
     - [compiled]      key = digest
     - [analysis]      key = digest (analysis is a function of the module)
-    - [elide]         key = digest (the proof is a function of both)
-    - [instrumented]  key = digest x (mechanism, elide?)
+    - [points_to]     key = digest (Andersen solve over the module)
+    - [elide]/[elide_pt] key = digest (the proof is a function of both)
+    - [instrumented]  key = digest x (mechanism, elision mode)
+    - [validation]    key = digest x (mechanism, elision mode)
     - [outcome]       key = caller-assembled (digest x base-ISA prices x
                       machine knobs) — attack-free runs only; the
                       machine is deterministic, so the outcome is a pure
@@ -66,15 +68,38 @@ val outcome :
 val analysis : file:string -> string -> Rsti_sti.Analysis.t
 (** [Sti.Analysis.analyze] of {!compiled}, memoized. *)
 
+val points_to : file:string -> string -> Rsti_dataflow.Points_to.t
+(** The Andersen points-to analysis over {!compiled}, memoized. *)
+
 val elide : file:string -> string -> Rsti_ir.Ir.slot -> bool
-(** The static checker's elision proof ([Staticcheck.Elide]) over
-    {!analysis}, memoized. *)
+(** The static checker's syntactic elision proof ([Staticcheck.Elide])
+    over {!analysis}, memoized. *)
+
+val elide_pt : file:string -> string -> Rsti_ir.Ir.slot -> bool
+(** The elision proof at points-to precision: {!elide}'s obligations
+    discharged through {!points_to} confinement, memoized. *)
+
+val elide_pred :
+  file:string ->
+  mode:Rsti_staticcheck.Elide.mode ->
+  string ->
+  (Rsti_ir.Ir.slot -> bool) option
+(** {!elide} / {!elide_pt} selected by elision mode; [None] when [Off]. *)
 
 val instrumented :
   file:string ->
-  elide:bool ->
+  elision:Rsti_staticcheck.Elide.mode ->
   Rsti_sti.Rsti_type.mechanism ->
   string ->
   Rsti_rsti.Instrument.result
 (** [Rsti.Instrument.instrument] over {!analysis}, memoized per
-    (mechanism, elide) stage key. *)
+    (mechanism, elision mode) stage key. *)
+
+val validation :
+  file:string ->
+  elision:Rsti_staticcheck.Elide.mode ->
+  Rsti_sti.Rsti_type.mechanism ->
+  string ->
+  Rsti_dataflow.Validate.report
+(** The PAC-typestate validator's report over {!instrumented}, memoized
+    per (mechanism, elision mode) stage key. *)

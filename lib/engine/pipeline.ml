@@ -1,8 +1,10 @@
 module RT = Rsti_sti.Rsti_type
+module Elide = Rsti_staticcheck.Elide
 
 type config = {
   costs : Rsti_machine.Cost.t;
-  elide : bool;
+  elision : Elide.mode;
+  validate : bool;
   mechanisms : RT.mechanism list;
   cache : bool;
   jobs : int option;
@@ -11,11 +13,14 @@ type config = {
 let default =
   {
     costs = Rsti_machine.Cost.default;
-    elide = false;
+    elision = Elide.Off;
+    validate = false;
     mechanisms = RT.all_mechanisms;
     cache = true;
     jobs = None;
   }
+
+exception Validation_failed of Rsti_dataflow.Validate.report
 
 type source = { file : string; text : string }
 type compiled = { src : source; modul : Rsti_ir.Ir.modul }
@@ -24,7 +29,7 @@ type analyzed = { comp : compiled; anal : Rsti_sti.Analysis.t }
 type instrumented = {
   stage : analyzed;
   mech : RT.mechanism;
-  elided : bool;
+  elision : Elide.mode;
   result : Rsti_rsti.Instrument.result;
 }
 
@@ -48,24 +53,51 @@ let analyze ?(config = default) (c : compiled) =
   in
   { comp = c; anal }
 
-let elide_pred ?(config = default) (a : analyzed) =
-  if config.cache then Cache.elide ~file:a.comp.src.file a.comp.src.text
+let points_to ?(config = default) (c : compiled) =
+  if config.cache then Cache.points_to ~file:c.src.file c.src.text
+  else Rsti_dataflow.Points_to.analyze c.modul
+
+let elide_pred ?(config = default) ?(mode = Elide.Syntactic) (a : analyzed) =
+  match mode with
+  | Elide.Off -> fun _ -> false
+  | Elide.Syntactic ->
+      if config.cache then Cache.elide ~file:a.comp.src.file a.comp.src.text
+      else Elide.elide (Elide.analyze a.anal a.comp.modul)
+  | Elide.With_points_to ->
+      if config.cache then Cache.elide_pt ~file:a.comp.src.file a.comp.src.text
+      else
+        let pt = points_to ~config a.comp in
+        Elide.elide (Elide.analyze ~points_to:pt a.anal a.comp.modul)
+
+(* The PAC-typestate validator over an instrumented module: re-checks
+   the rewriter's output against the signed-at-rest discipline. *)
+let validation ?(config = default) (i : instrumented) =
+  let s = i.stage.comp.src in
+  if config.cache then
+    Cache.validation ~file:s.file ~elision:i.elision i.mech s.text
   else
-    Rsti_staticcheck.Elide.elide
-      (Rsti_staticcheck.Elide.analyze a.anal a.comp.modul)
+    Rsti_dataflow.Validate.check i.stage.anal i.mech
+      i.result.Rsti_rsti.Instrument.modul
 
 let instrument ?(config = default) mech (a : analyzed) =
   (* Parts/Nop model toolchains without the whole-program proof; the
-     elide stage key stays false for them so the cache never splits. *)
-  let elided = config.elide && mech <> RT.Parts && mech <> RT.Nop in
+     elision stage key stays Off for them so the cache never splits. *)
+  let elision =
+    if mech = RT.Parts || mech = RT.Nop then Elide.Off else config.elision
+  in
   let result =
     if config.cache then
-      Cache.instrumented ~file:a.comp.src.file ~elide:elided mech a.comp.src.text
+      Cache.instrumented ~file:a.comp.src.file ~elision mech a.comp.src.text
     else
-      let pred = if elided then Some (elide_pred ~config a) else None in
+      let pred = Elide.pred elision a.anal a.comp.modul in
       Rsti_rsti.Instrument.instrument ?elide:pred mech a.anal a.comp.modul
   in
-  { stage = a; mech; elided; result }
+  let i = { stage = a; mech; elision; result } in
+  if config.validate then begin
+    let rep = validation ~config i in
+    if not (Rsti_dataflow.Validate.ok rep) then raise (Validation_failed rep)
+  end;
+  i
 
 let instrument_all ?(config = default) (a : analyzed) =
   List.map (fun mech -> instrument ~config mech a) config.mechanisms
@@ -122,7 +154,7 @@ let run ?(config = default) ?(attacks = []) ?seed ?fpac ?backend ?entry
           "run";
           Cache.source_key ~file:s.file s.text;
           RT.mechanism_to_string i.mech;
-          string_of_bool i.elided;
+          Elide.mode_to_string i.elision;
           cost_key config.costs;
           knobs_key ?seed ?fpac ?backend ?entry ();
         ]
@@ -164,7 +196,8 @@ let analysis (a : analyzed) = a.anal
 let analyzed_ir (a : analyzed) = a.comp.modul
 let analyzed_of_instrumented (i : instrumented) = i.stage
 let mechanism (i : instrumented) = i.mech
-let elided (i : instrumented) = i.elided
+let elision (i : instrumented) = i.elision
+let elided (i : instrumented) = i.elision <> Elide.Off
 let result (i : instrumented) = i.result
 let instrumented_ir (i : instrumented) = i.result.Rsti_rsti.Instrument.modul
 let counts (i : instrumented) = i.result.Rsti_rsti.Instrument.counts

@@ -29,7 +29,15 @@
 
 type config = {
   costs : Rsti_machine.Cost.t;  (** cycle model for {!run} *)
-  elide : bool;  (** apply the static checker's elision proof *)
+  elision : Rsti_staticcheck.Elide.mode;
+      (** instrumentation-elision precision: [Off] keeps every site,
+          [Syntactic] applies the static checker's flow-component proof,
+          [With_points_to] additionally discharges obligations through
+          the Andersen confinement proof *)
+  validate : bool;
+      (** run the PAC-typestate translation validator over every
+          {!instrument} output and raise {!Validation_failed} if the
+          rewriter broke the signed-at-rest discipline *)
   mechanisms : Rsti_sti.Rsti_type.mechanism list;
       (** the mechanism sweep {!instrument_all} expands *)
   cache : bool;  (** consult/fill the artifact {!Cache} *)
@@ -39,9 +47,13 @@ type config = {
 }
 
 val default : config
-(** [costs = Cost.default], [elide = false],
+(** [costs = Cost.default], [elision = Off], [validate = false],
     [mechanisms = Rsti_type.all_mechanisms], [cache = true],
     [jobs = None]. *)
+
+exception Validation_failed of Rsti_dataflow.Validate.report
+(** Raised by {!instrument} under [config.validate] when the validator
+    rejects the instrumented module. *)
 
 type source
 type compiled
@@ -61,9 +73,12 @@ val analyze : ?config:config -> compiled -> analyzed
 
 val instrument :
   ?config:config -> Rsti_sti.Rsti_type.mechanism -> analyzed -> instrumented
-(** The RSTI instrumentation pass; [config.elide] applies the
-    [Staticcheck.Elide] proof (no-op under [Parts]/[Nop], which the
-    pass itself never elides). *)
+(** The RSTI instrumentation pass; [config.elision] selects the
+    [Staticcheck.Elide] proof precision (forced [Off] under
+    [Parts]/[Nop], which model toolchains without the whole-program
+    proof). Under [config.validate] the output is checked by
+    {!Rsti_dataflow.Validate} and {!Validation_failed} raised on any
+    issue. *)
 
 val instrument_all : ?config:config -> analyzed -> instrumented list
 (** One {!instrumented} per [config.mechanisms], in order. *)
@@ -107,12 +122,34 @@ val analyzed_ir : analyzed -> Rsti_ir.Ir.modul
 
 val analyzed_of_instrumented : instrumented -> analyzed
 val mechanism : instrumented -> Rsti_sti.Rsti_type.mechanism
+
+val elision : instrumented -> Rsti_staticcheck.Elide.mode
+(** The elision precision this stage value was instrumented under. *)
+
 val elided : instrumented -> bool
+(** Whether any elision proof was applied: [elision i <> Off]. *)
+
 val result : instrumented -> Rsti_rsti.Instrument.result
 (** The pass output: rewritten module, pp table, static counts. *)
 
 val instrumented_ir : instrumented -> Rsti_ir.Ir.modul
 val counts : instrumented -> Rsti_rsti.Instrument.static_counts
-val elide_pred : ?config:config -> analyzed -> Rsti_ir.Ir.slot -> bool
-(** The elision-proof predicate itself (what [config.elide] applies);
-    exposed for consumers that report per-slot verdicts. *)
+
+val points_to : ?config:config -> compiled -> Rsti_dataflow.Points_to.t
+(** The Andersen points-to analysis over the module (cache-memoized). *)
+
+val elide_pred :
+  ?config:config ->
+  ?mode:Rsti_staticcheck.Elide.mode ->
+  analyzed ->
+  Rsti_ir.Ir.slot ->
+  bool
+(** The elision-proof predicate itself at a chosen precision (default
+    [Syntactic]; [Off] is constantly false); exposed for consumers that
+    report per-slot verdicts. *)
+
+val validation :
+  ?config:config -> instrumented -> Rsti_dataflow.Validate.report
+(** The PAC-typestate validator's report for an instrumented stage value
+    (cache-memoized). [config.validate] runs this automatically inside
+    {!instrument}. *)

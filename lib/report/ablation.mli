@@ -31,6 +31,11 @@ val elision : unit -> string
     {!Rsti_staticcheck.Elide}, plus full-vs-elided geomeans per mechanism
     (the fig9 bars with elision on). *)
 
+val elide_precision : unit -> string
+(** Syntactic vs points-to elision precision over SPEC2006: per-workload
+    candidate counts, provably-safe counts at both precisions, and the
+    delta the {!Rsti_dataflow.Points_to} confinement proof adds. *)
+
 val backend_comparison : unit -> string
 (** Section 7's "RSTI with mechanisms other than PAC", made concrete:
     the STWC policy enforced through a CCFI-style shadow MAC, compared

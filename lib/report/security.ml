@@ -1,6 +1,8 @@
 module S = Rsti_attacks.Scenario
 module RT = Rsti_sti.Rsti_type
 module Tab = Rsti_util.Tab
+module Pipeline = Rsti_engine.Pipeline
+module Validate = Rsti_dataflow.Validate
 
 let table1_verdicts () =
   List.map
@@ -56,11 +58,13 @@ let table1 () =
 (* ------------------------- elision safety ------------------------- *)
 
 (* The static checker's safety invariant: proof-based instrumentation
-   elision must never change a detection verdict. Run every Table 1
-   attack and every substitution micro-scenario under each mechanism,
-   with and without elision, and compare. *)
+   elision must never change a detection verdict, at either precision.
+   Run every Table 1 attack and every substitution micro-scenario under
+   each mechanism, with and without elision, and compare. [~elision]
+   selects the precision being audited (default [Syntactic]; the bench
+   harness also runs the [With_points_to] variant). *)
 
-let elide_safety_verdicts () =
+let elide_safety_verdicts ?(elision = Rsti_staticcheck.Elide.Syntactic) () =
   List.map
     (fun sc ->
       let per_mech =
@@ -68,13 +72,14 @@ let elide_safety_verdicts () =
           (fun m ->
             ( m,
               (S.run sc m).S.verdict,
-              (S.run ~elide:true sc m).S.verdict ))
+              (S.run ~elision sc m).S.verdict ))
           RT.all_mechanisms
       in
       (sc, per_mech))
     Rsti_attacks.Catalog.all
 
-let substitution_elide_agreement () =
+let substitution_elide_agreement ?(elision = Rsti_staticcheck.Elide.Syntactic)
+    () =
   let scenarios =
     List.map fst Rsti_attacks.Substitution.expected
     @ List.map fst Rsti_attacks.Memory_safety.expected
@@ -86,12 +91,12 @@ let substitution_elide_agreement () =
           ( sc,
             m,
             (S.run sc m).S.verdict,
-            (S.run ~elide:true sc m).S.verdict ))
+            (S.run ~elision sc m).S.verdict ))
         (RT.all_mechanisms @ [ RT.Parts ]))
     scenarios
 
-let elide_safety () =
-  let t1 = elide_safety_verdicts () in
+let elide_safety ?(elision = Rsti_staticcheck.Elide.Syntactic) () =
+  let t1 = elide_safety_verdicts ~elision () in
   let rows =
     List.map
       (fun (sc, per_mech) ->
@@ -114,7 +119,7 @@ let elide_safety () =
           per_mech)
       t1
   in
-  let subs = substitution_elide_agreement () in
+  let subs = substitution_elide_agreement ~elision () in
   let subs_disagree =
     List.filter (fun (_, _, full, elided) -> full <> elided) subs
   in
@@ -130,9 +135,10 @@ let elide_safety () =
       ]
     rows
   ^ Printf.sprintf
-      "\n\nSafety invariant — all %d attacks DETECTED under every mechanism \
-       with elision on: %s\nSubstitution micro-scenarios (%d scenario x \
-       mechanism runs) verdict-identical with elision: %s\n"
+      "\n\nSafety invariant (%s elision) — all %d attacks DETECTED under \
+       every mechanism with elision on: %s\nSubstitution micro-scenarios \
+       (%d scenario x mechanism runs) verdict-identical with elision: %s\n"
+      (Rsti_staticcheck.Elide.mode_to_string elision)
       (List.length t1)
       (if t1_held then "HELD" else "VIOLATED")
       (List.length subs)
@@ -144,6 +150,95 @@ let elide_safety () =
                 (fun (sc, m, _, _) ->
                   sc.S.id ^ "/" ^ RT.mechanism_to_string m)
                 subs_disagree))
+
+(* --------------------- translation validation --------------------- *)
+
+(* The PAC-typestate validator over every Table-1 victim: each
+   instrumented module (mechanism x elision precision) must satisfy the
+   signed-at-rest discipline, and a deliberately broken copy (one sign
+   removed) must be rejected. Victims are independent, so the catalog
+   fans out across domains. *)
+
+let validation_results () =
+  let modes =
+    Rsti_staticcheck.Elide.[ Off; Syntactic; With_points_to ]
+  in
+  Rsti_engine.Scheduler.map
+    (fun sc ->
+      let src = Pipeline.source ~file:(sc.S.id ^ ".c") sc.S.program in
+      let a = Pipeline.analyze (Pipeline.compile src) in
+      let per =
+        List.concat_map
+          (fun m ->
+            List.map
+              (fun mode ->
+                let config =
+                  { Pipeline.default with Pipeline.elision = mode }
+                in
+                let i = Pipeline.instrument ~config m a in
+                (m, mode, Pipeline.validation i))
+              modes)
+          RT.all_mechanisms
+      in
+      let anal = Pipeline.analysis a in
+      let i = Pipeline.instrument RT.Stwc a in
+      let broken_caught =
+        match Validate.break_one_sign (Pipeline.instrumented_ir i) with
+        | None -> None
+        | Some broken ->
+            Some (not (Validate.ok (Validate.check anal RT.Stwc broken)))
+      in
+      (sc, per, broken_caught))
+    Rsti_attacks.Catalog.all
+
+let validation () =
+  let results = validation_results () in
+  let cell sc mech per =
+    let mine = List.filter (fun (m, _, _) -> m = mech) per in
+    let bad =
+      List.filter (fun (_, _, r) -> not (Validate.ok r)) mine
+    in
+    match bad with
+    | [] -> "ok"
+    | (_, mode, r) :: _ ->
+        Printf.printf "validator FAIL %s/%s/%s:\n%s\n" sc.S.id
+          (RT.mechanism_to_string mech)
+          (Rsti_staticcheck.Elide.mode_to_string mode)
+          (Validate.report_to_string r);
+        "FAIL"
+  in
+  let rows =
+    List.map
+      (fun (sc, per, broken) ->
+        [
+          sc.S.id;
+          cell sc RT.Stwc per;
+          cell sc RT.Stc per;
+          cell sc RT.Stl per;
+          (match broken with
+          | None -> "-"
+          | Some true -> "caught"
+          | Some false -> "MISSED");
+        ])
+      results
+  in
+  let all_ok =
+    List.for_all
+      (fun (_, per, broken) ->
+        List.for_all (fun (_, _, r) -> Validate.ok r) per
+        && broken <> Some false)
+      results
+  in
+  "PAC-typestate translation validation (Table 1 victims)\n\
+   Every instrumented module (mechanism x elision off/syntactic/points-to)\n\
+   must satisfy the signed-at-rest discipline; a copy with one sign\n\
+   removed must be rejected.\n\n"
+  ^ Tab.render
+      ~align:Tab.[ Left; Right; Right; Right; Right ]
+      ~header:[ "Victim"; "STWC"; "STC"; "STL"; "broken copy" ]
+      rows
+  ^ Printf.sprintf "\n\nValidator verdict: %s\n"
+      (if all_ok then "ALL PASS" else "FAILURES (see above)")
 
 let table2 () =
   let mech_cols = RT.all_mechanisms @ [ RT.Parts ] in

@@ -23,13 +23,14 @@ val table1_verdicts :
 (** Structured results (baseline verdict + per-mechanism verdicts), for
     tests and the bench harness. *)
 
-val elide_safety : unit -> string
+val elide_safety : ?elision:Rsti_staticcheck.Elide.mode -> unit -> string
 (** Render the elision safety-invariant check: every Table 1 attack under
-    every mechanism with and without {!Rsti_staticcheck.Elide} elision
-    (all must stay DETECTED), plus verdict agreement over the
-    substitution micro-scenarios. *)
+    every mechanism with and without {!Rsti_staticcheck.Elide} elision at
+    the chosen precision (default [Syntactic]; all must stay DETECTED),
+    plus verdict agreement over the substitution micro-scenarios. *)
 
 val elide_safety_verdicts :
+  ?elision:Rsti_staticcheck.Elide.mode ->
   unit ->
   (Rsti_attacks.Scenario.t
   * (Rsti_sti.Rsti_type.mechanism
@@ -40,7 +41,27 @@ val elide_safety_verdicts :
 (** Structured (mechanism, full verdict, elided verdict) triples per
     Table 1 attack. *)
 
+val validation : unit -> string
+(** Render the PAC-typestate translation-validation matrix: every
+    Table 1 victim instrumented under each mechanism and elision
+    precision checked by {!Rsti_dataflow.Validate}, plus the
+    one-sign-removed mutant that must be rejected. *)
+
+val validation_results :
+  unit ->
+  (Rsti_attacks.Scenario.t
+  * (Rsti_sti.Rsti_type.mechanism
+    * Rsti_staticcheck.Elide.mode
+    * Rsti_dataflow.Validate.report)
+    list
+  * bool option)
+  list
+(** Structured validator reports per victim; the final component is
+    [Some caught] for the broken-copy check ([None] when the victim has
+    no sign to break). *)
+
 val substitution_elide_agreement :
+  ?elision:Rsti_staticcheck.Elide.mode ->
   unit ->
   (Rsti_attacks.Scenario.t
   * Rsti_sti.Rsti_type.mechanism

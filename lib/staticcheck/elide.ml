@@ -37,6 +37,20 @@
 module Ir = Rsti_ir.Ir
 module Ctype = Rsti_minic.Ctype
 module Analysis = Rsti_sti.Analysis
+module Points_to = Rsti_dataflow.Points_to
+
+type mode = Off | Syntactic | With_points_to
+
+let mode_to_string = function
+  | Off -> "off"
+  | Syntactic -> "syntactic"
+  | With_points_to -> "points-to"
+
+let mode_of_string = function
+  | "off" -> Some Off
+  | "syntactic" | "on" -> Some Syntactic
+  | "points-to" | "points_to" | "pt" -> Some With_points_to
+  | _ -> None
 
 type reason =
   | Heap_reachable     (* field/anonymous slot: attacker heap neighbours *)
@@ -69,6 +83,7 @@ type t = {
   windowed : (int, unit) Hashtbl.t;   (* global var ids behind a window *)
   tainted : (string, unit) Hashtbl.t; (* component roots storing heap ptrs *)
   comp_cache : (string, reason option) Hashtbl.t;
+  conf : Points_to.confinement option; (* attacker model, when points-to ran *)
 }
 
 (* Does a global of this type open a forward-overflow window over the
@@ -86,7 +101,7 @@ let rec has_writable_array lookup ty =
 
 let opens_window m ty = has_writable_array (Ir.struct_lookup m) ty
 
-let analyze anal (m : Ir.modul) : t =
+let analyze ?points_to anal (m : Ir.modul) : t =
   let windowed = Hashtbl.create 16 in
   let window_open = ref false in
   List.iter
@@ -132,7 +147,19 @@ let analyze anal (m : Ir.modul) : t =
           | _ -> ())
         fn)
     m.m_funcs;
-  { anal; windowed; tainted; comp_cache = Hashtbl.create 64 }
+  (* The attacker model for points-to discharge seeds on exactly the
+     memory the syntactic rules assume writable: the overflow-window
+     victims computed above, plus what the points-to analysis itself
+     knows (heap allocations, extern data, escapees, int-laundered
+     pointers), closed under stored-pointer contents. *)
+  let conf =
+    match points_to with
+    | None -> None
+    | Some pt ->
+        let windowed_ids = Hashtbl.fold (fun id () acc -> id :: acc) windowed [] in
+        Some (Points_to.confinement ~windowed:windowed_ids pt)
+  in
+  { anal; windowed; tainted; comp_cache = Hashtbl.create 64; conf }
 
 (* The component-level obligations, cached per component root. *)
 let component_reason t slot =
@@ -163,7 +190,7 @@ let component_reason t slot =
       Hashtbl.replace t.comp_cache root r;
       r
 
-let verdict t (slot : Ir.slot) : verdict =
+let syntactic_verdict t (slot : Ir.slot) : verdict =
   match Analysis.alias_slot t.anal slot with
   | Ir.Sfield _ | Ir.Sanon _ -> Must_check Heap_reachable
   | Ir.Svar id as slot -> (
@@ -180,7 +207,62 @@ let verdict t (slot : Ir.slot) : verdict =
         | Some r -> Must_check r
         | None -> Provably_safe)
 
+(* Obligations a confinement proof may discharge. They all assert the
+   *possibility* of an attacker-writable access path to the slot —
+   exactly what points-to confinement refutes. The other four are
+   categorical: code pointers and const slots are policy (never trade a
+   CFI/permission check for cycles), heap-value slots always have
+   substitution donors, and overflow-window victims are attacker seeds
+   of the confinement itself (so they can never be proven confined). *)
+let dischargeable = function
+  | Heap_reachable | Address_escapes | Cast_in_component | Component_escapes ->
+      true
+  | Code_pointer | Const_slot | Heap_value | Overflow_window -> false
+
+(* The categorical obligations re-checked on the discharge path: the
+   syntactic verdict reports the *first* failing obligation, so an
+   aliased code-pointer slot reads [Address_escapes] — discharging that
+   must not elide the CFI check hiding behind it. *)
+let categorical_reason t (slot : Ir.slot) : reason option =
+  let si = Analysis.slot_info t.anal slot in
+  if Ctype.is_code_pointer si.sty then Some Code_pointer
+  else if si.read_only then Some Const_slot
+  else if Hashtbl.mem t.tainted (Analysis.component_of t.anal slot) then
+    Some Heap_value
+  else
+    match slot with
+    | Ir.Svar id when si.kind = Analysis.Kglobal && Hashtbl.mem t.windowed id
+      ->
+        Some Overflow_window
+    | _ -> None
+
+let verdict t (slot : Ir.slot) : verdict =
+  let v = syntactic_verdict t slot in
+  match (v, t.conf) with
+  | Provably_safe, _ | _, None -> v
+  | Must_check r, Some conf when dischargeable r -> (
+      let aslot = Analysis.alias_slot t.anal slot in
+      if Points_to.confined_slot conf aslot then
+        match categorical_reason t aslot with
+        | Some r' -> Must_check r'
+        | None -> Provably_safe
+      else v)
+  | Must_check _, Some _ -> v
+
 let elide t slot = verdict t slot = Provably_safe
+
+(* The elision predicate handed to [Instrument.instrument ~elide], at a
+   chosen precision; [Off] means no predicate (instrument everything). *)
+let pred mode anal (m : Ir.modul) : (Ir.slot -> bool) option =
+  match mode with
+  | Off -> None
+  | Syntactic ->
+      let t = analyze anal m in
+      Some (elide t)
+  | With_points_to ->
+      let pt = Points_to.analyze m in
+      let t = analyze ~points_to:pt anal m in
+      Some (elide t)
 
 (* Would the instrumentation pass touch this slot at all under the three
    RSTI mechanisms? (Mirrors Instrument.should_instrument: fields,

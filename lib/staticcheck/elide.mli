@@ -7,7 +7,25 @@
     same-RSTI-type sign in the same flow component, its address never
     escapes the component, and no attacker-writable window (writable
     global array earlier in layout, or heap adjacency) aliases it. Code
-    pointers are never elided. *)
+    pointers are never elided.
+
+    The syntactic rules over-approximate reachability: "a cast appears
+    in the component" or "the slot is a struct field" assume an
+    attacker-writable access path exists. Passing a
+    {!Rsti_dataflow.Points_to} result upgrades those obligations to a
+    points-to question — a slot whose every backing object is provably
+    outside the attacker-writable closure (heap, extern data, escapees,
+    overflow-window victims, laundered pointers, closed under stored
+    contents) is discharged. Code pointers, const slots, heap-value
+    donors and overflow-window victims stay categorical. *)
+
+(** Elision precision: [Off] instruments everything, [Syntactic] uses
+    the flow-component rules alone, [With_points_to] additionally
+    discharges obligations by points-to confinement. *)
+type mode = Off | Syntactic | With_points_to
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
 
 type reason =
   | Heap_reachable
@@ -31,18 +49,43 @@ val opens_window : Rsti_ir.Ir.modul -> Rsti_minic.Ctype.t -> bool
     whatever is laid out behind it? True for writable arrays and structs
     containing one. Shared with the lint's [overflow-window] rule. *)
 
-val analyze : Rsti_sti.Analysis.t -> Rsti_ir.Ir.modul -> t
+val analyze :
+  ?points_to:Rsti_dataflow.Points_to.t ->
+  Rsti_sti.Analysis.t ->
+  Rsti_ir.Ir.modul ->
+  t
 (** Build the elision map for a module (computes the global-segment
     overflow windows from declaration-order layout and caches
-    per-flow-component obligations). *)
+    per-flow-component obligations). With [?points_to], builds the
+    attacker-confinement closure (seeded with the overflow-window
+    victims) and discharges dischargeable obligations through it. *)
 
 val verdict : t -> Rsti_ir.Ir.slot -> verdict
 (** Classification of a slot (after alias resolution). Unknown slots are
     conservatively [Must_check]. *)
 
+val syntactic_verdict : t -> Rsti_ir.Ir.slot -> verdict
+(** The flow-component verdict alone, ignoring any points-to result —
+    what {!verdict} returns on a [t] built without [?points_to]. The
+    soundness-monotonicity property tests compare the two: points-to may
+    only move slots from [Must_check] to [Provably_safe], never the
+    reverse. *)
+
+val dischargeable : reason -> bool
+(** Whether a confinement proof may discharge this obligation. *)
+
 val elide : t -> Rsti_ir.Ir.slot -> bool
 (** [true] iff {!verdict} is [Provably_safe] — the predicate handed to
     [Rsti.Instrument.instrument ~elide]. *)
+
+val pred :
+  mode ->
+  Rsti_sti.Analysis.t ->
+  Rsti_ir.Ir.modul ->
+  (Rsti_ir.Ir.slot -> bool) option
+(** The elision predicate at a chosen precision ([None] when [Off]);
+    [With_points_to] runs {!Rsti_dataflow.Points_to.analyze} internally.
+    The engine's cache computes and memoizes the pieces itself. *)
 
 type summary = {
   candidates : int;  (** slots the instrumentation pass would touch *)

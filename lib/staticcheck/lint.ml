@@ -340,16 +340,33 @@ let window_findings (m : Ir.modul) =
          the only thing standing, so none of them is elidable";
     }
   in
+  (* Each pointer slot is attributed to its NEAREST preceding opener
+     only: a window's victim list stops at the next opener (which is
+     itself a victim when pointer-bearing — it lies behind the previous
+     array — but everything past it belongs to the next window). Listing
+     every trailing slot under every opener double-counted each victim
+     once per opener before it. *)
+  let victims_until_next_opener ~is_opener ~bearing ~name rest =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | v :: tl ->
+          let acc = if bearing v then name v :: acc else acc in
+          if is_opener v then List.rev acc else go acc tl
+    in
+    go [] rest
+  in
   let global_windows =
+    let opens (g : Ir.global_def) =
+      Elide.opens_window m g.gvar.Rsti_minic.Tast.v_ty
+    in
     let rec walk = function
       | [] -> []
-      | (g : Ir.global_def) :: rest when Elide.opens_window m g.gvar.Rsti_minic.Tast.v_ty ->
+      | (g : Ir.global_def) :: rest when opens g ->
           let victims =
-            List.filter_map
-              (fun (v : Ir.global_def) ->
-                if pointer_bearing v.gvar.Rsti_minic.Tast.v_ty then
-                  Some v.gvar.Rsti_minic.Tast.v_name
-                else None)
+            victims_until_next_opener ~is_opener:opens
+              ~bearing:(fun (v : Ir.global_def) ->
+                pointer_bearing v.gvar.Rsti_minic.Tast.v_ty)
+              ~name:(fun (v : Ir.global_def) -> v.gvar.Rsti_minic.Tast.v_name)
               rest
           in
           if victims = [] then walk rest
@@ -363,31 +380,28 @@ let window_findings (m : Ir.modul) =
     walk m.m_globals
   in
   let struct_windows =
-    List.filter_map
+    List.concat_map
       (fun (sname, fields) ->
-        let rec split = function
-          | [] -> None
+        let opens (_, fty) = Elide.opens_window m fty in
+        let rec walk = function
+          | [] -> []
           | (fname, fty) :: rest when Elide.opens_window m fty ->
-              Some (fname, rest)
-          | _ :: rest -> split rest
+              let victims =
+                victims_until_next_opener ~is_opener:opens
+                  ~bearing:(fun (_, fty) -> pointer_bearing fty)
+                  ~name:(fun (fname, _) -> sname ^ "." ^ fname)
+                  rest
+              in
+              if victims = [] then walk rest
+              else
+                finding
+                  ~opener:(sname ^ "." ^ fname)
+                  ~victims ~line:0
+                  ~where:(Printf.sprintf "in every struct %s instance" sname)
+                :: walk rest
+          | _ :: rest -> walk rest
         in
-        match split fields with
-        | None -> None
-        | Some (opener_field, rest) ->
-            let victims =
-              List.filter_map
-                (fun (fname, fty) ->
-                  if pointer_bearing fty then Some (sname ^ "." ^ fname)
-                  else None)
-                rest
-            in
-            if victims = [] then None
-            else
-              Some
-                (finding
-                   ~opener:(sname ^ "." ^ opener_field)
-                   ~victims ~line:0
-                   ~where:(Printf.sprintf "in every struct %s instance" sname)))
+        walk fields)
       m.m_structs
   in
   global_windows @ struct_windows

@@ -7,13 +7,20 @@ exception Divergence of string
 
 type config = {
   costs : Rsti_machine.Cost.t;
-  elide : bool;
+  elision : Rsti_staticcheck.Elide.mode;
+  validate : bool;
   cache : bool;
   jobs : int option;
 }
 
 let default_config =
-  { costs = Rsti_machine.Cost.default; elide = false; cache = true; jobs = None }
+  {
+    costs = Rsti_machine.Cost.default;
+    elision = Rsti_staticcheck.Elide.Off;
+    validate = false;
+    cache = true;
+    jobs = None;
+  }
 
 type measurement = {
   workload : Workload.t;
@@ -28,7 +35,8 @@ type measurement = {
 let pipeline_config ?(mechs = RT.all_mechanisms) (c : config) =
   {
     Pipeline.costs = c.costs;
-    elide = c.elide;
+    elision = c.elision;
+    validate = c.validate;
     cache = c.cache;
     jobs = c.jobs;
     mechanisms = mechs;

@@ -14,10 +14,15 @@ type config = {
   costs : Rsti_machine.Cost.t;
       (** cycle model; the [Parts] mechanism always runs under
           {!Rsti_machine.Cost.parts_codegen} with this record's [pac] *)
-  elide : bool;
+  elision : Rsti_staticcheck.Elide.mode;
       (** proof-based instrumentation elision ({!Rsti_staticcheck.Elide})
-          for the STWC/STC/STL runs; skipped sites are counted in
+          for the STWC/STC/STL runs, at syntactic or points-to
+          precision; skipped sites are counted in
           [static_counts.elided] *)
+  validate : bool;
+      (** run the PAC-typestate validator over every instrumented module
+          ({!Rsti_dataflow.Validate}); failures raise
+          [Rsti_engine.Pipeline.Validation_failed] *)
   cache : bool;  (** consult the engine's content-keyed artifact cache *)
   jobs : int option;
       (** fan-out width of {!measure_suite}; [None] defers to
@@ -25,7 +30,8 @@ type config = {
 }
 
 val default_config : config
-(** [Cost.default], no elision, cache on, engine-default jobs. *)
+(** [Cost.default], no elision, no validation, cache on, engine-default
+    jobs. *)
 
 type measurement = {
   workload : Workload.t;

@@ -1,0 +1,274 @@
+(* Tests for the interprocedural dataflow framework: CFG/solver/call
+   graph units, Andersen points-to confinement, and the PAC-typestate
+   translation validator (green on everything Instrument emits, red on a
+   module with one sign deliberately removed). *)
+
+module Ir = Rsti_ir.Ir
+module Cfg = Rsti_dataflow.Cfg
+module Solver = Rsti_dataflow.Solver
+module Callgraph = Rsti_dataflow.Callgraph
+module Points_to = Rsti_dataflow.Points_to
+module Validate = Rsti_dataflow.Validate
+module Elide = Rsti_staticcheck.Elide
+module Analysis = Rsti_sti.Analysis
+module RT = Rsti_sti.Rsti_type
+module Instrument = Rsti_rsti.Instrument
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let compile src = Rsti_ir.Lower.compile ~file:"t.c" src
+
+let branching_src =
+  {|
+int total;
+int main(void) {
+  int i;
+  i = 0;
+  total = 0;
+  while (i < 10) {
+    if (i > 5) { total = total + 2; } else { total = total + 1; }
+    i = i + 1;
+  }
+  return total;
+}
+|}
+
+(* ------------------------------ CFG -------------------------------- *)
+
+let test_cfg_shape () =
+  let m = compile branching_src in
+  List.iter
+    (fun (fn : Ir.func) ->
+      let cfg = Cfg.of_func fn in
+      checki (fn.Ir.name ^ " block count") (Array.length fn.Ir.blocks)
+        (Cfg.n_blocks cfg);
+      let rpo = Cfg.rpo cfg in
+      if Array.length rpo > 0 then
+        checki (fn.Ir.name ^ " rpo starts at entry") 0 rpo.(0);
+      (* succ and pred are inverse relations *)
+      for i = 0 to Cfg.n_blocks cfg - 1 do
+        List.iter
+          (fun s ->
+            checkb
+              (Printf.sprintf "%s: %d in pred(%d)" fn.Ir.name i s)
+              true
+              (List.mem i (Cfg.pred cfg s)))
+          (Cfg.succ cfg i);
+        List.iter
+          (fun p ->
+            checkb
+              (Printf.sprintf "%s: %d in succ(%d)" fn.Ir.name i p)
+              true
+              (List.mem i (Cfg.succ cfg p)))
+          (Cfg.pred cfg i)
+      done;
+      checkb (fn.Ir.name ^ " entry reachable") true (Cfg.reachable cfg 0))
+    m.Ir.m_funcs
+
+(* ----------------------------- solver ------------------------------ *)
+
+(* A one-bit forward lattice ("a store has been executed on some path
+   into this point"): exercises join over branch merges and fixpoint
+   termination over the loop. *)
+module Store_seen = struct
+  module L = struct
+    type t = bool
+
+    let bottom = false
+    let equal = Bool.equal
+    let join = ( || )
+    let widen = ( || )
+  end
+
+  type ctx = unit
+
+  let instr () (ins : Ir.instr) st =
+    match ins.Ir.i with Ir.Store _ -> true | _ -> st
+
+  let term () _ st = st
+end
+
+module F = Solver.Forward (Store_seen)
+
+let test_solver_fixpoint () =
+  let m = compile branching_src in
+  let fn = List.find (fun (f : Ir.func) -> f.Ir.name = "main") m.Ir.m_funcs in
+  let cfg = Cfg.of_func fn in
+  let res = F.solve ~ctx:() cfg in
+  (* main stores to [total] in its entry block, so every reachable
+     block's exit sees the bit set *)
+  for i = 0 to Cfg.n_blocks cfg - 1 do
+    if Cfg.reachable cfg i then
+      checkb (Printf.sprintf "block %d exit" i) true (F.exit_state res i)
+  done;
+  checkb "visited at least every reachable block" true
+    (res.F.visits >= Array.length (Cfg.rpo cfg));
+  (* iter_block replays states consistent with the block boundary *)
+  let entry_seen = ref None in
+  F.iter_block ~ctx:() res 0 (fun _ st ->
+      if !entry_seen = None then entry_seen := Some st);
+  (match !entry_seen with
+  | Some st -> checkb "entry block starts at bottom" false st
+  | None -> ())
+
+(* --------------------------- call graph ---------------------------- *)
+
+let callgraph_src =
+  {|
+int leaf(int x) { return x + 1; }
+int mid(int x) { return leaf(x) + leaf(x + 1); }
+int main(void) { return mid(1); }
+|}
+
+let test_callgraph_bottom_up () =
+  let m = compile callgraph_src in
+  let cg = Callgraph.of_modul m in
+  let order = Callgraph.bottom_up cg in
+  let pos f =
+    let rec go i = function
+      | [] -> Alcotest.failf "%s missing from bottom_up" f
+      | x :: _ when x = f -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 order
+  in
+  checkb "leaf before mid" true (pos "leaf" < pos "mid");
+  checkb "mid before main" true (pos "mid" < pos "main");
+  checkb "mid calls leaf" true (List.mem "leaf" (Callgraph.callees cg "mid"));
+  checkb "leaf reachable from main" true
+    (Callgraph.reachable cg ~roots:[ "main" ] "leaf");
+  checkb "main not reachable from leaf" false
+    (Callgraph.reachable cg ~roots:[ "leaf" ] "main")
+
+(* --------------------------- points-to ----------------------------- *)
+
+let confinement_src =
+  {|
+extern void sink(int **h);
+int x;
+int y;
+int *p;
+int *q;
+int main(void) {
+  p = &x;
+  *p = 1;
+  q = &y;
+  sink(&q);
+  return 0;
+}
+|}
+
+let global_slot (m : Ir.modul) name =
+  let g =
+    List.find
+      (fun (g : Ir.global_def) -> g.Ir.gvar.Rsti_minic.Tast.v_name = name)
+      m.Ir.m_globals
+  in
+  Ir.Svar g.Ir.gvar.Rsti_minic.Tast.v_id
+
+let test_points_to_confinement () =
+  let m = compile confinement_src in
+  let pt = Points_to.analyze m in
+  let conf = Points_to.confinement pt in
+  checkb "p never escapes -> confined" true
+    (Points_to.confined_slot conf (global_slot m "p"));
+  checkb "&q escapes through sink() -> not confined" false
+    (Points_to.confined_slot conf (global_slot m "q"));
+  let st = Points_to.stats pt in
+  checkb "analysis saw objects" true (st.Points_to.objects > 0);
+  checkb "fixpoint took at least one pass" true (st.Points_to.iterations >= 1)
+
+(* ------------------------ validator: green ------------------------- *)
+
+let mechanisms = [ RT.Stwc; RT.Stc; RT.Stl ]
+let modes = [ Elide.Off; Elide.Syntactic; Elide.With_points_to ]
+
+(* Every module Instrument produces — all SPEC2006 workloads, all three
+   PAC mechanisms, all three elision precisions — satisfies the
+   signed-at-rest typestate. *)
+let test_validator_green_on_workloads () =
+  List.iter
+    (fun (w : Rsti_workloads.Workload.t) ->
+      let src = Rsti_workloads.Workload.analysis_source w in
+      let m = Rsti_ir.Lower.compile ~file:(w.name ^ ".c") src in
+      let anal = Analysis.analyze m in
+      List.iter
+        (fun mech ->
+          List.iter
+            (fun mode ->
+              let pred = Elide.pred mode anal m in
+              let r = Instrument.instrument ?elide:pred mech anal m in
+              let rep = Validate.check anal mech r.Instrument.modul in
+              if not (Validate.ok rep) then
+                Alcotest.failf "%s/%s/%s:\n%s" w.name
+                  (RT.mechanism_to_string mech)
+                  (Elide.mode_to_string mode)
+                  (Validate.report_to_string rep))
+            modes)
+        mechanisms)
+    Rsti_workloads.Spec2006.all
+
+(* ------------------------- validator: red -------------------------- *)
+
+(* Removing a single sign (and rewriting its store back to the raw
+   value) must be caught: the slot still has auths, so the typestate's
+   all-or-nothing summary trips. *)
+let test_validator_red_on_broken () =
+  let broken_checked = ref 0 in
+  List.iter
+    (fun (w : Rsti_workloads.Workload.t) ->
+      let src = Rsti_workloads.Workload.analysis_source w in
+      let m = Rsti_ir.Lower.compile ~file:(w.name ^ ".c") src in
+      let anal = Analysis.analyze m in
+      let r = Instrument.instrument RT.Stwc anal m in
+      match Validate.break_one_sign r.Instrument.modul with
+      | None -> ()
+      | Some bad ->
+          incr broken_checked;
+          checkb (w.name ^ " broken copy rejected") false
+            (Validate.ok (Validate.check anal RT.Stwc bad)))
+    Rsti_workloads.Spec2006.all;
+  checkb "at least one workload had a breakable sign" true (!broken_checked > 0)
+
+(* ---------------------- validator: attack victims ------------------ *)
+
+(* The Table-1 victims through the engine pipeline: validator green for
+   every mechanism x elision precision, and the one-sign-removed mutant
+   rejected wherever it exists. *)
+let test_validator_attack_victims () =
+  List.iter
+    (fun (sc, per, broken) ->
+      List.iter
+        (fun (mech, mode, rep) ->
+          if not (Validate.ok rep) then
+            Alcotest.failf "%s/%s/%s:\n%s" sc.Rsti_attacks.Scenario.id
+              (RT.mechanism_to_string mech)
+              (Elide.mode_to_string mode)
+              (Validate.report_to_string rep))
+        per;
+      match broken with
+      | Some false ->
+          Alcotest.failf "%s: broken instrumentation passed"
+            sc.Rsti_attacks.Scenario.id
+      | _ -> ())
+    (Rsti_report.Security.validation_results ())
+
+let tests =
+  [
+    Alcotest.test_case "cfg: succ/pred inverse, rpo from entry" `Quick
+      test_cfg_shape;
+    Alcotest.test_case "solver: fixpoint over loop and branch merge" `Quick
+      test_solver_fixpoint;
+    Alcotest.test_case "callgraph: bottom-up order and reachability" `Quick
+      test_callgraph_bottom_up;
+    Alcotest.test_case "points-to: confinement separates escapees" `Quick
+      test_points_to_confinement;
+    Alcotest.test_case
+      "validate: green on all workloads x mechanisms x elide modes" `Slow
+      test_validator_green_on_workloads;
+    Alcotest.test_case "validate: red on one removed sign" `Slow
+      test_validator_red_on_broken;
+    Alcotest.test_case "validate: Table-1 victims through the pipeline" `Slow
+      test_validator_attack_victims;
+  ]

@@ -92,7 +92,9 @@ let prop_elide_preserves_verdicts =
       let sc = List.nth sub_scenarios i in
       let mech = List.nth mechs j in
       let full = (Scenario.run sc mech).Scenario.verdict in
-      let elided = (Scenario.run ~elide:true sc mech).Scenario.verdict in
+      let elided =
+        (Scenario.run ~elision:Elide.Syntactic sc mech).Scenario.verdict
+      in
       full = elided)
 
 let test_table1_detected_under_elision () =
@@ -100,7 +102,7 @@ let test_table1_detected_under_elision () =
     (fun (sc : Scenario.t) ->
       List.iter
         (fun mech ->
-          let r = Scenario.run ~elide:true sc mech in
+          let r = Scenario.run ~elision:Elide.Syntactic sc mech in
           Alcotest.(check string)
             (Printf.sprintf "%s under %s+elide" sc.id
                (RT.mechanism_to_string mech))
@@ -108,6 +110,161 @@ let test_table1_detected_under_elision () =
             (Scenario.verdict_to_string r.Scenario.verdict))
         RT.all_mechanisms)
     Rsti_attacks.Catalog.all
+
+let prop_elide_pt_preserves_verdicts =
+  let n = List.length sub_scenarios in
+  let mechs = RT.all_mechanisms in
+  QCheck.Test.make ~name:"points-to elision preserves substitution verdicts"
+    ~count:(n * List.length mechs)
+    QCheck.(pair (int_bound (n - 1)) (int_bound (List.length mechs - 1)))
+    (fun (i, j) ->
+      let sc = List.nth sub_scenarios i in
+      let mech = List.nth mechs j in
+      let full = (Scenario.run sc mech).Scenario.verdict in
+      let elided =
+        (Scenario.run ~elision:Elide.With_points_to sc mech).Scenario.verdict
+      in
+      full = elided)
+
+let test_table1_detected_under_pt_elision () =
+  List.iter
+    (fun (sc : Scenario.t) ->
+      List.iter
+        (fun mech ->
+          let r = Scenario.run ~elision:Elide.With_points_to sc mech in
+          Alcotest.(check string)
+            (Printf.sprintf "%s under %s+elide:points-to" sc.id
+               (RT.mechanism_to_string mech))
+            "detected"
+            (Scenario.verdict_to_string r.Scenario.verdict))
+        RT.all_mechanisms)
+    Rsti_attacks.Catalog.all
+
+(* ------------------ elision: soundness monotonicity ----------------- *)
+
+(* The points-to upgrade may only move slots from Must_check to
+   Provably_safe, never the reverse: every syntactically-safe slot stays
+   safe when the Andersen confinement proof is added. Property-checked
+   over generated programs (plus the SPEC2006 kernels below, where the
+   discharge actually fires). *)
+let prop_elide_sound_monotone =
+  QCheck.Test.make ~name:"points-to elision is sound-monotone" ~count:12
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let src =
+        Rsti_workloads.Generator.generate ~seed:(Int64.of_int seed) ()
+      in
+      let m, anal = analyze src in
+      let pt = Rsti_dataflow.Points_to.analyze m in
+      let e_syn = Elide.analyze anal m in
+      let e_pt = Elide.analyze ~points_to:pt anal m in
+      List.for_all
+        (fun (si : Rsti_sti.Analysis.slot_info) ->
+          (not (Elide.elide e_syn si.slot)) || Elide.elide e_pt si.slot)
+        (Rsti_sti.Analysis.pointer_vars anal))
+
+let test_monotone_on_spec2006 () =
+  List.iter
+    (fun (w : Rsti_workloads.Workload.t) ->
+      let m, anal =
+        analyze (Rsti_workloads.Workload.analysis_source w)
+      in
+      let pt = Rsti_dataflow.Points_to.analyze m in
+      let e_syn = Elide.analyze anal m in
+      let e_pt = Elide.analyze ~points_to:pt anal m in
+      List.iter
+        (fun (si : Rsti_sti.Analysis.slot_info) ->
+          if Elide.elide e_syn si.slot then
+            checkb
+              (Printf.sprintf "%s: %s stays safe under points-to" w.name
+                 (Rsti_ir.Ir.slot_to_string si.slot))
+              true (Elide.elide e_pt si.slot))
+        (Rsti_sti.Analysis.pointer_vars anal);
+      let s_syn = Elide.summary e_syn and s_pt = Elide.summary e_pt in
+      checkb (w.name ^ " safe set grows monotonically") true
+        (s_pt.Elide.safe >= s_syn.Elide.safe))
+    Rsti_workloads.Spec2006.all
+
+(* -------------------- lint: overflow-window split ------------------- *)
+
+(* Regression: each pointer slot is a victim of its nearest preceding
+   opener only. Two openers used to double-report everything behind the
+   second one. *)
+let test_window_nearest_opener () =
+  let src =
+    {|
+int buf1[4];
+int *p1;
+int buf2[4];
+int *p2;
+int main(void) {
+  buf1[0] = 1;
+  buf2[0] = 2;
+  p1 = &buf1[0];
+  p2 = &buf2[0];
+  return 0;
+}
+|}
+  in
+  let windows =
+    List.filter_map
+      (fun (f : Finding.t) ->
+        match f.kind with
+        | Finding.Overflow_window { opener; victims } -> Some (opener, victims)
+        | _ -> None)
+      (lint_src src)
+  in
+  checki "two windows, one per opener" 2 (List.length windows);
+  let victims_of opener =
+    match List.assoc_opt opener windows with
+    | Some v -> v
+    | None -> Alcotest.failf "no window for %s" opener
+  in
+  Alcotest.(check (list string)) "buf1 claims only p1" [ "p1" ]
+    (victims_of "buf1");
+  Alcotest.(check (list string)) "buf2 claims only p2" [ "p2" ]
+    (victims_of "buf2");
+  let mentions =
+    List.length
+      (List.filter (fun (_, vs) -> List.mem "p2" vs) windows)
+  in
+  checki "p2 reported exactly once" 1 mentions
+
+let test_window_nearest_opener_struct () =
+  let src =
+    {|
+struct two_windows {
+  int a[4];
+  int *pa;
+  int b[4];
+  int *pb;
+};
+struct two_windows g;
+int main(void) {
+  g.a[0] = 1;
+  g.pa = &g.a[0];
+  g.pb = &g.b[0];
+  return 0;
+}
+|}
+  in
+  let windows =
+    List.filter_map
+      (fun (f : Finding.t) ->
+        match f.kind with
+        | Finding.Overflow_window { opener; victims } -> Some (opener, victims)
+        | _ -> None)
+      (lint_src src)
+  in
+  let struct_windows =
+    List.filter (fun (o, _) -> String.length o > 4 && String.sub o 0 4 = "two_")
+      windows
+  in
+  checki "two struct windows" 2 (List.length struct_windows);
+  List.iter
+    (fun (opener, victims) ->
+      checki (opener ^ " claims exactly one victim") 1 (List.length victims))
+    struct_windows
 
 (* -------------------- elision: prover bookkeeping ------------------- *)
 
@@ -133,7 +290,9 @@ let test_elision_fires_on_pointer_light_kernels () =
           Rsti_workloads.Spec2006.all
       in
       let a = Pipeline.(analyze (compile (source ~file:"t.c" w.source))) in
-      let elide_config = { Pipeline.default with Pipeline.elide = true } in
+      let elide_config =
+        { Pipeline.default with Pipeline.elision = Elide.Syntactic }
+      in
       let i = Pipeline.instrument ~config:elide_config RT.Stwc a in
       checkb (name ^ " elides sites") true
         ((Pipeline.counts i).Rsti_rsti.Instrument.elided > 0))
@@ -168,8 +327,18 @@ let tests =
     Alcotest.test_case "lint: findings carry locations" `Quick
       test_lint_locations;
     QCheck_alcotest.to_alcotest prop_elide_preserves_verdicts;
+    QCheck_alcotest.to_alcotest prop_elide_pt_preserves_verdicts;
+    QCheck_alcotest.to_alcotest prop_elide_sound_monotone;
     Alcotest.test_case "elide: Table 1 still detected" `Slow
       test_table1_detected_under_elision;
+    Alcotest.test_case "elide: Table 1 still detected (points-to)" `Slow
+      test_table1_detected_under_pt_elision;
+    Alcotest.test_case "elide: sound-monotone on SPEC2006" `Quick
+      test_monotone_on_spec2006;
+    Alcotest.test_case "lint: window per nearest opener (globals)" `Quick
+      test_window_nearest_opener;
+    Alcotest.test_case "lint: window per nearest opener (struct)" `Quick
+      test_window_nearest_opener_struct;
     Alcotest.test_case "elide: summary partitions candidates" `Quick
       test_summary_partition;
     Alcotest.test_case "elide: fires on lbm/namd" `Quick
