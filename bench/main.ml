@@ -21,7 +21,10 @@
    Every run also writes a machine-readable summary (BENCH_fig9.json by
    default): per-benchmark overheads and geomeans when the perf sections
    ran, plus wall-clock per section, the job count, and artifact-cache
-   statistics — the perf trajectory tracked across PRs. *)
+   statistics — the perf trajectory tracked across PRs. The telemetry
+   counter registry lands next to it (BENCH_metrics.json, --metrics to
+   move); --trace PATH additionally records spans and writes a Chrome
+   trace-event document loadable in Perfetto. *)
 
 module RT = Rsti_sti.Rsti_type
 module Tab = Rsti_util.Tab
@@ -271,6 +274,7 @@ let json_summary ~jobs ~wall_clock ~timed =
            [
              ("hits", J.Int cache.Rsti_engine.Cache.hits);
              ("misses", J.Int cache.Rsti_engine.Cache.misses);
+             ("duplicated", J.Int cache.Rsti_engine.Cache.duplicated);
            ] );
      ]
     @ perf_fields)
@@ -286,6 +290,27 @@ let json_path_arg =
     & info [ "json" ] ~docv:"PATH"
         ~doc:"Where to write the machine-readable summary.")
 
+let trace_path_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Record spans (sections, pipeline stages, scheduler tasks, \
+           cache lookups, dataflow fixpoints) and write a Chrome \
+           trace-event JSON document here. Span recording is off unless \
+           this flag is given, so the default run's wall-clock is \
+           unaffected.")
+
+let metrics_path_arg =
+  Arg.(
+    value
+    & opt string "BENCH_metrics.json"
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Where to write the telemetry counter registry (always \
+           written; the counters are always-on).")
+
 let sections_arg =
   Arg.(
     value
@@ -295,7 +320,8 @@ let sections_arg =
           "Sections to run (default: all). $(b,list) prints the section \
            names and exits.")
 
-let main () json_path requested =
+let main () json_path trace_path metrics_path requested =
+  if trace_path <> None then Rsti_observe.Observe.set_enabled true;
   if requested = [ "list" ] then begin
     List.iter (fun (name, _, _) -> print_endline name) sections;
     exit 0
@@ -315,7 +341,7 @@ let main () json_path requested =
       if want name then begin
         section title;
         let t0 = Unix.gettimeofday () in
-        f ();
+        Rsti_observe.Observe.Span.with_ ("bench." ^ name) f;
         timed := (name, Unix.gettimeofday () -. t0) :: !timed
       end)
     sections;
@@ -325,6 +351,8 @@ let main () json_path requested =
   output_string oc (J.to_string (json_summary ~jobs ~wall_clock ~timed:!timed));
   output_char oc '\n';
   close_out oc;
+  Option.iter Rsti_engine_cli.write_trace trace_path;
+  Rsti_engine_cli.write_metrics metrics_path;
   Printf.printf "\n[bench] %d section(s) in %.2f s at %d job(s); summary: %s\n"
     (List.length !timed) wall_clock jobs json_path
 
@@ -336,4 +364,4 @@ let () =
        (Cmd.v info
           Term.(
             const main $ Rsti_engine_cli.setup_jobs_term $ json_path_arg
-            $ sections_arg)))
+            $ trace_path_arg $ metrics_path_arg $ sections_arg)))

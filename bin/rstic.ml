@@ -10,14 +10,16 @@
      run       compile a MiniC file, instrument it, execute it
                (--elide=off|syntactic|points-to selects proof-based
                instrumentation elision; --validate runs the
-               PAC-typestate translation validator on the result)
+               PAC-typestate translation validator on the result;
+               --profile prints an exact hot-site cycle table;
+               --trace/--metrics dump telemetry JSON)
      emit-ir   print the (optionally instrumented) IR
      analyze   print the STI analysis: pointer variables, RSTI-types,
                equivalence-class statistics, pointer-to-pointer census
                (--format=json for machine-readable output; --points-to
                adds the Andersen confinement verdicts)
      lint      run the whole-program static STI checker over a file or
-               a directory of MiniC sources (--format=text|json);
+               a directory of MiniC sources (--format=text|json|sarif);
                exits 1 when any error-severity finding is reported
      attacks   run the paper's attack catalog
      report    print one of the paper-reproduction reports *)
@@ -132,6 +134,16 @@ let run_cmd =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print cycle and PAC statistics.")
   in
+  let profile_flag =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attribute interpreter cycles and PAC charges to (function, \
+             line) sites and print a hot-site table after execution. \
+             Exact, not sampled; the profiled outcome is memoized \
+             separately from the unprofiled one.")
+  in
   let elide_flag =
     Arg.(
       value
@@ -151,11 +163,12 @@ let run_cmd =
             "Check the instrumented module with the PAC-typestate \
              translation validator before running; exit 1 on any issue.")
   in
-  let action () file mech stats elision validate =
+  let action () obs file mech stats elision validate profile =
     let _, inst = compile_instrumented ~elision ~validate file mech in
-    let o = Pipeline.run inst in
+    let o = Pipeline.run ~profile inst in
     let r = Pipeline.result inst in
     print_string o.Interp.output;
+    if profile then print_string (Interp.profile_report o);
     if stats then begin
       Printf.printf "--- %s%s ---\n"
         (RT.mechanism_to_string mech)
@@ -177,6 +190,7 @@ let run_cmd =
       Printf.printf "hot functions: %s\n" (top o.call_profile);
       Printf.printf "libc calls:    %s\n" (top o.extern_profile)
     end;
+    Rsti_engine_cli.finish_observe obs;
     match o.Interp.status with
     | Interp.Exited code -> exit (Int64.to_int code land 0xFF)
     | Interp.Trapped tr ->
@@ -185,8 +199,9 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const action $ Rsti_engine_cli.setup_jobs_term $ file_arg $ mech_arg
-      $ stats $ elide_flag $ validate_flag)
+      const action $ Rsti_engine_cli.setup_jobs_term
+      $ Rsti_engine_cli.observe_term $ file_arg $ mech_arg $ stats
+      $ elide_flag $ validate_flag $ profile_flag)
 
 let emit_ir_cmd =
   let doc = "Print the (optionally instrumented) IR of a MiniC program." in
@@ -344,6 +359,31 @@ let lint_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"FILE" ~doc:"MiniC source file or directory.")
   in
+  let lint_format_arg =
+    let fmt_conv =
+      let parse = function
+        | "text" -> Ok `Text
+        | "json" -> Ok `Json
+        | "sarif" -> Ok `Sarif
+        | s ->
+            Error
+              (`Msg (Printf.sprintf "unknown format %S (text|json|sarif)" s))
+      in
+      let print fmt f =
+        Format.pp_print_string fmt
+          (match f with `Text -> "text" | `Json -> "json" | `Sarif -> "sarif")
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt fmt_conv `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: text (default), json (one report object per \
+             file), or sarif (one SARIF 2.1.0 document covering every \
+             linted file).")
+  in
   let rec collect path =
     if Sys.is_directory path then
       Sys.readdir path |> Array.to_list |> List.sort compare
@@ -361,32 +401,43 @@ let lint_cmd =
     in
     if files = [] then
       Printf.eprintf "rstic lint: no .c files under %s\n" target;
-    (* fan the files out over the domain pool; render in workers, print
-       in input order so output is identical for any job count *)
-    let rendered =
+    (* fan the files out over the domain pool; collect findings in input
+       order so output is identical for any job count *)
+    let reports =
       Scheduler.map
         (fun file ->
           let a = analyzed_of_path file in
           let findings =
             Rsti_staticcheck.Lint.run (Pipeline.analysis a) (Pipeline.analyzed_ir a)
           in
-          let errors =
-            List.exists
-              (fun (f : Rsti_staticcheck.Finding.t) ->
-                f.severity = Rsti_staticcheck.Finding.Error)
-              findings
-          in
-          ( (match format with
-            | `Text -> Rsti_staticcheck.Lint.render_text ~file findings
-            | `Json -> Rsti_staticcheck.Lint.render_json ~file findings),
-            errors ))
+          (file, findings))
         files
     in
-    List.iter (fun (text, _) -> print_string text) rendered;
-    if List.exists snd rendered then exit 1
+    (match format with
+    | `Sarif -> print_string (Rsti_staticcheck.Lint.render_sarif reports)
+    | (`Text | `Json) as fmt ->
+        List.iter
+          (fun (file, findings) ->
+            print_string
+              (match fmt with
+              | `Text -> Rsti_staticcheck.Lint.render_text ~file findings
+              | `Json -> Rsti_staticcheck.Lint.render_json ~file findings))
+          reports);
+    let errors =
+      List.exists
+        (fun (_, findings) ->
+          List.exists
+            (fun (f : Rsti_staticcheck.Finding.t) ->
+              f.severity = Rsti_staticcheck.Finding.Error)
+            findings)
+        reports
+    in
+    if errors then exit 1
   in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const action $ Rsti_engine_cli.setup_jobs_term $ target_arg $ format_arg)
+    Term.(
+      const action $ Rsti_engine_cli.setup_jobs_term $ target_arg
+      $ lint_format_arg)
 
 let attacks_cmd =
   let doc = "Run the paper's attack catalog (Tables 1 and 2)." in

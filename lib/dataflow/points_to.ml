@@ -428,7 +428,14 @@ let solve t =
   (* run to fixpoint; new edges/facts push nodes back onto the list *)
   drain ()
 
+let c_analyses = Rsti_observe.Observe.Metrics.counter "dataflow.points_to.analyses"
+let c_iterations = Rsti_observe.Observe.Metrics.counter "dataflow.points_to.iterations"
+let h_iterations =
+  Rsti_observe.Observe.Metrics.histogram "dataflow.points_to.iterations_per_solve"
+
 let analyze (m : Ir.modul) =
+  let module Observe = Rsti_observe.Observe in
+  let sp = Observe.Span.enter "dataflow.points_to" in
   let t = create m in
   let cg = Callgraph.of_modul m in
   (* bottom-up: callees' facts exist before callers copy into them *)
@@ -441,6 +448,15 @@ let analyze (m : Ir.modul) =
       | None -> ())
     (Callgraph.bottom_up cg);
   solve t;
+  Observe.Metrics.incr c_analyses;
+  Observe.Metrics.add c_iterations t.iterations;
+  Observe.Metrics.observe h_iterations (float_of_int t.iterations);
+  if sp != Observe.Span.none then begin
+    Observe.Span.add_attr sp "nodes" (string_of_int t.n_nodes);
+    Observe.Span.add_attr sp "objects" (string_of_int t.n_objs);
+    Observe.Span.add_attr sp "iterations" (string_of_int t.iterations)
+  end;
+  Observe.Span.exit sp;
   t
 
 (* ----------------------------- queries ---------------------------- *)

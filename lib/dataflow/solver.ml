@@ -10,6 +10,13 @@
    terminate; finite-height clients leave [widen = join]. *)
 
 module Ir = Rsti_ir.Ir
+module Observe = Rsti_observe.Observe
+
+(* Shared across every Forward instantiation: how many intraprocedural
+   fixpoints ran and how block visits distribute over them. *)
+let c_solves = Observe.Metrics.counter "dataflow.solver.solves"
+let c_visits = Observe.Metrics.counter "dataflow.solver.visits"
+let h_visits = Observe.Metrics.histogram "dataflow.solver.visits_per_solve"
 
 module type LATTICE = sig
   type t
@@ -48,6 +55,7 @@ module Forward (T : TRANSFER) = struct
     T.term ctx b.Ir.term st
 
   let solve ?(widen_after = 16) ?(entry = T.L.bottom) ~ctx cfg =
+    let sp = Observe.Span.enter "dataflow.solver" in
     let n = Cfg.n_blocks cfg in
     let block_in = Array.make n T.L.bottom in
     let block_out = Array.make n T.L.bottom in
@@ -86,6 +94,15 @@ module Forward (T : TRANSFER) = struct
       in
       loop ()
     end;
+    Observe.Metrics.incr c_solves;
+    Observe.Metrics.add c_visits !visits;
+    Observe.Metrics.observe h_visits (float_of_int !visits);
+    if sp != Observe.Span.none then begin
+      Observe.Span.add_attr sp "func" (Cfg.func cfg).Ir.name;
+      Observe.Span.add_attr sp "blocks" (string_of_int n);
+      Observe.Span.add_attr sp "visits" (string_of_int !visits)
+    end;
+    Observe.Span.exit sp;
     { cfg; block_in; block_out; visits = !visits }
 
   (* Re-walk one block from its solved entry state, handing the state

@@ -177,6 +177,12 @@ type slot_sum = {
   mutable seen_in : string list;
 }
 
+(* Verdict tallies for the metrics registry; always-on like the cache's. *)
+let c_checks = Rsti_observe.Observe.Metrics.counter "validate.checks"
+let c_ok = Rsti_observe.Observe.Metrics.counter "validate.ok"
+let c_rejected = Rsti_observe.Observe.Metrics.counter "validate.rejected"
+let c_issues = Rsti_observe.Observe.Metrics.counter "validate.issues"
+
 let check anal mech (m : Ir.modul) : report =
   let issues = ref [] in
   let issue fn fmt =
@@ -440,13 +446,20 @@ let check anal mech (m : Ir.modul) : report =
             (Ir.slot_to_string s.slot) s.extra_uses
       end)
     sums;
-  {
-    mech;
-    issues = List.rev !issues;
-    funcs = List.length m.Ir.m_funcs;
-    checked_slots = Hashtbl.length sums;
-    signed_slots = !signed_slots;
-  }
+  let r =
+    {
+      mech;
+      issues = List.rev !issues;
+      funcs = List.length m.Ir.m_funcs;
+      checked_slots = Hashtbl.length sums;
+      signed_slots = !signed_slots;
+    }
+  in
+  let module M = Rsti_observe.Observe.Metrics in
+  M.incr c_checks;
+  M.incr (if r.issues = [] then c_ok else c_rejected);
+  M.add c_issues (List.length r.issues);
+  r
 
 let report_to_string r =
   let buf = Buffer.create 256 in

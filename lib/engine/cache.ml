@@ -1,7 +1,62 @@
 module RT = Rsti_sti.Rsti_type
 module Elide = Rsti_staticcheck.Elide
+module Observe = Rsti_observe.Observe
 
-type stats = { hits : int; misses : int }
+type stats = { hits : int; misses : int; duplicated : int }
+
+(* Per-stage counters live in the observability registry
+   (cache.<stage>.{hits,misses,duplicated}); the cache holds direct
+   references so a bump is one lock-free atomic increment. Counting
+   discipline: a lookup that finds the artifact is a hit; a lookup that
+   computed and installed it is a miss; a lookup that computed but lost
+   the install race counts as a hit *and* a duplicated — so hits/misses
+   are deterministic across job counts (they match the serial schedule)
+   and [duplicated] surfaces exactly the racing recomputations that used
+   to be invisible. *)
+type stage = {
+  sg_name : string;
+  sg_hits : Observe.Metrics.counter;
+  sg_misses : Observe.Metrics.counter;
+  sg_dup : Observe.Metrics.counter;
+}
+
+let stage name =
+  {
+    sg_name = name;
+    sg_hits = Observe.Metrics.counter ("cache." ^ name ^ ".hits");
+    sg_misses = Observe.Metrics.counter ("cache." ^ name ^ ".misses");
+    sg_dup = Observe.Metrics.counter ("cache." ^ name ^ ".duplicated");
+  }
+
+let st_compile = stage "compile"
+let st_analysis = stage "analysis"
+let st_points_to = stage "points_to"
+let st_elide = stage "elide"
+let st_elide_pt = stage "elide_pt"
+let st_instrument = stage "instrument"
+let st_validate = stage "validate"
+let st_outcome = stage "outcome"
+
+let stages =
+  [
+    st_compile; st_analysis; st_points_to; st_elide; st_elide_pt;
+    st_instrument; st_validate; st_outcome;
+  ]
+
+let span st = Observe.Span.enter ("cache." ^ st.sg_name)
+
+let hit st sp =
+  Observe.Metrics.incr st.sg_hits;
+  Observe.Span.add_attr sp "result" "hit"
+
+let miss st sp =
+  Observe.Metrics.incr st.sg_misses;
+  Observe.Span.add_attr sp "result" "miss"
+
+let duplicated st sp =
+  Observe.Metrics.incr st.sg_hits;
+  Observe.Metrics.incr st.sg_dup;
+  Observe.Span.add_attr sp "result" "duplicated"
 
 type entry = {
   modul : Rsti_ir.Ir.modul;
@@ -21,8 +76,6 @@ let outcomes :
     (string, Rsti_machine.Interp.outcome * Rsti_machine.Cost.t) Hashtbl.t =
   Hashtbl.create 64
 let enabled_flag = Atomic.make true
-let hits = Atomic.make 0
-let misses = Atomic.make 0
 
 let set_enabled b = Atomic.set enabled_flag b
 let enabled () = Atomic.get enabled_flag
@@ -31,56 +84,86 @@ let clear () =
   Mutex.lock lock;
   Hashtbl.reset table;
   Hashtbl.reset outcomes;
-  Atomic.set hits 0;
-  Atomic.set misses 0;
-  Mutex.unlock lock
+  Mutex.unlock lock;
+  List.iter
+    (fun st ->
+      Observe.Metrics.set st.sg_hits 0;
+      Observe.Metrics.set st.sg_misses 0;
+      Observe.Metrics.set st.sg_dup 0)
+    stages
 
-let stats () = { hits = Atomic.get hits; misses = Atomic.get misses }
+let stage_stats () =
+  List.map
+    (fun st ->
+      ( st.sg_name,
+        {
+          hits = Observe.Metrics.value st.sg_hits;
+          misses = Observe.Metrics.value st.sg_misses;
+          duplicated = Observe.Metrics.value st.sg_dup;
+        } ))
+    stages
+
+let stats () =
+  List.fold_left
+    (fun acc (_, s) ->
+      {
+        hits = acc.hits + s.hits;
+        misses = acc.misses + s.misses;
+        duplicated = acc.duplicated + s.duplicated;
+      })
+    { hits = 0; misses = 0; duplicated = 0 }
+    (stage_stats ())
 
 let key ~file text = Digest.to_hex (Digest.string (file ^ "\x00" ^ text))
 let source_key = key
 
-let hit () = Atomic.incr hits
-let miss () = Atomic.incr misses
-
 (* Find the entry for a source, compiling on a miss. The compile runs
    outside the lock; if two domains miss the same key at once the second
    insert is dropped in favour of the first (both modules are equal —
-   the stage is deterministic). [count] is false when the lookup is a
-   sub-step of a later stage, so {!stats} counts each stage access
-   once. *)
+   the stage is deterministic) and the loser counts as duplicated.
+   [count] is false when the lookup is a sub-step of a later stage, so
+   the compile stage counts each access once. *)
 let entry ?(count = true) ~file text =
   let k = key ~file text in
+  let sp = if count then span st_compile else Observe.Span.none in
   Mutex.lock lock;
   let found = Hashtbl.find_opt table k in
   Mutex.unlock lock;
-  match found with
-  | Some e ->
-      if count then hit ();
-      e
-  | None ->
-      if count then miss ();
-      let e =
-        {
-          modul = Rsti_ir.Lower.compile ~file text;
-          analysis = None;
-          points_to = None;
-          elide_pred = None;
-          elide_pred_pt = None;
-          instrumented = [];
-          validated = [];
-        }
-      in
-      Mutex.lock lock;
-      let e =
-        match Hashtbl.find_opt table k with
-        | Some winner -> winner
-        | None ->
-            Hashtbl.replace table k e;
-            e
-      in
-      Mutex.unlock lock;
-      e
+  let e =
+    match found with
+    | Some e ->
+        if count then hit st_compile sp;
+        e
+    | None ->
+        let e =
+          {
+            modul = Rsti_ir.Lower.compile ~file text;
+            analysis = None;
+            points_to = None;
+            elide_pred = None;
+            elide_pred_pt = None;
+            instrumented = [];
+            validated = [];
+          }
+        in
+        Mutex.lock lock;
+        let winner = Hashtbl.find_opt table k in
+        let e =
+          match winner with
+          | Some w -> w
+          | None ->
+              Hashtbl.replace table k e;
+              e
+        in
+        Mutex.unlock lock;
+        if count then
+          (match winner with
+          | Some _ -> duplicated st_compile sp
+          | None -> miss st_compile sp);
+        e
+  in
+  Observe.Span.exit sp;
+  e
 
 let compiled ~file text =
   if not (enabled ()) then Rsti_ir.Lower.compile ~file text
@@ -96,52 +179,68 @@ let compiled ~file text =
 let outcome ~key:k compute =
   if not (enabled ()) then compute ()
   else begin
+    let sp = span st_outcome in
     Mutex.lock lock;
     let found = Hashtbl.find_opt outcomes k in
     Mutex.unlock lock;
-    match found with
-    | Some o ->
-        hit ();
-        o
-    | None ->
-        miss ();
-        let o = compute () in
-        Mutex.lock lock;
-        let o =
-          match Hashtbl.find_opt outcomes k with
-          | Some winner -> winner
-          | None ->
-              Hashtbl.replace outcomes k o;
-              o
-        in
-        Mutex.unlock lock;
-        o
+    let o =
+      match found with
+      | Some o ->
+          hit st_outcome sp;
+          o
+      | None ->
+          let o = compute () in
+          Mutex.lock lock;
+          let winner = Hashtbl.find_opt outcomes k in
+          let o =
+            match winner with
+            | Some w -> w
+            | None ->
+                Hashtbl.replace outcomes k o;
+                o
+          in
+          Mutex.unlock lock;
+          (match winner with
+          | Some _ -> duplicated st_outcome sp
+          | None -> miss st_outcome sp);
+          o
+    in
+    Observe.Span.exit sp;
+    o
   end
 
 (* Fill a memoized field of an entry. The compute runs outside the lock
    (it can take seconds); a racing duplicate is resolved in favour of
    the first writer. *)
-let memo_field ~get ~set ~compute e =
+let memo_field ~stage:st ~get ~set ~compute e =
+  let sp = span st in
   Mutex.lock lock;
   let found = get e in
   Mutex.unlock lock;
-  match found with
-  | Some v ->
-      hit ();
-      v
-  | None ->
-      miss ();
-      let v = compute e in
-      Mutex.lock lock;
-      let v = match get e with Some w -> w | None -> set e v; v in
-      Mutex.unlock lock;
-      v
+  let v =
+    match found with
+    | Some v ->
+        hit st sp;
+        v
+    | None ->
+        let v = compute e in
+        Mutex.lock lock;
+        let winner = get e in
+        let v = match winner with Some w -> w | None -> set e v; v in
+        Mutex.unlock lock;
+        (match winner with
+        | Some _ -> duplicated st sp
+        | None -> miss st sp);
+        v
+  in
+  Observe.Span.exit sp;
+  v
 
 let analysis ~file text =
   if not (enabled ()) then
     Rsti_sti.Analysis.analyze (Rsti_ir.Lower.compile ~file text)
   else
-    memo_field
+    memo_field ~stage:st_analysis
       ~get:(fun e -> e.analysis)
       ~set:(fun e v -> e.analysis <- Some v)
       ~compute:(fun e -> Rsti_sti.Analysis.analyze e.modul)
@@ -154,7 +253,7 @@ let points_to ~file text =
   if not (enabled ()) then
     Rsti_dataflow.Points_to.analyze (Rsti_ir.Lower.compile ~file text)
   else
-    memo_field
+    memo_field ~stage:st_points_to
       ~get:(fun e -> e.points_to)
       ~set:(fun e v -> e.points_to <- Some v)
       ~compute:(fun e -> Rsti_dataflow.Points_to.analyze e.modul)
@@ -167,7 +266,7 @@ let elide ~file text =
   end
   else begin
     let anal = analysis ~file text in
-    memo_field
+    memo_field ~stage:st_elide
       ~get:(fun e -> e.elide_pred)
       ~set:(fun e v -> e.elide_pred <- Some v)
       ~compute:(fun e -> elide_of anal e.modul)
@@ -184,7 +283,7 @@ let elide_pt ~file text =
   else begin
     let anal = analysis ~file text in
     let pt = points_to ~file text in
-    memo_field
+    memo_field ~stage:st_elide_pt
       ~get:(fun e -> e.elide_pred_pt)
       ~set:(fun e v -> e.elide_pred_pt <- Some v)
       ~compute:(fun e -> Elide.elide (Elide.analyze ~points_to:pt anal e.modul))
@@ -201,27 +300,35 @@ let elide_pred ~file ~mode text =
 
 (* Memoize one slot of an entry's association-list field; same
    first-writer-wins discipline as {!memo_field}. *)
-let memo_assoc ~get ~add ~key:k ~compute e =
+let memo_assoc ~stage:st ~get ~add ~key:k ~compute e =
+  let sp = span st in
   Mutex.lock lock;
   let found = List.assoc_opt k (get e) in
   Mutex.unlock lock;
-  match found with
-  | Some v ->
-      hit ();
-      v
-  | None ->
-      miss ();
-      let v = compute e in
-      Mutex.lock lock;
-      let v =
-        match List.assoc_opt k (get e) with
-        | Some winner -> winner
-        | None ->
-            add e k v;
-            v
-      in
-      Mutex.unlock lock;
-      v
+  let v =
+    match found with
+    | Some v ->
+        hit st sp;
+        v
+    | None ->
+        let v = compute e in
+        Mutex.lock lock;
+        let winner = List.assoc_opt k (get e) in
+        let v =
+          match winner with
+          | Some w -> w
+          | None ->
+              add e k v;
+              v
+        in
+        Mutex.unlock lock;
+        (match winner with
+        | Some _ -> duplicated st sp
+        | None -> miss st sp);
+        v
+  in
+  Observe.Span.exit sp;
+  v
 
 let instrumented ~file ~elision mech text =
   if not (enabled ()) then begin
@@ -233,7 +340,7 @@ let instrumented ~file ~elision mech text =
   else begin
     let anal = analysis ~file text in
     let pred = elide_pred ~file ~mode:elision text in
-    memo_assoc
+    memo_assoc ~stage:st_instrument
       ~get:(fun e -> e.instrumented)
       ~add:(fun e k r -> e.instrumented <- (k, r) :: e.instrumented)
       ~key:(mech, elision)
@@ -253,7 +360,7 @@ let validation ~file ~elision mech text =
   else begin
     let anal = analysis ~file text in
     let r = instrumented ~file ~elision mech text in
-    memo_assoc
+    memo_assoc ~stage:st_validate
       ~get:(fun e -> e.validated)
       ~add:(fun e k v -> e.validated <- (k, v) :: e.validated)
       ~key:(mech, elision)

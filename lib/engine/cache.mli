@@ -31,11 +31,17 @@
     outside the lock; a duplicated computation under a racing miss is
     benign because stages are deterministic. *)
 
-type stats = { hits : int; misses : int }
+type stats = { hits : int; misses : int; duplicated : int }
+(** A lookup that found its artifact is a hit; one that computed and
+    installed it is a miss; one that computed but lost the install race
+    to a concurrent miss counts as a hit *and* a [duplicated]. Hits and
+    misses therefore match the serial schedule for any job count, and
+    [duplicated] counts exactly the racing recomputations that the old
+    global pair silently misfiled as misses. *)
 
 val set_enabled : bool -> unit
 (** Default [true]. Disabling makes every accessor compute fresh
-    artifacts without touching the table. *)
+    artifacts without touching the table (and without counting). *)
 
 val enabled : unit -> bool
 
@@ -43,6 +49,13 @@ val clear : unit -> unit
 (** Drop all entries and reset {!stats}. *)
 
 val stats : unit -> stats
+(** Aggregate over {!stage_stats}. *)
+
+val stage_stats : unit -> (string * stats) list
+(** Per-stage counts in pipeline order: compile, analysis, points_to,
+    elide, elide_pt, instrument, validate, outcome. The same counters
+    back the [cache.<stage>.{hits,misses,duplicated}] entries of
+    {!Rsti_observe.Observe.Metrics}. *)
 
 val source_key : file:string -> string -> string
 (** The digest both the cache and {!Pipeline}'s run keys are built on. *)

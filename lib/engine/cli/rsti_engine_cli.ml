@@ -17,3 +17,53 @@ let apply = function
 let setup_jobs_term = Term.(const apply $ jobs_term)
 
 let resolved_jobs () = Rsti_engine.Scheduler.default_jobs ()
+
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans for the whole invocation and write a Chrome \
+           trace-event JSON document to $(docv) (loadable in Perfetto or \
+           chrome://tracing). Enables span recording.")
+
+let metrics_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the telemetry counter/gauge/histogram registry as one \
+           JSON document to $(docv) on exit.")
+
+type observe = string option * string option
+
+let setup_observe trace metrics =
+  if trace <> None || metrics <> None then
+    Rsti_observe.Observe.set_enabled true;
+  (trace, metrics)
+
+let observe_term = Term.(const setup_observe $ trace_term $ metrics_term)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_trace path =
+  write_file path
+    (Rsti_observe.Observe.Json.to_string ~indent:false
+       (Rsti_observe.Observe.Span.chrome_trace ())
+    ^ "\n")
+
+let write_metrics path =
+  write_file path
+    (Rsti_observe.Observe.Json.to_string
+       (Rsti_observe.Observe.Metrics.to_json ())
+    ^ "\n")
+
+let finish_observe (trace, metrics) =
+  Option.iter write_trace trace;
+  Option.iter write_metrics metrics

@@ -14,3 +14,24 @@ val setup_jobs_term : unit Cmdliner.Term.t
 
 val resolved_jobs : unit -> int
 (** The job count the engine will use after term evaluation. *)
+
+type observe = string option * string option
+(** Evaluated telemetry flags: [(trace_file, metrics_file)]. *)
+
+val observe_term : observe Cmdliner.Term.t
+(** [--trace FILE] and [--metrics FILE]: evaluating the term enables
+    {!Rsti_observe.Observe} recording when either flag is given (the
+    disabled default stays a no-op on hot paths). Compose it into a
+    command and pass the evaluated value to {!finish_observe} at exit. *)
+
+val write_trace : string -> unit
+(** Write the recorded spans as a Chrome trace-event JSON document
+    ([{"traceEvents": [...]}], microsecond timestamps) to the path. *)
+
+val write_metrics : string -> unit
+(** Write the metrics registry ({!Rsti_observe.Observe.Metrics.to_json})
+    to the path. *)
+
+val finish_observe : observe -> unit
+(** Flush whichever telemetry sinks {!observe_term} requested. Call it
+    before the command exits (including early [exit] paths). *)

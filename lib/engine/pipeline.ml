@@ -1,5 +1,16 @@
 module RT = Rsti_sti.Rsti_type
 module Elide = Rsti_staticcheck.Elide
+module Observe = Rsti_observe.Observe
+
+(* Stage spans carry just enough attrs to read a trace: the file for
+   frontend stages, file x mechanism for the per-mechanism ones. The
+   attr lists are built only when recording is on, so the disabled path
+   costs one flag load per stage. *)
+let stage_span name (attrs : unit -> (string * string) list) f =
+  if Observe.enabled () then Observe.Span.with_ ~attrs:(attrs ()) name f
+  else f ()
+
+let c_reprices = Observe.Metrics.counter "cache.outcome.reprices"
 
 type config = {
   costs : Rsti_machine.Cost.t;
@@ -40,6 +51,7 @@ let source ?(file = "<memory>.c") text = { file; text }
    cache off composes with later stages run with cache on. *)
 
 let compile ?(config = default) (s : source) =
+  stage_span "pipeline.compile" (fun () -> [ ("file", s.file) ]) @@ fun () ->
   let modul =
     if config.cache then Cache.compiled ~file:s.file s.text
     else Rsti_ir.Lower.compile ~file:s.file s.text
@@ -47,6 +59,8 @@ let compile ?(config = default) (s : source) =
   { src = s; modul }
 
 let analyze ?(config = default) (c : compiled) =
+  stage_span "pipeline.analyze" (fun () -> [ ("file", c.src.file) ])
+  @@ fun () ->
   let anal =
     if config.cache then Cache.analysis ~file:c.src.file c.src.text
     else Rsti_sti.Analysis.analyze c.modul
@@ -54,6 +68,8 @@ let analyze ?(config = default) (c : compiled) =
   { comp = c; anal }
 
 let points_to ?(config = default) (c : compiled) =
+  stage_span "pipeline.points_to" (fun () -> [ ("file", c.src.file) ])
+  @@ fun () ->
   if config.cache then Cache.points_to ~file:c.src.file c.src.text
   else Rsti_dataflow.Points_to.analyze c.modul
 
@@ -73,6 +89,10 @@ let elide_pred ?(config = default) ?(mode = Elide.Syntactic) (a : analyzed) =
    the rewriter's output against the signed-at-rest discipline. *)
 let validation ?(config = default) (i : instrumented) =
   let s = i.stage.comp.src in
+  stage_span "pipeline.validate"
+    (fun () ->
+      [ ("file", s.file); ("mech", RT.mechanism_to_string i.mech) ])
+  @@ fun () ->
   if config.cache then
     Cache.validation ~file:s.file ~elision:i.elision i.mech s.text
   else
@@ -86,6 +106,14 @@ let instrument ?(config = default) mech (a : analyzed) =
     if mech = RT.Parts || mech = RT.Nop then Elide.Off else config.elision
   in
   let result =
+    stage_span "pipeline.instrument"
+      (fun () ->
+        [
+          ("file", a.comp.src.file);
+          ("mech", RT.mechanism_to_string mech);
+          ("elision", Elide.mode_to_string elision);
+        ])
+    @@ fun () ->
     if config.cache then
       Cache.instrumented ~file:a.comp.src.file ~elision mech a.comp.src.text
     else
@@ -130,16 +158,26 @@ let knobs_key ?seed ?fpac ?cfi ?backend ?entry () =
 let cached_run ~key ~costs ~backend exec =
   let o, priced = Cache.outcome ~key (fun () -> (exec (), costs)) in
   if priced == costs || priced = costs then o
-  else
+  else begin
+    Observe.Metrics.incr c_reprices;
     Rsti_machine.Interp.reprice ~from:priced ~to_:costs
       ~pac_spill_charged:(backend <> Some `Shadow_mac)
       o
+  end
 
 let run ?(config = default) ?(attacks = []) ?seed ?fpac ?backend ?entry
-    (i : instrumented) =
+    ?(profile = false) (i : instrumented) =
+  stage_span "pipeline.run"
+    (fun () ->
+      [
+        ("file", i.stage.comp.src.file);
+        ("mech", RT.mechanism_to_string i.mech);
+      ])
+  @@ fun () ->
   let exec () =
     let vm =
       Rsti_machine.Interp.create ~costs:config.costs ?seed ?fpac ?backend
+        ~profile
         ~pp_table:i.result.Rsti_rsti.Instrument.pp_table
         i.result.Rsti_rsti.Instrument.modul
     in
@@ -157,16 +195,20 @@ let run ?(config = default) ?(attacks = []) ?seed ?fpac ?backend ?entry
           Elide.mode_to_string i.elision;
           cost_key config.costs;
           knobs_key ?seed ?fpac ?backend ?entry ();
+          (* a profiled outcome carries sites an unprofiled one lacks *)
+          (if profile then "prof" else "-");
         ]
     in
     cached_run ~key ~costs:config.costs ~backend exec
 
 let run_baseline ?(config = default) ?(attacks = []) ?seed ?fpac ?cfi ?backend
-    ?entry (c : compiled) =
+    ?entry ?(profile = false) (c : compiled) =
+  stage_span "pipeline.run_baseline" (fun () -> [ ("file", c.src.file) ])
+  @@ fun () ->
   let exec () =
     let vm =
       Rsti_machine.Interp.create ~costs:config.costs ?seed ?fpac ?cfi ?backend
-        c.modul
+        ~profile c.modul
     in
     Rsti_machine.Interp.run ~attacks ?entry vm
   in
@@ -183,6 +225,7 @@ let run_baseline ?(config = default) ?(attacks = []) ?seed ?fpac ?cfi ?backend
           Cache.source_key ~file:c.src.file c.src.text;
           cost_key config.costs;
           knobs_key ?seed ?fpac ?cfi ?backend ?entry ();
+          (if profile then "prof" else "-");
         ]
     in
     cached_run ~key ~costs:config.costs ~backend exec

@@ -90,10 +90,14 @@ val run :
   ?fpac:bool ->
   ?backend:[ `Pac | `Shadow_mac ] ->
   ?entry:string ->
+  ?profile:bool ->
   instrumented ->
   Rsti_machine.Interp.outcome
 (** Load the instrumented module (with its pointer-to-pointer table)
-    into a fresh machine under [config.costs] and execute it. *)
+    into a fresh machine under [config.costs] and execute it.
+    [profile] (default false) turns on the machine's exact hot-site
+    profiler ({!Rsti_machine.Interp.outcome.sites}); profiled and
+    unprofiled outcomes memoize under distinct keys. *)
 
 val run_baseline :
   ?config:config ->
@@ -103,10 +107,11 @@ val run_baseline :
   ?cfi:bool ->
   ?backend:[ `Pac | `Shadow_mac ] ->
   ?entry:string ->
+  ?profile:bool ->
   compiled ->
   Rsti_machine.Interp.outcome
 (** Execute the uninstrumented module ([cfi] enables the signature-CFI
-    baseline machine). *)
+    baseline machine). [profile] as in {!run}. *)
 
 (** {2 Stage accessors} *)
 

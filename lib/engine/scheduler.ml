@@ -1,3 +1,5 @@
+module Observe = Rsti_observe.Observe
+
 let env_jobs () =
   match Sys.getenv_opt "RSTI_JOBS" with
   | None -> None
@@ -18,6 +20,33 @@ let default_jobs () =
       match env_jobs () with
       | Some n -> n
       | None -> Domain.recommended_domain_count ())
+
+type stats = {
+  tasks : int;
+  own_claims : int;
+  steals : int;
+  serial_runs : int;
+  fanouts : int;
+}
+
+(* [tasks] is bumped identically on the serial and fan-out paths, so it
+   is deterministic for any job count; the claim split (own vs. steal)
+   and the per-worker scheduler.worker.N.tasks counters are scheduling
+   noise by construction and excluded from cross-job-count comparisons. *)
+let c_tasks = Observe.Metrics.counter "scheduler.tasks"
+let c_own = Observe.Metrics.counter "scheduler.own_claims"
+let c_steals = Observe.Metrics.counter "scheduler.steals"
+let c_serial = Observe.Metrics.counter "scheduler.serial_runs"
+let c_fanouts = Observe.Metrics.counter "scheduler.fanouts"
+
+let stats () =
+  {
+    tasks = Observe.Metrics.value c_tasks;
+    own_claims = Observe.Metrics.value c_own;
+    steals = Observe.Metrics.value c_steals;
+    serial_runs = Observe.Metrics.value c_serial;
+    fanouts = Observe.Metrics.value c_fanouts;
+  }
 
 (* One block of the task-index space [lo, hi). The owning worker pops
    from [lo]; thieves steal from [hi]. A mutex per deque keeps the claim
@@ -52,27 +81,65 @@ let steal d =
    runs serially in the calling worker. *)
 let in_pool = Domain.DLS.new_key (fun () -> false)
 
+let task_span ~worker ~claim ~index =
+  if Observe.enabled () then
+    Observe.Span.enter "scheduler.task"
+      ~attrs:
+        [
+          ("worker", string_of_int worker);
+          ("claim", claim);
+          ("index", string_of_int index);
+        ]
+  else Observe.Span.none
+
 let map ?jobs f xs =
   let jobs =
     match jobs with Some j -> max 1 j | None -> default_jobs ()
   in
   let n = List.length xs in
-  if jobs <= 1 || n <= 1 || Domain.DLS.get in_pool then List.map f xs
+  if jobs <= 1 || n <= 1 || Domain.DLS.get in_pool then begin
+    Observe.Metrics.incr c_serial;
+    Observe.Metrics.add c_tasks n;
+    Observe.Metrics.add c_own n;
+    let i = ref (-1) in
+    List.map
+      (fun x ->
+        incr i;
+        let sp = task_span ~worker:0 ~claim:"serial" ~index:!i in
+        Fun.protect ~finally:(fun () -> Observe.Span.exit sp) (fun () -> f x))
+      xs
+  end
   else begin
+    Observe.Metrics.incr c_fanouts;
+    Observe.Metrics.add c_tasks n;
+    let ctx = Observe.Span.current_context () in
     let tasks = Array.of_list xs in
     let results = Array.make n None in
     let error = Atomic.make None in
     let workers = min jobs n in
+    let worker_tasks =
+      Array.init workers (fun w ->
+          Observe.Metrics.counter
+            (Printf.sprintf "scheduler.worker.%d.tasks" w))
+    in
     let deques =
       Array.init workers (fun w ->
           { lo = w * n / workers; hi = (w + 1) * n / workers; lock = Mutex.create () })
     in
-    let run_task i =
-      if Atomic.get error = None then
-        try results.(i) <- Some (f tasks.(i))
-        with e ->
-          let bt = Printexc.get_raw_backtrace () in
-          ignore (Atomic.compare_and_set error None (Some (e, bt)))
+    let run_task ~worker:w ~stolen i =
+      Observe.Metrics.incr worker_tasks.(w);
+      Observe.Metrics.incr (if stolen then c_steals else c_own);
+      if Atomic.get error = None then begin
+        let sp =
+          task_span ~worker:w ~claim:(if stolen then "steal" else "own")
+            ~index:i
+        in
+        (try results.(i) <- Some (f tasks.(i))
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set error None (Some (e, bt))));
+        Observe.Span.exit sp
+      end
     in
     let worker w () =
       Domain.DLS.set in_pool true;
@@ -80,21 +147,23 @@ let map ?jobs f xs =
       let rec own () =
         match pop_own d with
         | Some i ->
-            run_task i;
+            run_task ~worker:w ~stolen:false i;
             own ()
         | None -> hunt 1
       and hunt tried =
         if tried <= workers then
           match steal deques.((w + tried) mod workers) with
           | Some i ->
-              run_task i;
+              run_task ~worker:w ~stolen:true i;
               hunt tried
           | None -> hunt (tried + 1)
       in
       own ()
     in
     let doms =
-      Array.init (workers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1) ()))
+      Array.init (workers - 1) (fun k ->
+          Domain.spawn (fun () ->
+              Observe.Span.with_context ctx (fun () -> worker (k + 1) ())))
     in
     (* the calling domain is worker 0; restore its nesting flag after *)
     worker 0 ();

@@ -28,6 +28,25 @@ val clear_default_jobs : unit -> unit
 val default_jobs : unit -> int
 (** The resolved job count used when [?jobs] is omitted. *)
 
+(** Scheduler activity counters, backed by the
+    [scheduler.{tasks,own_claims,steals,serial_runs,fanouts}] entries of
+    {!Rsti_observe.Observe.Metrics} (zeroed by [Observe.Metrics.reset]).
+    [tasks] counts every task {!map} ran, on both the serial and
+    parallel paths, so it is deterministic for any job count;
+    [own_claims + steals = tasks] always holds (exactly-once claims),
+    but the split — and the per-worker [scheduler.worker.N.tasks]
+    counters — depends on runtime scheduling. [serial_runs]/[fanouts]
+    count {!map} calls that ran inline vs. spawned domains. *)
+type stats = {
+  tasks : int;
+  own_claims : int;
+  steals : int;
+  serial_runs : int;
+  fanouts : int;
+}
+
+val stats : unit -> stats
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map] over the domain pool; results in input order.
     Runs serially when the resolved job count is 1, the list has fewer

@@ -51,6 +51,22 @@ type counts = {
   mutable pac_charges : int;
 }
 
+(* One profiled (function, source line) pair. Attribution is exact, not
+   sampled: every cycle the machine charges goes through [charge], which
+   also adds it to the current site when profiling, so the sites of an
+   outcome partition its cycle total. The per-site instrumentation
+   counters ([s_pac_charges]/[s_strips]/[s_pp_calls]) mirror the global
+   {!counts} ones so {!reprice} moves site cycles exactly too. *)
+type site = {
+  s_func : string;
+  s_line : int;  (* 0 when the instruction carries no !dbg location *)
+  mutable s_cycles : int;
+  mutable s_instrs : int;
+  mutable s_pac_charges : int;
+  mutable s_strips : int;
+  mutable s_pp_calls : int;
+}
+
 type outcome = {
   status : status;
   cycles : int;
@@ -61,6 +77,8 @@ type outcome = {
       (* defined-function call counts, descending *)
   extern_profile : (string * int) list;
       (* simulated-libc call counts, descending *)
+  sites : site list;
+      (* hot-site profile, cycles descending; [] unless profiling *)
 }
 
 let detected (o : outcome) =
@@ -94,13 +112,36 @@ let reprice ~from ~to_ ~pac_spill_charged (o : outcome) =
   let spill =
     if pac_spill_charged then d (fun (c : Cost.t) -> c.pac_spill) else 0
   in
+  let d_pac = d (fun (c : Cost.t) -> c.pac) + spill in
+  let d_strip = d (fun (c : Cost.t) -> c.strip) in
+  let d_pp = d (fun (c : Cost.t) -> c.pp) in
   let cycles =
     o.cycles
-    + ((d (fun (c : Cost.t) -> c.pac) + spill) * o.counts.pac_charges)
-    + (d (fun (c : Cost.t) -> c.strip) * o.counts.pac_strips)
-    + (d (fun (c : Cost.t) -> c.pp) * o.counts.pp_calls)
+    + (d_pac * o.counts.pac_charges)
+    + (d_strip * o.counts.pac_strips)
+    + (d_pp * o.counts.pp_calls)
   in
-  { o with cycles }
+  let sites =
+    match o.sites with
+    | [] -> []
+    | sites ->
+        List.map
+          (fun s ->
+            {
+              s with
+              s_cycles =
+                s.s_cycles
+                + (d_pac * s.s_pac_charges)
+                + (d_strip * s.s_strips)
+                + (d_pp * s.s_pp_calls);
+            })
+          sites
+        |> List.sort (fun a b ->
+               match compare b.s_cycles a.s_cycles with
+               | 0 -> compare (a.s_func, a.s_line) (b.s_func, b.s_line)
+               | c -> c)
+  in
+  { o with cycles; sites }
 
 type intruder = {
   read_word : int64 -> int64;
@@ -152,6 +193,11 @@ type t = {
   (* the shadow-MAC backend's table: slot address -> 64-bit MAC, held by
      the trusted runtime (CCFI stores it in protected memory) *)
   shadow : (int64, int64) Hashtbl.t;
+  (* exact hot-site profiler; when off, the only cost on the hot path is
+     one boolean load per charge and nothing allocates *)
+  profiling : bool;
+  prof_sites : (string * int, site) Hashtbl.t;
+  mutable cur_site : site;
 }
 
 exception Trap_exn of trap
@@ -169,8 +215,21 @@ let builtin_names =
     "sqrt"; "fabs"; "floor"; "ceil"; "pow"; "exec";
   ]
 
+(* Execution begins (global init, entry dispatch) before any instruction
+   has named a site; those charges land on the _start pseudo-site. *)
+let boot_site () =
+  {
+    s_func = "_start";
+    s_line = 0;
+    s_cycles = 0;
+    s_instrs = 0;
+    s_pac_charges = 0;
+    s_strips = 0;
+    s_pp_calls = 0;
+  }
+
 let create ?(costs = Cost.default) ?(seed = 0xC0FFEEL) ?(pp_table = []) ?(fpac = true)
-    ?(cfi = false) ?(backend = `Pac) (m : Ir.modul) =
+    ?(cfi = false) ?(backend = `Pac) ?(profile = false) (m : Ir.modul) =
   let mem = Memory.create () in
   let pac = Rsti_pa.Pac.make ~seed () in
   let funcs_by_name = Hashtbl.create 64 in
@@ -230,6 +289,7 @@ let create ?(costs = Cost.default) ?(seed = 0xC0FFEEL) ?(pp_table = []) ?(fpac =
         addr)
       m.m_strings
   in
+  let boot = boot_site () in
   (* Pointer-to-pointer CE->FE metadata: read-only, as the paper requires. *)
   let pp_base = Int64.add Layout.rodata_base 0x8000L in
   if pp_table <> [] then begin
@@ -271,6 +331,12 @@ let create ?(costs = Cost.default) ?(seed = 0xC0FFEEL) ?(pp_table = []) ?(fpac =
     cfi;
     backend;
     shadow = Hashtbl.create 256;
+    profiling = profile;
+    prof_sites =
+      (let h = Hashtbl.create 64 in
+       if profile then Hashtbl.replace h ("_start", 0) boot;
+       h);
+    cur_site = boot;
   }
 
 let pp_meta_base = Int64.add Layout.rodata_base 0x8000L
@@ -317,12 +383,51 @@ let fire_attacks t trig =
 (* Value and memory helpers                                            *)
 (* ------------------------------------------------------------------ *)
 
-let charge t c = t.cycles <- t.cycles + c
+let charge t c =
+  t.cycles <- t.cycles + c;
+  if t.profiling then t.cur_site.s_cycles <- t.cur_site.s_cycles + c
 
 let step t =
   t.steps <- t.steps + 1;
   t.counts.instrs <- t.counts.instrs + 1;
+  if t.profiling then t.cur_site.s_instrs <- t.cur_site.s_instrs + 1;
   if t.steps > t.step_limit then raise (Trap_exn Step_limit_exceeded)
+
+(* Site switching, called (under [profiling] only) before each
+   instruction executes: terminator and call-dispatch charges attribute
+   to the site of the last instruction that ran, which keeps the
+   partition exact without threading a site through every helper. *)
+let set_site t (fn : Ir.func) (ins : Ir.instr) =
+  let line = match ins.dbg with Some d -> d.Rsti_ir.Dinfo.dl_line | None -> 0 in
+  let cur = t.cur_site in
+  if not (cur.s_func == fn.name && cur.s_line = line) then
+    let key = (fn.name, line) in
+    match Hashtbl.find_opt t.prof_sites key with
+    | Some s -> t.cur_site <- s
+    | None ->
+        let s =
+          {
+            s_func = fn.name;
+            s_line = line;
+            s_cycles = 0;
+            s_instrs = 0;
+            s_pac_charges = 0;
+            s_strips = 0;
+            s_pp_calls = 0;
+          }
+        in
+        Hashtbl.replace t.prof_sites key s;
+        t.cur_site <- s
+
+let prof_pac t n =
+  if t.profiling then
+    t.cur_site.s_pac_charges <- t.cur_site.s_pac_charges + n
+
+let prof_strip t =
+  if t.profiling then t.cur_site.s_strips <- t.cur_site.s_strips + 1
+
+let prof_pp t =
+  if t.profiling then t.cur_site.s_pp_calls <- t.cur_site.s_pp_calls + 1
 
 let guard_mem t func f =
   try f ()
@@ -608,6 +713,7 @@ and exec_shadow_mac t fname regs (p : Ir.pac) =
       charge t (t.costs.pac + t.costs.load + t.costs.store);
       t.counts.pac_signs <- t.counts.pac_signs + 1;
       t.counts.pac_charges <- t.counts.pac_charges + 1;
+      prof_pac t 1;
       if Int64.equal src 0L then Hashtbl.remove t.shadow slot
       else Hashtbl.replace t.shadow slot (mac_of t p.p_key ~modifier:m src);
       regs.(p.p_dst) <- src
@@ -615,6 +721,7 @@ and exec_shadow_mac t fname regs (p : Ir.pac) =
       charge t (t.costs.pac + t.costs.load);
       t.counts.pac_auths <- t.counts.pac_auths + 1;
       t.counts.pac_charges <- t.counts.pac_charges + 1;
+      prof_pac t 1;
       let ok =
         if Int64.equal src 0L then not (Hashtbl.mem t.shadow slot)
         else
@@ -636,10 +743,12 @@ and exec_shadow_mac t fname regs (p : Ir.pac) =
       t.counts.pac_auths <- t.counts.pac_auths + 1;
       t.counts.pac_signs <- t.counts.pac_signs + 1;
       t.counts.pac_charges <- t.counts.pac_charges + 2;
+      prof_pac t 2;
       regs.(p.p_dst) <- src
   | Ir.Kstrip ->
       charge t t.costs.strip;
       t.counts.pac_strips <- t.counts.pac_strips + 1;
+      prof_strip t;
       regs.(p.p_dst) <- src
 
 and exec_pac t fname regs (p : Ir.pac) =
@@ -661,12 +770,14 @@ and exec_pac t fname regs (p : Ir.pac) =
       charge t (t.costs.pac + t.costs.pac_spill);
       t.counts.pac_signs <- t.counts.pac_signs + 1;
       t.counts.pac_charges <- t.counts.pac_charges + 1;
+      prof_pac t 1;
       let m = modifier_value t regs p.p_mod p.p_slot_addr in
       regs.(p.p_dst) <- Rsti_pa.Pac.sign t.pac ~key ~modifier:m src
   | Ir.Kauth -> (
       charge t (t.costs.pac + t.costs.pac_spill);
       t.counts.pac_auths <- t.counts.pac_auths + 1;
       t.counts.pac_charges <- t.counts.pac_charges + 1;
+      prof_pac t 1;
       let m = modifier_value t regs p.p_mod p.p_slot_addr in
       match Rsti_pa.Pac.auth t.pac ~key ~modifier:m src with
       | Ok v -> regs.(p.p_dst) <- v
@@ -678,6 +789,7 @@ and exec_pac t fname regs (p : Ir.pac) =
       t.counts.pac_auths <- t.counts.pac_auths + 1;
       t.counts.pac_signs <- t.counts.pac_signs + 1;
       t.counts.pac_charges <- t.counts.pac_charges + 2;
+      prof_pac t 2;
       (* Fused aut+pac. In this codebase's discipline in-flight values are
          raw (canonical), so the pair acts as a checked identity; a signed
          value (the pp mechanism) gets a real authenticate + re-sign. *)
@@ -694,12 +806,14 @@ and exec_pac t fname regs (p : Ir.pac) =
   | Ir.Kstrip ->
       charge t t.costs.strip;
       t.counts.pac_strips <- t.counts.pac_strips + 1;
+      prof_strip t;
       regs.(p.p_dst) <- Rsti_pa.Pac.strip t.pac src
   end
 
 and exec_pp t fname regs (pp : Ir.pp_call) =
   charge t t.costs.pp;
   t.counts.pp_calls <- t.counts.pp_calls + 1;
+  prof_pp t;
   let fe_modifier ce =
     Memory.read_u64 t.mem (Int64.add pp_meta_base (Int64.of_int (ce * 8)))
   in
@@ -832,6 +946,7 @@ and exec_blocks t (fn : Ir.func) regs : int64 =
   run_block 0
 
 and exec_instr t (fn : Ir.func) regs (ins : Ir.instr) : unit =
+  if t.profiling then set_site t fn ins;
   step t;
   match ins.i with
   | Ir.Alloca { dst; ty; _ } ->
@@ -954,6 +1069,15 @@ let run ?(attacks = []) ?step_limit ?(entry = "main") t =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
     |> List.sort (fun (_, a) (_, b) -> compare b a)
   in
+  let sites =
+    if not t.profiling then []
+    else
+      Hashtbl.fold (fun _ s acc -> s :: acc) t.prof_sites []
+      |> List.sort (fun a b ->
+             match compare b.s_cycles a.s_cycles with
+             | 0 -> compare (a.s_func, a.s_line) (b.s_func, b.s_line)
+             | c -> c)
+  in
   {
     status;
     cycles = t.cycles;
@@ -962,4 +1086,54 @@ let run ?(attacks = []) ?step_limit ?(entry = "main") t =
     output = Buffer.contents t.out;
     call_profile = profile t.call_counts;
     extern_profile = profile t.extern_counts;
+    sites;
   }
+
+(* A perf-report-style rendering of {!outcome.sites}. The percentage
+   column is of the run's total cycles, so the top-N rows under-count
+   exactly what the final "other" row holds. *)
+let profile_report ?(top = 20) (o : outcome) =
+  let total = max 1 o.cycles in
+  let shown, rest =
+    let rec split n = function
+      | [] -> ([], [])
+      | l when n = 0 -> ([], l)
+      | x :: tl ->
+          let a, b = split (n - 1) tl in
+          (x :: a, b)
+    in
+    split top o.sites
+  in
+  let pct c = Printf.sprintf "%5.1f%%" (100. *. float_of_int c /. float_of_int total) in
+  let row s =
+    [
+      Printf.sprintf "%s:%d" s.s_func s.s_line;
+      string_of_int s.s_cycles;
+      pct s.s_cycles;
+      string_of_int s.s_instrs;
+      string_of_int s.s_pac_charges;
+      string_of_int s.s_strips;
+      string_of_int s.s_pp_calls;
+    ]
+  in
+  let rows = List.map row shown in
+  let rows =
+    if rest = [] then rows
+    else
+      let sum f = List.fold_left (fun a s -> a + f s) 0 rest in
+      rows
+      @ [
+          [
+            Printf.sprintf "(other: %d sites)" (List.length rest);
+            string_of_int (sum (fun s -> s.s_cycles));
+            pct (sum (fun s -> s.s_cycles));
+            string_of_int (sum (fun s -> s.s_instrs));
+            string_of_int (sum (fun s -> s.s_pac_charges));
+            string_of_int (sum (fun s -> s.s_strips));
+            string_of_int (sum (fun s -> s.s_pp_calls));
+          ];
+        ]
+  in
+  Rsti_util.Tab.render
+    ~header:[ "site"; "cycles"; "%"; "instrs"; "pac"; "strip"; "pp" ]
+    rows

@@ -45,6 +45,25 @@ type counts = {
           the pp mechanism's sign/auth price at [pp], not here) *)
 }
 
+(** One profiled (function, source line) pair of the exact hot-site
+    profiler ([create ~profile:true]). Attribution is exact, not
+    sampled: every cycle the machine charges is added to the site of the
+    last instruction dispatched (terminator and call-overhead charges
+    land on that site too; pre-[entry] setup lands on the ["_start"]
+    pseudo-site), so an outcome's sites partition its cycle total —
+    [sum s_cycles = cycles], [sum s_instrs = counts.instrs], and
+    likewise for [s_pac_charges]/[s_strips]/[s_pp_calls] against the
+    global counters. *)
+type site = {
+  s_func : string;
+  s_line : int;  (** 0 when the instruction carries no !dbg location *)
+  mutable s_cycles : int;
+  mutable s_instrs : int;
+  mutable s_pac_charges : int;
+  mutable s_strips : int;
+  mutable s_pp_calls : int;
+}
+
 type outcome = {
   status : status;
   cycles : int;
@@ -55,6 +74,9 @@ type outcome = {
       (** defined-function call counts, most-called first *)
   extern_profile : (string * int) list;
       (** simulated-libc call counts, most-called first *)
+  sites : site list;
+      (** hot-site profile, cycles descending (ties by site); [] unless
+          the machine was created with [~profile:true] *)
 }
 
 val detected : outcome -> bool
@@ -71,7 +93,15 @@ val reprice :
     the base ISA prices are not reconstructible from {!counts} and a
     difference there raises [Invalid_argument]. [pac_spill_charged] is
     whether the run's backend pays the spill price alongside each [pac]
-    charge ([`Pac] does, [`Shadow_mac] never spills). *)
+    charge ([`Pac] does, [`Shadow_mac] never spills). A profiled
+    outcome's {!site}s carry the same per-price counters, so their
+    cycles are re-priced exactly too and keep partitioning the total. *)
+
+val profile_report : ?top:int -> outcome -> string
+(** A perf-report-style table of the hottest [top] (default 20) sites —
+    cycles, share of total, instructions, pac/strip/pp charges — with
+    one trailing row aggregating the rest. Empty profile renders just
+    the header. *)
 
 type t
 (** A loaded machine instance (module + memory image + PA keys). *)
@@ -105,6 +135,7 @@ val create :
   ?fpac:bool ->
   ?cfi:bool ->
   ?backend:[ `Pac | `Shadow_mac ] ->
+  ?profile:bool ->
   Rsti_ir.Ir.modul ->
   t
 (** Load a module: lay out globals/strings/code, generate PA keys from
@@ -120,7 +151,10 @@ val create :
     (default) keeps the code in pointer bits; [`Shadow_mac] is the
     CCFI-style alternative — a full-width MAC of (pointer, modifier)
     held in a runtime-protected shadow table keyed by the slot address,
-    with pointers left raw. Same STI policy, different mechanism. *)
+    with pointers left raw. Same STI policy, different mechanism.
+    [profile] (default false) turns on the exact hot-site profiler;
+    when off, profiling costs one boolean test per charge and allocates
+    nothing. *)
 
 val pac_ctx : t -> Rsti_pa.Pac.ctx
 (** The machine's PA context (tests use it to forge/inspect PACs). *)

@@ -1,0 +1,435 @@
+(* The telemetry core. Sits below every other library in the tree
+   (depends only on the monotonic-clock stub), so the engine, the
+   dataflow solvers and the static checker can all report into one
+   process-global recorder without dependency cycles.
+
+   Domain safety: the span list and the metric registry are mutex-
+   guarded on the slow paths (span completion, metric registration);
+   counter bumps are lock-free atomics; per-domain nesting state lives
+   in Domain.DLS. *)
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+let now_ns () = Monotonic_clock.now ()
+
+(* ------------------------------ JSON ------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let to_string ?(indent = true) t =
+    let buf = Buffer.create 1024 in
+    let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+    let nl () = if indent then Buffer.add_char buf '\n' in
+    let rec go depth = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (string_of_bool b)
+      | Int i -> Buffer.add_string buf (string_of_int i)
+      | Float f ->
+          if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+          else Buffer.add_string buf "null"
+      | Str s ->
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape s);
+          Buffer.add_char buf '"'
+      | List [] -> Buffer.add_string buf "[]"
+      | List xs ->
+          Buffer.add_char buf '[';
+          nl ();
+          List.iteri
+            (fun i x ->
+              if i > 0 then (Buffer.add_char buf ','; nl ());
+              pad (depth + 1);
+              go (depth + 1) x)
+            xs;
+          nl ();
+          pad depth;
+          Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj kvs ->
+          Buffer.add_char buf '{';
+          nl ();
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then (Buffer.add_char buf ','; nl ());
+              pad (depth + 1);
+              Buffer.add_char buf '"';
+              Buffer.add_string buf (escape k);
+              Buffer.add_string buf (if indent then "\": " else "\":");
+              go (depth + 1) v)
+            kvs;
+          nl ();
+          pad depth;
+          Buffer.add_char buf '}'
+    in
+    go 0 t;
+    Buffer.contents buf
+end
+
+(* ------------------------------ spans ------------------------------ *)
+
+module Span = struct
+  type record = {
+    id : int;
+    parent : int;
+    name : string;
+    attrs : (string * string) list;
+    t_start_ns : int64;
+    t_end_ns : int64;
+    domain : int;
+  }
+
+  type t = {
+    s_id : int;                                  (* -1 = the none handle *)
+    s_parent : int;
+    s_name : string;
+    mutable s_attrs : (string * string) list;    (* reverse order *)
+    s_start : int64;
+    s_domain : int;
+  }
+
+  let none =
+    { s_id = -1; s_parent = -1; s_name = ""; s_attrs = []; s_start = 0L;
+      s_domain = 0 }
+
+  let next_id = Atomic.make 0
+  let lock = Mutex.create ()
+  let finished : record list ref = ref []        (* reverse completion order *)
+
+  (* Innermost-open-span stack per domain; the int at the bottom is the
+     installed cross-domain context (-1 = root). *)
+  let stack : int list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+  type context = int
+
+  let current_context () =
+    match Domain.DLS.get stack with id :: _ -> id | [] -> -1
+
+  let with_context ctx f =
+    let saved = Domain.DLS.get stack in
+    Domain.DLS.set stack [ ctx ];
+    Fun.protect ~finally:(fun () -> Domain.DLS.set stack saved) f
+
+  let enter ?(attrs = []) name =
+    if not (enabled ()) then none
+    else begin
+      let id = Atomic.fetch_and_add next_id 1 in
+      let parent = current_context () in
+      Domain.DLS.set stack (id :: Domain.DLS.get stack);
+      {
+        s_id = id;
+        s_parent = parent;
+        s_name = name;
+        s_attrs = List.rev attrs;
+        s_start = now_ns ();
+        s_domain = (Domain.self () :> int);
+      }
+    end
+
+  let add_attr t k v = if t.s_id >= 0 then t.s_attrs <- (k, v) :: t.s_attrs
+
+  let exit t =
+    if t.s_id >= 0 then begin
+      let t_end = now_ns () in
+      (match Domain.DLS.get stack with
+      | top :: rest when top = t.s_id -> Domain.DLS.set stack rest
+      | _ -> ());
+      let r =
+        {
+          id = t.s_id;
+          parent = t.s_parent;
+          name = t.s_name;
+          attrs = List.rev t.s_attrs;
+          t_start_ns = t.s_start;
+          t_end_ns = t_end;
+          domain = t.s_domain;
+        }
+      in
+      Mutex.lock lock;
+      finished := r :: !finished;
+      Mutex.unlock lock
+    end
+
+  let with_ ?attrs name f =
+    let sp = enter ?attrs name in
+    Fun.protect ~finally:(fun () -> exit sp) f
+
+  let with_span ?attrs name f =
+    let sp = enter ?attrs name in
+    Fun.protect ~finally:(fun () -> exit sp) (fun () -> f sp)
+
+  let records () =
+    Mutex.lock lock;
+    let rs = !finished in
+    Mutex.unlock lock;
+    List.sort
+      (fun a b ->
+        match Int64.compare a.t_start_ns b.t_start_ns with
+        | 0 -> compare a.id b.id
+        | c -> c)
+      rs
+
+  let reset () =
+    Mutex.lock lock;
+    finished := [];
+    Mutex.unlock lock
+
+  (* Chrome trace-event JSON: "X" (complete) events, microsecond
+     timestamps, one track (tid) per domain. *)
+  let chrome_trace () =
+    let us ns = Int64.to_float ns /. 1000.0 in
+    let event (r : record) =
+      Json.Obj
+        [
+          ("name", Json.Str r.name);
+          ("cat", Json.Str "rsti");
+          ("ph", Json.Str "X");
+          ("ts", Json.Float (us r.t_start_ns));
+          ("dur", Json.Float (us (Int64.sub r.t_end_ns r.t_start_ns)));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int r.domain);
+          ( "args",
+            Json.Obj
+              (("parent", Json.Int r.parent)
+              :: List.map (fun (k, v) -> (k, Json.Str v)) r.attrs) );
+        ]
+    in
+    Json.Obj
+      [
+        ("traceEvents", Json.List (List.map event (records ())));
+        ("displayTimeUnit", Json.Str "ns");
+      ]
+
+  (* Aggregated summary tree: group spans by (parent path, name), with
+     call counts and total/self duration. *)
+  let summary_tree ?(max_depth = 6) () =
+    let rs = records () in
+    let children : (int, record list ref) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun r ->
+        let l =
+          match Hashtbl.find_opt children r.parent with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace children r.parent l;
+              l
+        in
+        l := r :: !l)
+      rs;
+    (* parents recorded in this snapshot; a span whose parent finished
+       outside the snapshot window is treated as a root *)
+    let known = Hashtbl.create 64 in
+    List.iter (fun r -> Hashtbl.replace known r.id ()) rs;
+    let dur r = Int64.to_float (Int64.sub r.t_end_ns r.t_start_ns) /. 1e6 in
+    let buf = Buffer.create 1024 in
+    let rec emit depth group_name members =
+      if depth <= max_depth then begin
+        let total = List.fold_left (fun a r -> a +. dur r) 0.0 members in
+        Buffer.add_string buf
+          (Printf.sprintf "%s%-*s  n=%-5d total=%.3f ms\n"
+             (String.make (2 * depth) ' ')
+             (max 1 (36 - (2 * depth)))
+             group_name (List.length members) total);
+        let kids =
+          List.concat_map
+            (fun r ->
+              match Hashtbl.find_opt children r.id with
+              | Some l -> !l
+              | None -> [])
+            members
+        in
+        let by_name = Hashtbl.create 8 in
+        let order = ref [] in
+        List.iter
+          (fun (r : record) ->
+            match Hashtbl.find_opt by_name r.name with
+            | Some l -> l := r :: !l
+            | None ->
+                let l = ref [ r ] in
+                Hashtbl.replace by_name r.name l;
+                order := r.name :: !order)
+          (List.rev kids);
+        List.iter
+          (fun name -> emit (depth + 1) name (List.rev !(Hashtbl.find by_name name)))
+          (List.rev !order)
+      end
+    in
+    let roots =
+      List.filter (fun r -> r.parent < 0 || not (Hashtbl.mem known r.parent)) rs
+    in
+    let by_name = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun (r : record) ->
+        match Hashtbl.find_opt by_name r.name with
+        | Some l -> l := r :: !l
+        | None ->
+            let l = ref [ r ] in
+            Hashtbl.replace by_name r.name l;
+            order := r.name :: !order)
+      roots;
+    List.iter
+      (fun name -> emit 0 name (List.rev !(Hashtbl.find by_name name)))
+      (List.rev !order);
+    Buffer.contents buf
+end
+
+(* ----------------------------- metrics ----------------------------- *)
+
+module Metrics = struct
+  type counter = int Atomic.t
+  type gauge = int Atomic.t
+
+  type hist = {
+    mutable h_count : int;
+    mutable h_sum : float;
+    mutable h_min : float;
+    mutable h_max : float;
+  }
+
+  type histogram = hist
+
+  type metric = Counter of counter | Gauge of gauge | Histogram of hist
+
+  let lock = Mutex.create ()
+  let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+  let register name make get =
+    Mutex.lock lock;
+    let m =
+      match Hashtbl.find_opt registry name with
+      | Some m -> m
+      | None ->
+          let m = make () in
+          Hashtbl.replace registry name m;
+          m
+    in
+    Mutex.unlock lock;
+    get name m
+
+  let counter name =
+    register name
+      (fun () -> Counter (Atomic.make 0))
+      (fun name -> function
+        | Counter c -> c
+        | _ -> invalid_arg ("Observe.Metrics.counter: " ^ name ^ " is not a counter"))
+
+  let incr c = Atomic.incr c
+  let add c n = ignore (Atomic.fetch_and_add c n)
+  let value c = Atomic.get c
+  let set c n = Atomic.set c n
+
+  let gauge name =
+    register name
+      (fun () -> Gauge (Atomic.make 0))
+      (fun name -> function
+        | Gauge g -> g
+        | _ -> invalid_arg ("Observe.Metrics.gauge: " ^ name ^ " is not a gauge"))
+
+  let set_gauge g n = Atomic.set g n
+  let gauge_value g = Atomic.get g
+
+  let histogram name =
+    register name
+      (fun () ->
+        Histogram { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity })
+      (fun name -> function
+        | Histogram h -> h
+        | _ ->
+            invalid_arg ("Observe.Metrics.histogram: " ^ name ^ " is not a histogram"))
+
+  let observe h x =
+    Mutex.lock lock;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. x;
+    if x < h.h_min then h.h_min <- x;
+    if x > h.h_max then h.h_max <- x;
+    Mutex.unlock lock
+
+  let sorted_fold f =
+    Mutex.lock lock;
+    let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry [] in
+    Mutex.unlock lock;
+    List.filter_map f (List.sort (fun (a, _) (b, _) -> compare a b) all)
+
+  let counters () =
+    sorted_fold (function
+      | name, Counter c -> Some (name, Atomic.get c)
+      | _ -> None)
+
+  let reset () =
+    Mutex.lock lock;
+    Hashtbl.iter
+      (fun _ -> function
+        | Counter c -> Atomic.set c 0
+        | Gauge g -> Atomic.set g 0
+        | Histogram h ->
+            h.h_count <- 0;
+            h.h_sum <- 0.0;
+            h.h_min <- infinity;
+            h.h_max <- neg_infinity)
+      registry;
+    Mutex.unlock lock
+
+  let to_json () =
+    let counters =
+      sorted_fold (function
+        | name, Counter c -> Some (name, Json.Int (Atomic.get c))
+        | _ -> None)
+    in
+    let gauges =
+      sorted_fold (function
+        | name, Gauge g -> Some (name, Json.Int (Atomic.get g))
+        | _ -> None)
+    in
+    let hists =
+      sorted_fold (function
+        | name, Histogram h ->
+            Some
+              ( name,
+                Json.Obj
+                  [
+                    ("count", Json.Int h.h_count);
+                    ("sum", Json.Float h.h_sum);
+                    ("min", if h.h_count = 0 then Json.Null else Json.Float h.h_min);
+                    ("max", if h.h_count = 0 then Json.Null else Json.Float h.h_max);
+                  ] )
+        | _ -> None)
+    in
+    Json.Obj
+      [
+        ("schema", Json.Str "rsti-metrics/1");
+        ("counters", Json.Obj counters);
+        ("gauges", Json.Obj gauges);
+        ("histograms", Json.Obj hists);
+      ]
+end
+
+let reset () =
+  Span.reset ();
+  Metrics.reset ()

@@ -1,0 +1,157 @@
+(** [rsti_observe] — the zero-dependency telemetry core threaded through
+    every layer of the stack (pipeline stages, scheduler tasks, cache
+    lookups, dataflow fixpoints; the machine's hot-site profiler lives in
+    {!Rsti_machine.Interp} and flows out through its [outcome]).
+
+    Three instruments:
+
+    - {!Span}: a process-global, domain-safe span recorder — monotonic
+      clock, parent/child nesting (propagated across domain fan-out via
+      {!Span.current_context}), key:value attributes — with two sinks:
+      Chrome trace-event JSON (loadable in Perfetto / chrome://tracing)
+      and an aggregated text summary tree.
+    - {!Metrics}: a typed counter/gauge/histogram registry replacing the
+      ad-hoc counters that used to live in each subsystem, dumped as one
+      machine-readable JSON document.
+    - {!Json}: the minimal emission substrate both sinks share (the
+      library depends on nothing else in the tree, so it cannot reuse
+      [Rsti_staticcheck.Json]).
+
+    Overhead contract: spans are recorded only while {!enabled} — when
+    disabled, {!Span.enter} returns the preallocated {!Span.none} handle
+    and records nothing, so instrumented hot paths allocate nothing.
+    Metric counters are lock-free atomics and stay live even when spans
+    are disabled (they replace counters the engine always maintained);
+    anything more expensive than a counter bump (e.g. tallying an
+    elision summary) must itself be gated on {!enabled}. *)
+
+val set_enabled : bool -> unit
+(** Default [false]. Enables span recording (and the derived tallies
+    gated on {!enabled}). *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** {!Span.reset} plus {!Metrics.reset}: drop recorded spans and zero
+    every metric (registrations survive). *)
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds. *)
+
+(** Minimal JSON emission (duplicated from [Rsti_staticcheck.Json]
+    because this library sits below everything and must stay
+    dependency-free). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float  (** NaN/infinities render as [null] *)
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : ?indent:bool -> t -> string
+end
+
+(** The span recorder. *)
+module Span : sig
+  type t
+  (** A live span handle. *)
+
+  val none : t
+  (** The no-op handle {!enter} returns while recording is disabled;
+      {!add_attr} and {!exit} on it do nothing and allocate nothing. *)
+
+  val enter : ?attrs:(string * string) list -> string -> t
+  (** Open a span named [name] under the current domain's innermost open
+      span (or the installed {!context}). *)
+
+  val add_attr : t -> string -> string -> unit
+  (** Attach a key:value attribute to a live span (useful for results
+      known only at exit: hit/miss, iteration counts). *)
+
+  val exit : t -> unit
+  (** Close the span and append it to the process-global record list. *)
+
+  val with_ : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** [enter]/[exit] around a closure, exception-safe. *)
+
+  val with_span : ?attrs:(string * string) list -> string -> (t -> 'a) -> 'a
+  (** {!with_} handing the live span to the closure so it can
+      {!add_attr} results discovered mid-flight. *)
+
+  type context
+  (** A capture of "the span new work should nest under" — what a
+      fan-out point passes to worker domains so their spans parent under
+      the caller's span instead of floating as roots. *)
+
+  val current_context : unit -> context
+  val with_context : context -> (unit -> 'a) -> 'a
+
+  (** A finished span. [parent = -1] means root. *)
+  type record = {
+    id : int;
+    parent : int;
+    name : string;
+    attrs : (string * string) list;
+    t_start_ns : int64;
+    t_end_ns : int64;
+    domain : int;  (** the domain the span ran on *)
+  }
+
+  val records : unit -> record list
+  (** Finished spans, ordered by start time (ties by id). *)
+
+  val reset : unit -> unit
+
+  val chrome_trace : unit -> Json.t
+  (** The Chrome trace-event document ([{"traceEvents": [...]}], "X"
+      complete events, one track per domain) — loadable in Perfetto and
+      chrome://tracing. Span attributes appear under [args], including
+      the cross-domain [parent] id. *)
+
+  val summary_tree : ?max_depth:int -> unit -> string
+  (** Aggregated text tree: children grouped by name under their
+      parent's path, with call counts and total/self wall time. *)
+end
+
+(** The metrics registry. Names are dotted paths ([cache.analysis.hits],
+    [scheduler.steals]); registration is idempotent and every mutation
+    is domain-safe. *)
+module Metrics : sig
+  type counter
+
+  val counter : string -> counter
+  (** Get or create the counter registered under [name]. *)
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val value : counter -> int
+  val set : counter -> int -> unit
+
+  type gauge
+
+  val gauge : string -> gauge
+  val set_gauge : gauge -> int -> unit
+  val gauge_value : gauge -> int
+
+  type histogram
+
+  val histogram : string -> histogram
+
+  val observe : histogram -> float -> unit
+  (** Record one observation (count/sum/min/max are maintained). *)
+
+  val counters : unit -> (string * int) list
+  (** Every registered counter with its value, sorted by name. *)
+
+  val reset : unit -> unit
+  (** Zero all values; registrations survive. *)
+
+  val to_json : unit -> Json.t
+  (** The whole registry as one document:
+      [{"schema": "rsti-metrics/1", "counters": {...}, "gauges": {...},
+        "histograms": {name: {count, sum, min, max}}}],
+      keys sorted, so equal registries render byte-identically. *)
+end

@@ -251,19 +251,6 @@ let verdict t (slot : Ir.slot) : verdict =
 
 let elide t slot = verdict t slot = Provably_safe
 
-(* The elision predicate handed to [Instrument.instrument ~elide], at a
-   chosen precision; [Off] means no predicate (instrument everything). *)
-let pred mode anal (m : Ir.modul) : (Ir.slot -> bool) option =
-  match mode with
-  | Off -> None
-  | Syntactic ->
-      let t = analyze anal m in
-      Some (elide t)
-  | With_points_to ->
-      let pt = Points_to.analyze m in
-      let t = analyze ~points_to:pt anal m in
-      Some (elide t)
-
 (* Would the instrumentation pass touch this slot at all under the three
    RSTI mechanisms? (Mirrors Instrument.should_instrument: fields,
    anonymous slots, globals, and escaping locals/params.) *)
@@ -315,3 +302,42 @@ let summary_to_string s =
               (fun (r, n) -> Printf.sprintf "%s: %d" (reason_to_string r) n)
               s.reasons)
        ^ ")")
+
+(* Obligations-discharged tallies for the metrics registry
+   ([elide.<precision>.{candidates,safe,reason.<r>}]). Computing a
+   summary walks every candidate slot, so this runs only while
+   {!Rsti_observe.Observe.enabled}; the final shadowing below puts the
+   tally on every [analyze]/[pred] call site, in and outside this
+   module. *)
+let tally t =
+  if Rsti_observe.Observe.enabled () then begin
+    let prefix =
+      match t.conf with
+      | None -> "elide.syntactic."
+      | Some _ -> "elide.points_to."
+    in
+    let add name n =
+      Rsti_observe.Observe.Metrics.add
+        (Rsti_observe.Observe.Metrics.counter (prefix ^ name))
+        n
+    in
+    let s = summary t in
+    add "candidates" s.candidates;
+    add "safe" s.safe;
+    List.iter (fun (r, n) -> add ("reason." ^ reason_to_string r) n) s.reasons
+  end
+
+let analyze ?points_to anal m =
+  let t = analyze ?points_to anal m in
+  tally t;
+  t
+
+(* The elision predicate handed to [Instrument.instrument ~elide], at a
+   chosen precision; [Off] means no predicate (instrument everything). *)
+let pred mode anal (m : Ir.modul) : (Ir.slot -> bool) option =
+  match mode with
+  | Off -> None
+  | Syntactic -> Some (elide (analyze anal m))
+  | With_points_to ->
+      let pt = Points_to.analyze m in
+      Some (elide (analyze ~points_to:pt anal m))

@@ -14,3 +14,9 @@ type t =
 val to_string : ?indent:bool -> t -> string
 (** Render. [indent] (default true) pretty-prints with two-space
     indentation; [false] emits a compact single line. *)
+
+val of_string : string -> (t, string) result
+(** Strict JSON parser over the same value type (tests and CI round-trip
+    the telemetry/SARIF documents through it). Integral numbers parse as
+    [Int], others as [Float]; [\u] escapes re-encode as UTF-8; trailing
+    non-whitespace input is an error. *)

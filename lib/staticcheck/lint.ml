@@ -500,3 +500,126 @@ let render_text ~file findings =
 
 let render_json ~file findings =
   Json.to_string (Finding.report_json ~file findings) ^ "\n"
+
+(* ------------------------------ SARIF -------------------------------- *)
+
+(* SARIF 2.1.0: one run, tool.driver "stilint", one reportingDescriptor
+   per lint rule, one result per finding across every linted file. Level
+   maps severity (error/warning/note); module-level findings (line 0 or
+   empty function) omit the region, as the spec allows. *)
+let sarif_rules =
+  [
+    ( "type-erasing-cast",
+      "Pointer cast merges STC equivalence classes, widening the \
+       substitution surface" );
+    ( "const-store",
+      "Store through a const-qualified slot: sign and auth permissions \
+       disagree, every mechanism traps" );
+    ( "pp-type-loss",
+      "Double pointer cast to a universal type loses the pointee's \
+       RSTI-type at the callee" );
+    ( "xpac-launder",
+      "External call strips PACs with xpac, laundering corrupted pointers \
+       when FPAC is off" );
+    ( "substitution-window",
+      "Multiple slots share one RSTI-type, admitting undetected \
+       same-type replay" );
+    ( "missing-dbg",
+      "Memory access with missing or dangling !dbg metadata is attributed \
+       to the wrong scope" );
+    ( "overflow-window",
+      "Writable array laid out before pointer slots opens a \
+       linear-overflow attacker window" );
+    ( "extern-pointer-ingress",
+      "Raw external pointer return enters the signed domain unprotected" );
+  ]
+
+let sarif_level = function
+  | Finding.Error -> "error"
+  | Finding.Warning -> "warning"
+  | Finding.Info -> "note"
+
+let sarif_result ~file (f : Finding.t) =
+  let region =
+    if f.Finding.line <= 0 then []
+    else
+      [
+        ( "region",
+          Json.Obj
+            (("startLine", Json.Int f.Finding.line)
+            ::
+            (if f.Finding.func = "" then []
+             else
+               [
+                 ( "message",
+                   Json.Obj [ ("text", Json.Str ("in " ^ f.Finding.func)) ] );
+               ])) );
+      ]
+  in
+  Json.Obj
+    [
+      ("ruleId", Json.Str (Finding.kind_name f.Finding.kind));
+      ("level", Json.Str (sarif_level f.Finding.severity));
+      ( "message",
+        Json.Obj
+          [
+            ( "text",
+              Json.Str (f.Finding.message ^ " — " ^ f.Finding.consequence) );
+          ] );
+      ( "locations",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "physicalLocation",
+                  Json.Obj
+                    (("artifactLocation", Json.Obj [ ("uri", Json.Str file) ])
+                    :: region) );
+              ];
+          ] );
+    ]
+
+let render_sarif (reports : (string * Finding.t list) list) =
+  let rules =
+    List.map
+      (fun (id, desc) ->
+        Json.Obj
+          [
+            ("id", Json.Str id);
+            ("shortDescription", Json.Obj [ ("text", Json.Str desc) ]);
+          ])
+      sarif_rules
+  in
+  let results =
+    List.concat_map
+      (fun (file, findings) -> List.map (sarif_result ~file) findings)
+      reports
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ( "$schema",
+           Json.Str
+             "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+         );
+         ("version", Json.Str "2.1.0");
+         ( "runs",
+           Json.List
+             [
+               Json.Obj
+                 [
+                   ( "tool",
+                     Json.Obj
+                       [
+                         ( "driver",
+                           Json.Obj
+                             [
+                               ("name", Json.Str "stilint");
+                               ("rules", Json.List rules);
+                             ] );
+                       ] );
+                   ("results", Json.List results);
+                 ];
+             ] );
+       ])
+  ^ "\n"

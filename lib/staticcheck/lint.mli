@@ -32,3 +32,12 @@ val render_text : file:string -> Finding.t list -> string
 val render_json : file:string -> Finding.t list -> string
 (** The {!Finding.report_json} object, pretty-printed, newline
     terminated. *)
+
+val render_sarif : (string * Finding.t list) list -> string
+(** One SARIF 2.1.0 document covering every (file, findings) report:
+    [runs[0].tool.driver] is "stilint" with one reportingDescriptor per
+    lint rule; each finding becomes a [results[]] entry with [ruleId] =
+    the rule's kind name, [level] mapped from severity
+    (error/warning/note), and a physicalLocation carrying the file URI
+    and, when the finding has a line, the start line. Loadable by any
+    SARIF viewer (GitHub code scanning, VS Code SARIF viewer). *)

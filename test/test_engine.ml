@@ -41,6 +41,20 @@ let prop_scheduler_exactly_once =
       ys = List.map (fun i -> i * i) xs
       && List.for_all (fun i -> runs.(i) = 1) xs)
 
+(* The always-on scheduler counters see every task claimed exactly once
+   under a parallel fan-out: the task count grows by exactly n, and the
+   own-claim/steal split partitions it. *)
+let test_scheduler_stats_exactly_once () =
+  let before = Scheduler.stats () in
+  let n = 37 in
+  ignore (Scheduler.map ~jobs:4 (fun i -> i * 2) (List.init n (fun i -> i)));
+  let after = Scheduler.stats () in
+  checki "one fan-out recorded" 1 (after.Scheduler.fanouts - before.Scheduler.fanouts);
+  checki "every task counted" n (after.Scheduler.tasks - before.Scheduler.tasks);
+  checki "own claims + steals = tasks" n
+    (after.Scheduler.own_claims + after.Scheduler.steals
+    - (before.Scheduler.own_claims + before.Scheduler.steals))
+
 let test_scheduler_exception_propagates () =
   checkb "task exception re-raised" true
     (try
@@ -187,6 +201,8 @@ let test_table3_identical_across_jobs () =
 let tests =
   [
     QCheck_alcotest.to_alcotest prop_scheduler_exactly_once;
+    Alcotest.test_case "scheduler: stats count each task once" `Quick
+      test_scheduler_stats_exactly_once;
     Alcotest.test_case "scheduler: exceptions propagate" `Quick
       test_scheduler_exception_propagates;
     Alcotest.test_case "scheduler: nested fan-out" `Quick

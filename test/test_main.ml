@@ -15,6 +15,7 @@ let () =
       ("punning", Test_punning.tests);
       ("workloads", Test_workloads.tests);
       ("engine", Test_engine.tests);
+      ("observe", Test_observe.tests);
       ("dataflow", Test_dataflow.tests);
       ("report", Test_report.tests);
       ("perf", Test_perf.tests);

@@ -72,6 +72,65 @@ let test_lint_locations () =
         (lint_src sc.program))
     Rsti_attacks.Catalog.all
 
+(* --------------------------- lint: SARIF ---------------------------- *)
+
+(* The SARIF document parses, carries the 2.1.0 version tag and the
+   stilint rule table, and every finding maps to a result whose ruleId
+   is a declared rule. *)
+let test_lint_sarif () =
+  let module J = Rsti_staticcheck.Json in
+  let sc = List.hd Rsti_attacks.Catalog.all in
+  let findings = lint_src sc.program in
+  let doc = Lint.render_sarif [ ("a.c", findings); ("b.c", []) ] in
+  match J.of_string doc with
+  | Error e -> Alcotest.failf "SARIF does not parse: %s" e
+  | Ok (J.Obj fields) -> (
+      checkb "version 2.1.0" true
+        (List.assoc "version" fields = J.Str "2.1.0");
+      match List.assoc "runs" fields with
+      | J.List [ J.Obj run ] ->
+          let driver =
+            match List.assoc "tool" run with
+            | J.Obj t -> (
+                match List.assoc "driver" t with
+                | J.Obj d -> d
+                | _ -> Alcotest.fail "driver is not an object")
+            | _ -> Alcotest.fail "tool is not an object"
+          in
+          checkb "driver is stilint" true
+            (List.assoc "name" driver = J.Str "stilint");
+          let rule_ids =
+            match List.assoc "rules" driver with
+            | J.List rules ->
+                List.map
+                  (function
+                    | J.Obj r -> (
+                        match List.assoc "id" r with
+                        | J.Str id -> id
+                        | _ -> Alcotest.fail "rule id is not a string")
+                    | _ -> Alcotest.fail "rule is not an object")
+                  rules
+            | _ -> Alcotest.fail "rules is not a list"
+          in
+          checki "eight declared rules" 8 (List.length rule_ids);
+          (match List.assoc "results" run with
+          | J.List results ->
+              checki "one result per finding" (List.length findings)
+                (List.length results);
+              List.iter
+                (function
+                  | J.Obj r -> (
+                      match List.assoc "ruleId" r with
+                      | J.Str id ->
+                          checkb ("ruleId declared: " ^ id) true
+                            (List.mem id rule_ids)
+                      | _ -> Alcotest.fail "ruleId is not a string")
+                  | _ -> Alcotest.fail "result is not an object")
+                results
+          | _ -> Alcotest.fail "results is not a list")
+      | _ -> Alcotest.fail "runs is not a one-element list")
+  | Ok _ -> Alcotest.fail "SARIF document is not an object"
+
 (* ------------------- elision: the safety invariant ------------------ *)
 
 (* Elision must never change a detection verdict: any scenario, any
@@ -326,6 +385,8 @@ let tests =
       `Quick test_catalog_coverage;
     Alcotest.test_case "lint: findings carry locations" `Quick
       test_lint_locations;
+    Alcotest.test_case "lint: SARIF document well-formed" `Quick
+      test_lint_sarif;
     QCheck_alcotest.to_alcotest prop_elide_preserves_verdicts;
     QCheck_alcotest.to_alcotest prop_elide_pt_preserves_verdicts;
     QCheck_alcotest.to_alcotest prop_elide_sound_monotone;
