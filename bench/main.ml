@@ -15,8 +15,8 @@
 
    Sections: table1 table2 table3 fig9 fig10 pp-census parts correlation
              ablation-pac ablation-merge ablation-stl ablation-ce
-             ablation-pac-width backend elide elide-precision validate
-             micro
+             ablation-pac-width backend elide elide-precision
+             elide-precision-cs validate micro
 
    Every run also writes a machine-readable summary (BENCH_fig9.json by
    default): per-benchmark overheads and geomeans when the perf sections
@@ -36,6 +36,10 @@ let section title = print_endline (Tab.section title)
 (* Perf data is shared between fig9/fig10/correlation; collected lazily,
    fanned out over the engine's domain pool. *)
 let perf = lazy (Perf.collect ())
+
+(* Captured when the elide-precision-cs section runs so json_summary can
+   embed the per-mode safe counts and wall-clocks. *)
+let cs_rows : Rsti_report.Ablation.cs_row list ref = ref []
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per reproduced table or
@@ -192,6 +196,11 @@ let sections : (string * string * (unit -> unit)) list =
         print_endline
           (Rsti_report.Security.elide_safety
              ~elision:Rsti_staticcheck.Elide.With_points_to ()) );
+    ( "elide-precision-cs", "Elision precision: context-sensitive ladder",
+      fun () ->
+        let rows = Rsti_report.Ablation.elide_precision_cs_data () in
+        cs_rows := rows;
+        print_endline (Rsti_report.Ablation.render_elide_precision_cs rows) );
     ( "validate", "PAC-typestate translation validation",
       fun () -> print_endline (Rsti_report.Security.validation ()) );
     ("micro", "Bechamel micro-benchmarks", run_bechamel);
@@ -258,6 +267,28 @@ let json_summary ~jobs ~wall_clock ~timed =
       [ ("benchmarks", J.List benchmarks); ("geomeans", J.List geomeans) ]
     end
   in
+  let cs_fields =
+    match !cs_rows with
+    | [] -> []
+    | rows ->
+        [
+          ( "elide-precision-cs",
+            J.List
+              (List.map
+                 (fun (r : Rsti_report.Ablation.cs_row) ->
+                   J.Obj
+                     [
+                       ("name", J.Str r.cs_name);
+                       ("candidates", J.Int r.cs_candidates);
+                       ("safe_syntactic", J.Int r.cs_safe_syn);
+                       ("safe_points_to", J.Int r.cs_safe_pt);
+                       ("safe_cloning_k2", J.Int r.cs_safe_cs);
+                       ("seconds_points_to", J.Float r.cs_seconds_pt);
+                       ("seconds_cloning_k2", J.Float r.cs_seconds_cs);
+                     ])
+                 rows) );
+        ]
+  in
   J.Obj
     ([
        ("schema", J.Str "rsti-bench-fig9/1");
@@ -277,7 +308,7 @@ let json_summary ~jobs ~wall_clock ~timed =
              ("duplicated", J.Int cache.Rsti_engine.Cache.duplicated);
            ] );
      ]
-    @ perf_fields)
+    @ cs_fields @ perf_fields)
 
 (* ------------------------------------------------------------------ *)
 

@@ -95,7 +95,8 @@ let elide_conv =
     | None ->
         Error
           (`Msg
-            (Printf.sprintf "unknown elision mode %S (off|syntactic|points-to)"
+            (Printf.sprintf
+               "unknown elision mode %S (off|syntactic|points-to|context[:K])"
                s))
   in
   let print fmt m = Format.pp_print_string fmt (Elide.mode_to_string m) in
@@ -109,23 +110,6 @@ let compile_instrumented ?(elision = Elide.Off) ?(validate = false) path mech =
     Printf.eprintf "rstic: translation validation failed:\n%s"
       (Rsti_dataflow.Validate.report_to_string report);
     exit 1
-
-let format_arg =
-  let fmt_conv =
-    let parse = function
-      | "text" -> Ok `Text
-      | "json" -> Ok `Json
-      | s -> Error (`Msg (Printf.sprintf "unknown format %S (text|json)" s))
-    in
-    let print fmt f =
-      Format.pp_print_string fmt (match f with `Text -> "text" | `Json -> "json")
-    in
-    Arg.conv (parse, print)
-  in
-  Arg.(
-    value
-    & opt fmt_conv `Text
-    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text (default) or json.")
 
 (* ------------------------------------------------------------------ *)
 
@@ -152,8 +136,10 @@ let run_cmd =
           ~doc:
             "Elide sign/auth pairs the static checker proves safe (see \
              $(b,rstic lint)): $(b,off) (default), $(b,syntactic) \
-             (flow-component proof) or $(b,points-to) (adds Andersen \
-             confinement); no-op under parts/none.")
+             (flow-component proof), $(b,points-to) (adds Andersen \
+             confinement) or $(b,context:K) (k-limited call-site-cloned \
+             confinement plus the scope-escape checker; bare \
+             $(b,context) means K=2); no-op under parts/none.")
   in
   let validate_flag =
     Arg.(
@@ -211,28 +197,92 @@ let emit_ir_cmd =
   in
   Cmd.v (Cmd.info "emit-ir" ~doc) Term.(const action $ file_arg $ mech_arg)
 
+let pt_mode_conv =
+  let parse s =
+    match Rsti_dataflow.Points_to.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown points-to mode %S (insensitive|cloning[:K])" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt (Rsti_dataflow.Points_to.mode_to_string m)
+  in
+  Arg.conv (parse, print)
+
 let analyze_cmd =
   let doc = "Print the STI analysis of a MiniC program." in
   let pt_flag =
     Arg.(
-      value & flag
-      & info [ "points-to" ]
+      value
+      & opt ~vopt:(Some Rsti_dataflow.Points_to.Insensitive)
+          (some pt_mode_conv) None
+      & info [ "points-to" ] ~docv:"MODE"
           ~doc:
-            "Run the Andersen points-to analysis and report each pointer \
-             variable's confinement verdict and the points-to-precision \
-             elision classification alongside the syntactic one.")
+            "Run the Andersen points-to analysis at MODE \
+             ($(b,insensitive), the bare-flag default, or \
+             $(b,cloning:K) for k-limited call-site cloning; bare \
+             $(b,cloning) means K=2) and report each pointer variable's \
+             confinement verdict and the matching elision \
+             classification alongside the syntactic one. A cloning mode \
+             also runs the scope-escape checker.")
   in
-  let action () file format points_to =
+  let analyze_format_arg =
+    let fmt_conv =
+      let parse = function
+        | "text" -> Ok `Text
+        | "json" -> Ok `Json
+        | "sarif" -> Ok `Sarif
+        | s ->
+            Error
+              (`Msg (Printf.sprintf "unknown format %S (text|json|sarif)" s))
+      in
+      let print fmt f =
+        Format.pp_print_string fmt
+          (match f with `Text -> "text" | `Json -> "json" | `Sarif -> "sarif")
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt fmt_conv `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: text (default), json, or sarif (a SARIF \
+             2.1.0 document carrying the dataflow findings — \
+             scope-escape and stale-frame-deref — at the requested \
+             points-to mode).")
+  in
+  let action () file format pt_mode =
     let a = analyzed_of_path file in
     let m = Pipeline.analyzed_ir a and anal = Pipeline.analysis a in
-    let pt_elide =
-      if not points_to then None
-      else begin
-        let pt =
-          Pipeline.points_to (Pipeline.compiled_of_analyzed a)
+    let comp = Pipeline.compiled_of_analyzed a in
+    (match format with
+    | `Sarif ->
+        (* the SARIF view is the dataflow findings; default to the
+           insensitive solution when no mode was requested *)
+        let mode =
+          Option.value pt_mode ~default:Rsti_dataflow.Points_to.Insensitive
         in
-        Some (pt, Elide.analyze ~points_to:pt anal m)
-      end
+        let scope = Pipeline.scope_escape ~mode comp in
+        print_string
+          (Rsti_staticcheck.Lint.render_sarif
+             [ (file, Rsti_staticcheck.Lint.dataflow_findings scope) ])
+    | (`Text | `Json) as format ->
+    let pt_elide =
+      match pt_mode with
+      | None -> None
+      | Some mode ->
+          let pt = Pipeline.points_to ~mode comp in
+          let scope =
+            match mode with
+            | Rsti_dataflow.Points_to.Insensitive -> None
+            | Rsti_dataflow.Points_to.Cloning _ ->
+                Some (Pipeline.scope_escape ~mode comp)
+          in
+          Some (pt, Elide.analyze ~points_to:pt ?scope anal m)
     in
     let vars = Rsti_sti.Analysis.pointer_vars anal in
     let s = Rsti_sti.Analysis.stats anal in
@@ -339,12 +389,12 @@ let analyze_cmd =
                 ]))
         in
         print_string (J.to_string j);
-        print_newline ()
+        print_newline ())
   in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
-      const action $ Rsti_engine_cli.setup_jobs_term $ file_arg $ format_arg
-      $ pt_flag)
+      const action $ Rsti_engine_cli.setup_jobs_term $ file_arg
+      $ analyze_format_arg $ pt_flag)
 
 let lint_cmd =
   let doc =
@@ -384,6 +434,18 @@ let lint_cmd =
              file), or sarif (one SARIF 2.1.0 document covering every \
              linted file).")
   in
+  let lint_pt_flag =
+    Arg.(
+      value
+      & opt ~vopt:(Some (Rsti_dataflow.Points_to.Cloning 2))
+          (some pt_mode_conv) None
+      & info [ "points-to" ] ~docv:"MODE"
+          ~doc:
+            "Also run the points-to-backed dataflow rules \
+             ($(b,scope-escape), $(b,stale-frame-deref)) at MODE \
+             ($(b,insensitive) or $(b,cloning:K); the bare flag means \
+             $(b,cloning:2)).")
+  in
   let rec collect path =
     if Sys.is_directory path then
       Sys.readdir path |> Array.to_list |> List.sort compare
@@ -391,7 +453,7 @@ let lint_cmd =
     else if Filename.check_suffix path ".c" then [ path ]
     else []
   in
-  let action () target format =
+  let action () target format pt_mode =
     if not (Sys.file_exists target) then begin
       Printf.eprintf "rstic lint: no such file or directory: %s\n" target;
       exit 2
@@ -407,8 +469,15 @@ let lint_cmd =
       Scheduler.map
         (fun file ->
           let a = analyzed_of_path file in
+          let scope =
+            Option.map
+              (fun mode ->
+                Pipeline.scope_escape ~mode (Pipeline.compiled_of_analyzed a))
+              pt_mode
+          in
           let findings =
-            Rsti_staticcheck.Lint.run (Pipeline.analysis a) (Pipeline.analyzed_ir a)
+            Rsti_staticcheck.Lint.run ?scope (Pipeline.analysis a)
+              (Pipeline.analyzed_ir a)
           in
           (file, findings))
         files
@@ -437,7 +506,7 @@ let lint_cmd =
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
       const action $ Rsti_engine_cli.setup_jobs_term $ target_arg
-      $ lint_format_arg)
+      $ lint_format_arg $ lint_pt_flag)
 
 let attacks_cmd =
   let doc = "Run the paper's attack catalog (Tables 1 and 2)." in
@@ -457,7 +526,8 @@ let report_cmd =
           ~doc:
             "One of: table1, table2, table3, fig9, fig10, pp-census, parts, \
              correlation, ablation-pac, ablation-merge, ablation-stl, \
-             ablation-ce, elide, elide-precision, validate.")
+             ablation-ce, elide, elide-precision, elide-precision-cs, \
+             validate.")
   in
   let action () which =
     match which with
@@ -484,6 +554,11 @@ let report_cmd =
         print_endline
           (Rsti_report.Security.elide_safety
              ~elision:Rsti_staticcheck.Elide.With_points_to ())
+    | "elide-precision-cs" ->
+        print_endline (Rsti_report.Ablation.elide_precision_cs ());
+        print_endline
+          (Rsti_report.Security.elide_safety
+             ~elision:(Rsti_staticcheck.Elide.With_context 2) ())
     | "validate" -> print_endline (Rsti_report.Security.validation ())
     | s ->
         Printf.eprintf "unknown report %S\n" s;
@@ -491,6 +566,35 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(const action $ Rsti_engine_cli.setup_jobs_term $ which)
+
+let workloads_cmd =
+  let doc =
+    "Dump the SPEC2006 workload kernels as MiniC source files (one \
+     <name>.c per workload, with the analysis population attached) — the \
+     corpus the CI lint/analyze legs run over."
+  in
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory (created).")
+  in
+  let action dir =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+    else if not (Sys.is_directory dir) then begin
+      Printf.eprintf "rstic workloads: not a directory: %s\n" dir;
+      exit 2
+    end;
+    List.iter
+      (fun (w : Rsti_workloads.Workload.t) ->
+        let path = Filename.concat dir (w.name ^ ".c") in
+        let oc = open_out path in
+        output_string oc (Rsti_workloads.Workload.analysis_source w);
+        close_out oc;
+        Printf.printf "%s\n" path)
+      Rsti_workloads.Spec2006.all
+  in
+  Cmd.v (Cmd.info "workloads" ~doc) Term.(const action $ dir_arg)
 
 let gen_cmd =
   let doc = "Generate a random MiniC program (seeded, reproducible)." in
@@ -523,4 +627,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; emit_ir_cmd; analyze_cmd; lint_cmd; attacks_cmd; report_cmd; gen_cmd ]))
+          [
+            run_cmd; emit_ir_cmd; analyze_cmd; lint_cmd; attacks_cmd;
+            report_cmd; gen_cmd; workloads_cmd;
+          ]))

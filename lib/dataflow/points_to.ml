@@ -14,6 +14,18 @@
    loads/stores through pointers and indirect calls are the classic
    complex constraints, re-evaluated as the address node's set grows.
 
+   Two precision modes share the machinery. [Insensitive] is the plain
+   whole-program solve. [Cloning k] layers {!Context}'s k-limited call
+   strings on top: every (function, context) pair gets its own register
+   and return nodes (the clone's name qualifies [Nreg]/[Nret]), while
+   abstract objects stay context-free — so the cloned solution projects
+   onto the insensitive one by erasing the qualifier, and is a
+   refinement of it. Parameter binding routes argument flows to the
+   callee clone selected by {!Context.extend}, which is what keeps
+   differently-contexted calls to one helper from merging. Heap objects
+   are keyed by stable call-site ids ({!Context.call_sites}) so object
+   identity is mode-independent.
+
    On top of the raw sets sits the attacker model the elision client
    consumes ({!confinement}): attacker-writable memory is the heap
    (extern allocations), extern data objects, globals behind a
@@ -29,6 +41,24 @@
 module Ir = Rsti_ir.Ir
 module Ctype = Rsti_minic.Ctype
 
+type mode = Insensitive | Cloning of int
+
+let mode_to_string = function
+  | Insensitive -> "insensitive"
+  | Cloning k -> Printf.sprintf "cloning:%d" k
+
+let mode_of_string = function
+  | "insensitive" -> Some Insensitive
+  | "cloning" -> Some (Cloning 2)
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i
+        when String.sub s 0 i = "cloning" -> (
+          match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some k when k >= 0 -> Some (Cloning k)
+          | _ -> None)
+      | _ -> None)
+
 type obj =
   | Ovar of int                (* named variable/global storage (var id) *)
   | Otmp of string * int       (* anonymous alloca site: (function, reg) *)
@@ -38,8 +68,16 @@ type obj =
   | Ostr                       (* the string table (read-only) *)
   | Ofun of string             (* a function's code *)
   | Ounknown                   (* int-to-pointer launder: anything *)
+  | Octx of obj * int
+      (* a cloned frame cell: the [Ovar]/[Otmp] storage of a local or
+         parameter in one non-empty calling context. Without this,
+         every clone of a function would spill its parameters into the
+         one shared frame object and the return channel would merge
+         right back — the per-context cell is what actually keeps
+         differently-contexted calls apart. Queries erase the wrapper
+         ({!base_obj}), so the public view stays context-free. *)
 
-let obj_to_string = function
+let rec obj_to_string = function
   | Ovar id -> Printf.sprintf "var#%d" id
   | Otmp (f, r) -> Printf.sprintf "tmp:%s/%d" f r
   | Ofield (s, f) -> Printf.sprintf "%s.%s" s f
@@ -48,16 +86,23 @@ let obj_to_string = function
   | Ostr -> "str"
   | Ofun f -> "fun:" ^ f
   | Ounknown -> "unknown"
+  | Octx (o, c) -> Printf.sprintf "%s@%d" (obj_to_string o) c
+
+(* Project a (possibly cloned) object onto the context-free base the
+   insensitive mode and every query speak in. *)
+let rec base_obj = function Octx (o, _) -> base_obj o | o -> o
 
 type node =
-  | Nreg of string * int (* virtual register, per function *)
+  | Nreg of string * int (* virtual register, per function clone *)
   | Ncell of obj         (* the pointer content stored in an object *)
-  | Nret of string       (* return-value channel of a defined function *)
+  | Nret of string       (* return-value channel of a function clone *)
 
 module IntSet = Set.Make (Int)
 
 type t = {
   modul : Ir.modul;
+  mode : mode;
+  ctx : Context.t option; (* Some iff mode is Cloning *)
   (* interning *)
   node_ids : (node, int) Hashtbl.t;
   mutable nodes : node array;
@@ -73,16 +118,21 @@ type t = {
   mutable stores_at : (int * int) list array;
       (* addr node -> (src node, store site id) *)
   mutable geps_at : string list array; (* base node -> struct names *)
-  mutable calls_at : (Ir.value list * int option * string) list array;
-      (* fnptr node -> (args, dst node, caller) for indirect calls *)
+  mutable calls_at :
+    (Ir.value list * int option * string * string * int * int) list array;
+      (* fnptr node -> (args, dst node, caller base, caller clone,
+         caller context, call site) for indirect calls *)
   (* side tables *)
+  variants : (obj, obj list ref) Hashtbl.t; (* base frame obj -> Octx clones *)
   instances : (string, IntSet.t ref) Hashtbl.t; (* struct -> base objects *)
   mutable escaped : IntSet.t ref; (* objects handed to extern code *)
   globals_by_name : (string, int) Hashtbl.t; (* global name -> var id *)
   defined : (string, Ir.func) Hashtbl.t;
   (* per-Sanon-class address nodes: type-class key -> addr node ids *)
   sanon_addrs : (string, IntSet.t ref) Hashtbl.t;
-  mutable heap_sites : int;
+  (* stable call-site ids, shared by both modes (Oheap identity) *)
+  sites : (string * int, int) Hashtbl.t;
+  mutable n_clones : int;
   mutable iterations : int;
   work : Worklist.t; (* the solver's queue; per-analysis, domain-safe *)
 }
@@ -119,7 +169,18 @@ let obj_id t o =
         t.objs <- Array.append t.objs (Array.make (max 64 (Array.length t.objs)) Ostr);
       t.objs.(i) <- o;
       t.n_objs <- i + 1;
+      (match o with
+      | Octx _ -> (
+          let b = base_obj o in
+          match Hashtbl.find_opt t.variants b with
+          | Some l -> l := o :: !l
+          | None -> Hashtbl.replace t.variants b (ref [ o ]))
+      | _ -> ());
       i
+
+(* [o] itself plus every per-context clone of it that was interned. *)
+let with_variants t o =
+  match Hashtbl.find_opt t.variants o with Some l -> o :: !l | None -> [ o ]
 
 let sanon_key ty = Ctype.to_string (Ctype.strip_all_quals ty)
 
@@ -142,10 +203,13 @@ let instance_set t sname =
 
 (* ------------------------- constraint solving --------------------- *)
 
-let create (m : Ir.modul) =
+let create ?(mode = Insensitive) ?ctx (m : Ir.modul) =
+  let sites, _ = Context.call_sites m in
   let t =
     {
       modul = m;
+      mode;
+      ctx;
       node_ids = Hashtbl.create 256;
       nodes = Array.make 256 (Nret "");
       n_nodes = 0;
@@ -158,12 +222,14 @@ let create (m : Ir.modul) =
       stores_at = Array.make 256 [];
       geps_at = Array.make 256 [];
       calls_at = Array.make 256 [];
+      variants = Hashtbl.create 32;
       instances = Hashtbl.create 32;
       escaped = ref IntSet.empty;
       globals_by_name = Hashtbl.create 32;
       defined = Hashtbl.create 32;
       sanon_addrs = Hashtbl.create 32;
-      heap_sites = 0;
+      sites;
+      n_clones = 0;
       iterations = 0;
       work = Worklist.create 1024;
     }
@@ -207,7 +273,8 @@ let value_objs t ~fn:_ (v : Ir.value) =
   | Ir.Imm _ | Ir.Fimm _ | Ir.Null | Ir.Reg _ -> []
 
 (* Route a value into a node: registers become copy edges, address
-   constants become base facts. *)
+   constants become base facts. [fn] is the clone the value is
+   evaluated in — register nodes are per-clone. *)
 let flow_value t ~fn v ~into =
   match v with
   | Ir.Reg r -> add_copy t (node_id t (Nreg (fn, r))) into
@@ -238,39 +305,56 @@ let escape_value t ~fn v =
       Worklist.push t.work n
   | _ -> List.iter (fun o -> mark_escaped t o) (value_objs t ~fn v)
 
-let bind_call t ~caller args dst (callee : string) =
+(* The clone a call binds its callee under: the caller's context
+   extended by the call site (insensitive mode: the callee itself). *)
+let callee_clone t ~caller ~ctxid ~site callee =
+  match t.ctx with
+  | None -> callee
+  | Some c ->
+      Context.clone_name c callee
+        (Context.extend c ~caller ~ctx:ctxid ~site ~callee)
+
+let bind_call t ~caller ~caller_clone ~ctxid ~site args dst (callee : string) =
   match Hashtbl.find_opt t.defined callee with
   | Some callee_fn ->
+      let clone = callee_clone t ~caller ~ctxid ~site callee in
       List.iteri
         (fun i arg ->
           (* parameter i occupies register i in the callee's entry *)
           if i < List.length callee_fn.Ir.params then
-            flow_value t ~fn:caller arg
-              ~into:(node_id t (Nreg (callee_fn.Ir.name, i))))
+            flow_value t ~fn:caller_clone arg
+              ~into:(node_id t (Nreg (clone, i))))
         args;
       (match dst with
-      | Some d -> add_copy t (node_id t (Nret callee)) d
+      | Some d -> add_copy t (node_id t (Nret clone)) d
       | None -> ())
   | None ->
-      (* external function: arguments escape, result is a fresh heap
-         object per call site *)
-      List.iter (fun a -> escape_value t ~fn:caller a) args;
+      (* external function: arguments escape, result is one heap object
+         per static call site (stable ids keep both modes agreeing) *)
+      List.iter (fun a -> escape_value t ~fn:caller_clone a) args;
       (match dst with
-      | Some d ->
-          t.heap_sites <- t.heap_sites + 1;
-          add_obj t d (obj_id t (Oheap (callee, t.heap_sites)))
+      | Some d -> add_obj t d (obj_id t (Oheap (callee, site)))
       | None -> ())
 
-let gen_function t (fn : Ir.func) =
+(* Frame storage (parameter spills and locals) must be per-clone: the
+   ε clone keeps the bare base object, every other context gets its own
+   [Octx] cell. *)
+let frame_obj ~ctxid o = if ctxid = Context.empty_ctx then o else Octx (o, ctxid)
+
+(* Generate constraints for one clone of a function: register and
+   return nodes carry the clone name, abstract objects the base name. *)
+let gen_function t (fn : Ir.func) ~clone ~ctxid =
   let fname = fn.Ir.name in
-  let reg r = node_id t (Nreg (fname, r)) in
+  let reg r = node_id t (Nreg (clone, r)) in
+  let nth_call = ref 0 in
+  t.n_clones <- t.n_clones + 1;
   Ir.iter_instrs
     (fun ins ->
       match ins.Ir.i with
       | Ir.Alloca { dst; dv = Some d; _ } ->
-          add_obj t (reg dst) (obj_id t (Ovar d.Rsti_ir.Dinfo.dv_id))
+          add_obj t (reg dst) (obj_id t (frame_obj ~ctxid (Ovar d.Rsti_ir.Dinfo.dv_id)))
       | Ir.Alloca { dst; dv = None; _ } ->
-          add_obj t (reg dst) (obj_id t (Otmp (fname, dst)))
+          add_obj t (reg dst) (obj_id t (frame_obj ~ctxid (Otmp (fname, dst))))
       | Ir.Load { dst; addr; ty; slot } ->
           (match slot with
           | Ir.Sanon sty when Ctype.is_pointer ty -> (
@@ -290,7 +374,7 @@ let gen_function t (fn : Ir.func) =
                     match content_node t o with
                     | Some c -> add_copy t c (reg dst)
                     | None -> ())
-                  (value_objs t ~fn:fname addr)
+                  (value_objs t ~fn:clone addr)
           end
       | Ir.Store { src; addr; ty; slot } ->
           (match slot with
@@ -308,11 +392,11 @@ let gen_function t (fn : Ir.func) =
                     t.stores_at.(a) <- (reg s, 0) :: t.stores_at.(a);
                     if not (IntSet.is_empty t.pts.(a)) then Worklist.push t.work a
                 | _ ->
-                    let objs = value_objs t ~fn:fname src in
+                    let objs = value_objs t ~fn:clone src in
                     if objs <> [] then begin
                       (* constant address stored through a pointer: model
                          with a synthetic source node *)
-                      let s = node_id t (Nreg (fname, -1 - Hashtbl.hash ins)) in
+                      let s = node_id t (Nreg (clone, -1 - Hashtbl.hash ins)) in
                       List.iter (fun o -> add_obj t s o) objs;
                       t.stores_at.(a) <- (s, 0) :: t.stores_at.(a);
                       Worklist.push t.work a
@@ -321,9 +405,9 @@ let gen_function t (fn : Ir.func) =
                 List.iter
                   (fun o ->
                     match content_node t o with
-                    | Some c -> flow_value t ~fn:fname src ~into:c
+                    | Some c -> flow_value t ~fn:clone src ~into:c
                     | None -> ())
-                  (value_objs t ~fn:fname addr)
+                  (value_objs t ~fn:clone addr)
           end
       | Ir.Gep { dst; base; sname; field } ->
           add_obj t (reg dst) (obj_id t (Ofield (sname, field)));
@@ -335,30 +419,41 @@ let gen_function t (fn : Ir.func) =
           | _ ->
               List.iter
                 (fun o -> instance_set t sname := IntSet.add o !(instance_set t sname))
-                (value_objs t ~fn:fname base))
+                (value_objs t ~fn:clone base))
       | Ir.Gepidx { dst; base; _ } ->
           (* an element address points into the same object *)
-          flow_value t ~fn:fname base ~into:(reg dst)
-      | Ir.Bitcast { dst; src; _ } -> flow_value t ~fn:fname src ~into:(reg dst)
+          flow_value t ~fn:clone base ~into:(reg dst)
+      | Ir.Bitcast { dst; src; _ } -> flow_value t ~fn:clone src ~into:(reg dst)
       | Ir.Cast_num { dst; src; from_ty; to_ty } ->
           (* pointer laundered through an integer: everything it points
              to escapes; an integer cast back to a pointer can point
              anywhere *)
           if Ctype.is_pointer (Ctype.strip_all_quals from_ty) then
-            escape_value t ~fn:fname src;
+            escape_value t ~fn:clone src;
           if Ctype.is_pointer (Ctype.strip_all_quals to_ty) then
             add_obj t (reg dst) (obj_id t Ounknown)
       | Ir.Call { dst; callee; args; _ } -> (
+          let site =
+            match Hashtbl.find_opt t.sites (fname, !nth_call) with
+            | Some s -> s
+            | None -> -1
+          in
+          incr nth_call;
           let dstn = Option.map reg dst in
           match callee with
-          | Ir.Direct f -> bind_call t ~caller:fname args dstn f
+          | Ir.Direct f ->
+              bind_call t ~caller:fname ~caller_clone:clone ~ctxid ~site args
+                dstn f
           | Ir.Indirect v -> (
               match v with
               | Ir.Reg r ->
                   let n = reg r in
-                  t.calls_at.(n) <- (args, dstn, fname) :: t.calls_at.(n);
+                  t.calls_at.(n) <-
+                    (args, dstn, fname, clone, ctxid, site) :: t.calls_at.(n);
                   if not (IntSet.is_empty t.pts.(n)) then Worklist.push t.work n
-              | Ir.Funcaddr f -> bind_call t ~caller:fname args dstn f
+              | Ir.Funcaddr f ->
+                  bind_call t ~caller:fname ~caller_clone:clone ~ctxid ~site
+                    args dstn f
               | _ -> ()))
       | Ir.Binop _ | Ir.Neg _ | Ir.Lognot _ | Ir.Bitnot _ | Ir.Pac _ | Ir.Pp _ ->
           ())
@@ -367,7 +462,7 @@ let gen_function t (fn : Ir.func) =
   Array.iter
     (fun (b : Ir.block) ->
       match b.Ir.term with
-      | Ir.Ret (Some v) -> flow_value t ~fn:fname v ~into:(node_id t (Nret fname))
+      | Ir.Ret (Some v) -> flow_value t ~fn:clone v ~into:(node_id t (Nret clone))
       | _ -> ())
     fn.Ir.blocks
 
@@ -413,13 +508,17 @@ let solve t =
           t.geps_at.(n);
         (* complex: indirect calls through n *)
         List.iter
-          (fun (args, dstn, caller) ->
+          (fun (args, dstn, caller, caller_clone, ctxid, site) ->
             IntSet.iter
               (fun o ->
                 match t.objs.(o) with
-                | Ofun f when not (Hashtbl.mem processed_calls (n, Hashtbl.hash (f, caller, args))) ->
-                    Hashtbl.replace processed_calls (n, Hashtbl.hash (f, caller, args)) ();
-                    bind_call t ~caller args dstn f
+                | Ofun f
+                  when not
+                         (Hashtbl.mem processed_calls
+                            (n, Hashtbl.hash (f, caller_clone, site))) ->
+                    Hashtbl.replace processed_calls
+                      (n, Hashtbl.hash (f, caller_clone, site)) ();
+                    bind_call t ~caller ~caller_clone ~ctxid ~site args dstn f
                 | _ -> ())
               set)
           t.calls_at.(n);
@@ -433,18 +532,31 @@ let c_iterations = Rsti_observe.Observe.Metrics.counter "dataflow.points_to.iter
 let h_iterations =
   Rsti_observe.Observe.Metrics.histogram "dataflow.points_to.iterations_per_solve"
 
-let analyze (m : Ir.modul) =
+let analyze ?(mode = Insensitive) (m : Ir.modul) =
   let module Observe = Rsti_observe.Observe in
   let sp = Observe.Span.enter "dataflow.points_to" in
-  let t = create m in
   let cg = Callgraph.of_modul m in
+  let ctx =
+    match mode with
+    | Insensitive -> None
+    | Cloning k -> Some (Context.build ~k m cg)
+  in
+  let t = create ~mode ?ctx m in
   (* bottom-up: callees' facts exist before callers copy into them *)
   let by_name = Hashtbl.create 64 in
   List.iter (fun (f : Ir.func) -> Hashtbl.replace by_name f.Ir.name f) m.Ir.m_funcs;
   List.iter
     (fun name ->
       match Hashtbl.find_opt by_name name with
-      | Some fn -> gen_function t fn
+      | Some fn -> (
+          match ctx with
+          | None -> gen_function t fn ~clone:name ~ctxid:Context.empty_ctx
+          | Some c ->
+              List.iter
+                (fun cid ->
+                  gen_function t fn ~clone:(Context.clone_name c name cid)
+                    ~ctxid:cid)
+                (Context.contexts_of c name))
       | None -> ())
     (Callgraph.bottom_up cg);
   solve t;
@@ -452,8 +564,10 @@ let analyze (m : Ir.modul) =
   Observe.Metrics.add c_iterations t.iterations;
   Observe.Metrics.observe h_iterations (float_of_int t.iterations);
   if sp != Observe.Span.none then begin
+    Observe.Span.add_attr sp "mode" (mode_to_string mode);
     Observe.Span.add_attr sp "nodes" (string_of_int t.n_nodes);
     Observe.Span.add_attr sp "objects" (string_of_int t.n_objs);
+    Observe.Span.add_attr sp "clones" (string_of_int t.n_clones);
     Observe.Span.add_attr sp "iterations" (string_of_int t.iterations)
   end;
   Observe.Span.exit sp;
@@ -461,18 +575,67 @@ let analyze (m : Ir.modul) =
 
 (* ----------------------------- queries ---------------------------- *)
 
+let mode t = t.mode
+
+let clones_of t fn =
+  match t.ctx with
+  | None -> [ fn ]
+  | Some c -> List.map (Context.clone_name c fn) (Context.contexts_of c fn)
+
+(* Every query answers in context-free base objects: cloned frame cells
+   are projected down, so clients never see an [Octx]. *)
+let objs_of_ids t ids =
+  List.sort_uniq compare
+    (List.map (fun o -> base_obj t.objs.(o)) (IntSet.elements ids))
+
 let points_to t ~fn (v : Ir.value) =
   match v with
-  | Ir.Reg r -> (
-      match Hashtbl.find_opt t.node_ids (Nreg (fn, r)) with
-      | Some n -> List.map (fun o -> t.objs.(o)) (IntSet.elements t.pts.(n))
-      | None -> [])
-  | _ -> List.map (fun o -> t.objs.(o)) (value_objs t ~fn v)
+  | Ir.Reg r ->
+      let ids =
+        List.fold_left
+          (fun acc clone ->
+            match Hashtbl.find_opt t.node_ids (Nreg (clone, r)) with
+            | Some n -> IntSet.union acc t.pts.(n)
+            | None -> acc)
+          IntSet.empty (clones_of t fn)
+      in
+      objs_of_ids t ids
+  | _ ->
+      List.sort_uniq compare
+        (List.map (fun o -> base_obj t.objs.(o)) (value_objs t ~fn v))
+
+let returns t ~fn =
+  let ids =
+    List.fold_left
+      (fun acc clone ->
+        match Hashtbl.find_opt t.node_ids (Nret clone) with
+        | Some n -> IntSet.union acc t.pts.(n)
+        | None -> acc)
+      IntSet.empty (clones_of t fn)
+  in
+  objs_of_ids t ids
 
 let instances_of t sname =
   match Hashtbl.find_opt t.instances sname with
-  | Some s -> List.map (fun o -> t.objs.(o)) (IntSet.elements !s)
+  | Some s -> objs_of_ids t !s
   | None -> []
+
+let objects t =
+  List.sort_uniq compare
+    (List.map base_obj (Array.to_list (Array.sub t.objs 0 t.n_objs)))
+
+let cell_contents t o =
+  let ids =
+    List.fold_left
+      (fun acc v ->
+        match Hashtbl.find_opt t.node_ids (Ncell v) with
+        | Some c -> IntSet.union acc t.pts.(c)
+        | None -> acc)
+      IntSet.empty (with_variants t o)
+  in
+  objs_of_ids t ids
+
+let escaped_objects t = objs_of_ids t !(t.escaped)
 
 type stats = {
   nodes : int;
@@ -480,15 +643,21 @@ type stats = {
   iterations : int;
   heap_objects : int;
   escaped_objects : int;
+  clones : int;
 }
 
 let stats t =
+  let heap = ref 0 in
+  for o = 0 to t.n_objs - 1 do
+    match t.objs.(o) with Oheap _ -> incr heap | _ -> ()
+  done;
   {
     nodes = t.n_nodes;
     objects = t.n_objs;
     iterations = t.iterations;
-    heap_objects = t.heap_sites;
+    heap_objects = !heap;
     escaped_objects = IntSet.cardinal !(t.escaped);
+    clones = t.n_clones;
   }
 
 (* ------------------------- the attacker model ---------------------- *)
@@ -500,7 +669,7 @@ let confinement ?(windowed = []) (pt : t) =
      pointers, and globals behind a linear-overflow window *)
   let seeds = ref IntSet.empty in
   for o = 0 to pt.n_objs - 1 do
-    match pt.objs.(o) with
+    match base_obj pt.objs.(o) with
     | Oheap _ | Oextern _ | Ounknown -> seeds := IntSet.add o !seeds
     | Ovar id when List.mem id windowed -> seeds := IntSet.add o !seeds
     | _ -> ()
@@ -536,11 +705,15 @@ let confinement ?(windowed = []) (pt : t) =
   { pt; attacker = close !seeds }
 
 let attacker_obj c o =
-  match Hashtbl.find_opt c.pt.obj_ids o with
-  | Some i -> IntSet.mem i c.attacker
-  | None -> false
+  (* [o] is a base object; any reachable per-context clone taints it *)
+  List.exists
+    (fun v ->
+      match Hashtbl.find_opt c.pt.obj_ids v with
+      | Some i -> IntSet.mem i c.attacker
+      | None -> false)
+    (with_variants c.pt o)
 
-let attacker_objects c = List.map (fun o -> c.pt.objs.(o)) (IntSet.elements c.attacker)
+let attacker_objects c = objs_of_ids c.pt c.attacker
 
 (* Is this slot's storage provably out of the attacker's reach?
 
@@ -560,10 +733,13 @@ let confined_slot c (slot : Ir.slot) =
   let pt = c.pt in
   let att o = IntSet.mem o c.attacker in
   match slot with
-  | Ir.Svar id -> (
-      match Hashtbl.find_opt pt.obj_ids (Ovar id) with
-      | Some o -> not (att o)
-      | None -> true)
+  | Ir.Svar id ->
+      List.for_all
+        (fun v ->
+          match Hashtbl.find_opt pt.obj_ids v with
+          | Some o -> not (att o)
+          | None -> true)
+        (with_variants pt (Ovar id))
   | Ir.Sfield (s, f) ->
       (match Hashtbl.find_opt pt.instances s with
       | Some is -> not (IntSet.exists att !is)
@@ -581,9 +757,10 @@ let confined_slot c (slot : Ir.slot) =
                 (fun o ->
                   (not (att o))
                   &&
-                  match pt.objs.(o) with
+                  match base_obj pt.objs.(o) with
                   | Ovar _ | Otmp _ -> true
-                  | Ofield _ | Oheap _ | Oextern _ | Ostr | Ofun _ | Ounknown ->
+                  | Ofield _ | Oheap _ | Oextern _ | Ostr | Ofun _ | Ounknown
+                  | Octx _ ->
                       false)
                 pt.pts.(a))
             !addrs)

@@ -12,6 +12,19 @@
     backed only by other memory is {e confined}, so the syntactic
     "a cast/escape appears somewhere" obligations can be discharged. *)
 
+type mode =
+  | Insensitive        (** the plain whole-program Andersen solve *)
+  | Cloning of int     (** k-limited call-site cloning over {!Context}
+                           call strings; [Cloning 0] produces the same
+                           solution as [Insensitive] *)
+
+val mode_to_string : mode -> string
+(** ["insensitive"] or ["cloning:K"] — stable; used as cache keys. *)
+
+val mode_of_string : string -> mode option
+(** Inverse of {!mode_to_string}; bare ["cloning"] means [Cloning 2].
+    Negative k is rejected. *)
+
 type obj =
   | Ovar of int                (** named variable/global storage (var id) *)
   | Otmp of string * int       (** anonymous alloca site: (function, reg) *)
@@ -21,21 +34,53 @@ type obj =
   | Ostr                       (** the string table (read-only) *)
   | Ofun of string             (** a function's code *)
   | Ounknown                   (** int-to-pointer launder: may be anything *)
+  | Octx of obj * int
+      (** a frame cell ([Ovar]/[Otmp]) of one non-empty calling context,
+          created internally under [Cloning k] so differently-contexted
+          calls keep separate parameter/local storage. Queries project
+          it down to its base, so client code never receives one. *)
 
 val obj_to_string : obj -> string
 
+val base_obj : obj -> obj
+(** Strip any [Octx] wrapper: the context-free object every query and
+    the insensitive mode speak in. Identity on other constructors. *)
+
 type t
 
-val analyze : Rsti_ir.Ir.modul -> t
+val analyze : ?mode:mode -> Rsti_ir.Ir.modul -> t
 (** Generate and solve the constraint system for a module (call once;
-    the result is immutable thereafter and safe to share). *)
+    the result is immutable thereafter and safe to share). Default mode
+    is [Insensitive]. Under [Cloning k], register and return nodes are
+    duplicated per {!Context} call string and frame objects (parameter
+    spills and locals) get per-context [Octx] cells, while globals,
+    fields and heap objects stay context-free. Every query below unions
+    over the clones and projects [Octx] back to base objects, so the
+    cloned solution is a pointwise refinement of the insensitive one
+    after projection. *)
+
+val mode : t -> mode
 
 val points_to : t -> fn:string -> Rsti_ir.Ir.value -> obj list
-(** The objects a value may point to, evaluated in function [fn]. *)
+(** The objects a value may point to, evaluated in function [fn]
+    (unioned over [fn]'s clones in cloning mode). *)
+
+val returns : t -> fn:string -> obj list
+(** The objects function [fn]'s return value may point to. *)
 
 val instances_of : t -> string -> obj list
 (** The base objects field accesses of struct [sname] were applied to —
     where instances of the struct may live. *)
+
+val objects : t -> obj list
+(** Every distinct base object the solve interned, sorted. *)
+
+val cell_contents : t -> obj -> obj list
+(** The objects whose addresses may be stored inside [o] (its content
+    cell); empty for objects without a cell. *)
+
+val escaped_objects : t -> obj list
+(** Objects whose addresses were handed to external code. *)
 
 type stats = {
   nodes : int;
@@ -43,6 +88,7 @@ type stats = {
   iterations : int;
   heap_objects : int;
   escaped_objects : int;
+  clones : int;          (** (function, context) pairs generated *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,377 @@
+(* Static scope-escape analysis: does the address of a stack slot
+   outlive its defining scope?
+
+   The paper enforces scope at runtime (the location-sensitive STL
+   mechanism); this pass is the static counterpart. Per function, a
+   forward may-escape lattice over the {!Cfg} tracks which registers may
+   hold addresses of the function's own locals (allocas seed the map;
+   geps, element addressing and bitcasts propagate it — an interior
+   pointer pins the whole frame slot). Sinks are the three ways an
+   address can outlive the frame:
+
+   - stored into longer-lived memory (a global, a struct field whose
+     instances are not all in this frame, or a deref destination the
+     points-to solution places outside the frame),
+   - returned to the caller,
+   - passed to external code (which may stash it anywhere).
+
+   The CFG pass yields precisely-located events; the points-to solution
+   then completes it interprocedurally — a local whose address sits in
+   some longer-lived object's content cell, escapes to extern code, or
+   flows out of the defining function's return channel may escape even
+   when every sink instruction is in a callee.
+
+   On top of the escape facts sits the stale-frame rule: a load/store in
+   function [g] through a pointer that may target a local of [f], where
+   [f] cannot be an active caller of [g] ([g] is unreachable from [f] in
+   the call graph), dereferences a frame that has provably ended. *)
+
+module Ir = Rsti_ir.Ir
+module Dinfo = Rsti_ir.Dinfo
+module IntMap = Map.Make (Int)
+module IntSet = Set.Make (Int)
+
+type sink =
+  | Stored of string        (* description of the longer-lived destination *)
+  | Returned
+  | Passed_extern of string (* the external callee *)
+
+let sink_to_string = function
+  | Stored dst -> "stored into " ^ dst
+  | Returned -> "returned to caller"
+  | Passed_extern f -> "passed to external function " ^ f
+
+type escape = {
+  local : int;         (* var id *)
+  local_name : string;
+  func : string;       (* defining function *)
+  line : int;          (* sink line, or the declaration line *)
+  sink : sink;
+}
+
+type stale = {
+  use_func : string;
+  use_line : int;
+  local_name : string;
+  decl_func : string;
+  must : bool; (* every object the pointer may target is a dead frame *)
+}
+
+type t = {
+  escapes : escape list;
+  stales : stale list;
+  escaping : IntSet.t;
+  n_locals : int;
+}
+
+(* ----------------------- the may-escape lattice -------------------- *)
+
+module Frame_transfer = struct
+  module L = struct
+    type t = IntSet.t IntMap.t (* reg -> local var ids it may address *)
+
+    let bottom = IntMap.empty
+    let equal = IntMap.equal IntSet.equal
+    let join = IntMap.union (fun _ a b -> Some (IntSet.union a b))
+    let widen = join
+  end
+
+  type ctx = { locals : IntSet.t } (* var ids owned by this function *)
+
+  let get st r =
+    match IntMap.find_opt r st with Some s -> s | None -> IntSet.empty
+
+  let held st = function Ir.Reg r -> get st r | _ -> IntSet.empty
+
+  let instr ctx (ins : Ir.instr) st =
+    match ins.Ir.i with
+    | Ir.Alloca { dst; dv = Some d; _ }
+      when IntSet.mem d.Dinfo.dv_id ctx.locals ->
+        IntMap.add dst (IntSet.singleton d.Dinfo.dv_id) st
+    | Ir.Gep { dst; base; _ } | Ir.Gepidx { dst; base; _ } ->
+        (* an interior address keeps the frame slot alive *)
+        IntMap.add dst (held st base) st
+    | Ir.Bitcast { dst; src; _ } -> IntMap.add dst (held st src) st
+    | Ir.Alloca { dst; _ }
+    | Ir.Load { dst; _ }
+    | Ir.Binop { dst; _ }
+    | Ir.Neg { dst; _ }
+    | Ir.Lognot { dst; _ }
+    | Ir.Bitnot { dst; _ }
+    | Ir.Cast_num { dst; _ } ->
+        IntMap.add dst IntSet.empty st
+    | Ir.Call { dst = Some d; _ } -> IntMap.add d IntSet.empty st
+    | Ir.Call { dst = None; _ } | Ir.Store _ | Ir.Pac _ | Ir.Pp _ -> st
+
+  let term _ _ st = st
+end
+
+module F = Solver.Forward (Frame_transfer)
+
+(* --------------------------- the analysis -------------------------- *)
+
+let c_analyses = Rsti_observe.Observe.Metrics.counter "dataflow.scope_escape.analyses"
+
+let analyze ~points_to:(pt : Points_to.t) (m : Ir.modul) =
+  let module Observe = Rsti_observe.Observe in
+  let sp = Observe.Span.enter "dataflow.scope_escape" in
+  let globals = Hashtbl.create 32 in
+  List.iter
+    (fun (g : Ir.global_def) ->
+      Hashtbl.replace globals g.Ir.gvar.Rsti_minic.Tast.v_id
+        g.Ir.gvar.Rsti_minic.Tast.v_name)
+    m.Ir.m_globals;
+  (* locals: every alloca'd variable, owned by its declaring function *)
+  let owner : (int, string * string * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (fn : Ir.func) ->
+      Ir.iter_instrs
+        (fun ins ->
+          match ins.Ir.i with
+          | Ir.Alloca { dv = Some d; _ } ->
+              Hashtbl.replace owner d.Dinfo.dv_id
+                (fn.Ir.name, d.Dinfo.dv_name, d.Dinfo.dv_line)
+          | _ -> ())
+        fn)
+    m.Ir.m_funcs;
+  let defined = Hashtbl.create 32 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace defined f.Ir.name ()) m.Ir.m_funcs;
+  let frame_obj ~fn ~locals = function
+    | Points_to.Ovar id -> IntSet.mem id locals
+    | Points_to.Otmp (f, _) -> f = fn
+    | _ -> false
+  in
+  let escapes = ref [] in
+  let line_of (ins : Ir.instr) =
+    match ins.Ir.dbg with Some d -> d.Dinfo.dl_line | None -> 0
+  in
+  (* the CFG pass: precisely-located sink events *)
+  List.iter
+    (fun (fn : Ir.func) ->
+      let fname = fn.Ir.name in
+      let locals =
+        Hashtbl.fold
+          (fun id (f, _, _) acc -> if f = fname then IntSet.add id acc else acc)
+          owner IntSet.empty
+      in
+      if not (IntSet.is_empty locals) then begin
+        let ctx = { Frame_transfer.locals } in
+        let cfg = Cfg.of_func fn in
+        let res = F.solve ~ctx cfg in
+        let emit ~line ~sink ids =
+          IntSet.iter
+            (fun l ->
+              match Hashtbl.find_opt owner l with
+              | Some (f, name, _) when f = fname ->
+                  escapes :=
+                    { local = l; local_name = name; func = fname; line; sink }
+                    :: !escapes
+              | _ -> ())
+            ids
+        in
+        for b = 0 to Cfg.n_blocks cfg - 1 do
+          F.iter_block ~ctx res b (fun ins st ->
+              let held v = Frame_transfer.held st v in
+              match ins.Ir.i with
+              | Ir.Store { src; addr; slot; _ } ->
+                  let ids = held src in
+                  if not (IntSet.is_empty ids) then begin
+                    let dst =
+                      match slot with
+                      | Ir.Svar id -> (
+                          match Hashtbl.find_opt globals id with
+                          | Some name -> Some ("global " ^ name)
+                          | None -> None (* a slot in this same frame *))
+                      | Ir.Sfield (s, _) -> (
+                          match Points_to.instances_of pt s with
+                          | [] -> None
+                          | is
+                            when List.for_all (frame_obj ~fn:fname ~locals) is
+                            ->
+                              None
+                          | _ -> Some ("a struct " ^ s ^ " outside the frame"))
+                      | Ir.Sanon _ -> (
+                          match Points_to.points_to pt ~fn:fname addr with
+                          | [] -> None
+                          | objs
+                            when List.for_all (frame_obj ~fn:fname ~locals)
+                                   objs ->
+                              None
+                          | objs ->
+                              let o =
+                                List.find
+                                  (fun o ->
+                                    not (frame_obj ~fn:fname ~locals o))
+                                  objs
+                              in
+                              Some (Points_to.obj_to_string o))
+                    in
+                    match dst with
+                    | Some d ->
+                        emit ~line:(line_of ins) ~sink:(Stored d) ids
+                    | None -> ()
+                  end
+              | Ir.Call { callee = Ir.Direct f; args; _ }
+                when not (Hashtbl.mem defined f) ->
+                  List.iter
+                    (fun a ->
+                      let ids = held a in
+                      if not (IntSet.is_empty ids) then
+                        emit ~line:(line_of ins) ~sink:(Passed_extern f) ids)
+                    args
+              | _ -> ());
+          match fn.Ir.blocks.(b).Ir.term with
+          | Ir.Ret (Some (Ir.Reg r)) ->
+              let ids = Frame_transfer.get (F.exit_state res b) r in
+              if not (IntSet.is_empty ids) then
+                emit ~line:0 ~sink:Returned ids
+          | _ -> ()
+        done
+      end)
+    m.Ir.m_funcs;
+  (* interprocedural completion from the points-to solution: addresses
+     that escape through callees have no sink instruction in the
+     defining function, but still show up escaped / stored in a
+     longer-lived cell / in the return channel *)
+  let seen = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace seen e.local ()) !escapes;
+  let longer_lived o =
+    match Points_to.base_obj o with
+    | Points_to.Ovar id -> Hashtbl.mem globals id
+    | Points_to.Ofield _ | Points_to.Oheap _ | Points_to.Oextern _
+    | Points_to.Ounknown ->
+        true
+    | Points_to.Otmp _ | Points_to.Ostr | Points_to.Ofun _
+    | Points_to.Octx _ ->
+        false
+  in
+  let escaped = Points_to.escaped_objects pt in
+  let complete l (f, name, line) =
+    if not (Hashtbl.mem seen l) then begin
+      let add sink =
+        if not (Hashtbl.mem seen l) then begin
+          Hashtbl.replace seen l ();
+          escapes :=
+            { local = l; local_name = name; func = f; line; sink } :: !escapes
+        end
+      in
+      if List.mem (Points_to.Ovar l) escaped then
+        add (Passed_extern "<extern>");
+      if not (Hashtbl.mem seen l) then
+        List.iter
+          (fun o ->
+            if longer_lived o then
+              if List.mem (Points_to.Ovar l) (Points_to.cell_contents pt o)
+              then add (Stored (Points_to.obj_to_string o)))
+          (Points_to.objects pt);
+      if not (Hashtbl.mem seen l) then
+        if List.mem (Points_to.Ovar l) (Points_to.returns pt ~fn:f) then
+          add Returned
+    end
+  in
+  let locals_sorted =
+    List.sort compare (Hashtbl.fold (fun l inf acc -> (l, inf) :: acc) owner [])
+  in
+  List.iter (fun (l, inf) -> complete l inf) locals_sorted;
+  (* stale-frame derefs: a use in [g] of a pointer targeting a local of
+     [f], where [f] cannot be an active caller of [g] *)
+  let cg = Callgraph.of_modul m in
+  let reach_cache = Hashtbl.create 16 in
+  let reaches f g =
+    let r =
+      match Hashtbl.find_opt reach_cache f with
+      | Some r -> r
+      | None ->
+          let r = Callgraph.reachable cg ~roots:[ f ] in
+          Hashtbl.replace reach_cache f r;
+          r
+    in
+    r g
+  in
+  let stales = ref [] in
+  let stale_seen = Hashtbl.create 16 in
+  List.iter
+    (fun (fn : Ir.func) ->
+      let g = fn.Ir.name in
+      Ir.iter_instrs
+        (fun ins ->
+          let addr =
+            match ins.Ir.i with
+            | Ir.Load { addr = Ir.Reg r; _ } | Ir.Store { addr = Ir.Reg r; _ }
+              ->
+                Some r
+            | _ -> None
+          in
+          match addr with
+          | None -> ()
+          | Some r ->
+              let objs = Points_to.points_to pt ~fn:g (Ir.Reg r) in
+              let dead_frame = function
+                | Points_to.Ovar l -> (
+                    match Hashtbl.find_opt owner l with
+                    | Some (f, _, _) -> f <> g && not (reaches f g)
+                    | None -> false)
+                | Points_to.Otmp (f, _) -> f <> g && not (reaches f g)
+                | _ -> false
+              in
+              let dead =
+                List.filter_map
+                  (function
+                    | Points_to.Ovar l when dead_frame (Points_to.Ovar l) ->
+                        Some l
+                    | _ -> None)
+                  objs
+              in
+              if dead <> [] then begin
+                let must = List.for_all dead_frame objs in
+                List.iter
+                  (fun l ->
+                    match Hashtbl.find_opt owner l with
+                    | Some (f, name, _) ->
+                        let line = line_of ins in
+                        if not (Hashtbl.mem stale_seen (g, line, l)) then begin
+                          Hashtbl.replace stale_seen (g, line, l) ();
+                          stales :=
+                            {
+                              use_func = g;
+                              use_line = line;
+                              local_name = name;
+                              decl_func = f;
+                              must;
+                            }
+                            :: !stales
+                        end
+                    | None -> ())
+                  dead
+              end)
+        fn)
+    m.Ir.m_funcs;
+  let escapes =
+    List.sort_uniq compare (List.rev !escapes)
+  in
+  let escaping =
+    List.fold_left (fun acc e -> IntSet.add e.local acc) IntSet.empty escapes
+  in
+  let t =
+    {
+      escapes;
+      stales = List.sort_uniq compare (List.rev !stales);
+      escaping;
+      n_locals = Hashtbl.length owner;
+    }
+  in
+  Observe.Metrics.incr c_analyses;
+  if sp != Observe.Span.none then begin
+    Observe.Span.add_attr sp "locals" (string_of_int t.n_locals);
+    Observe.Span.add_attr sp "escaping" (string_of_int (IntSet.cardinal escaping));
+    Observe.Span.add_attr sp "stale_derefs" (string_of_int (List.length t.stales))
+  end;
+  Observe.Span.exit sp;
+  t
+
+(* ----------------------------- queries ----------------------------- *)
+
+let escapes t = t.escapes
+let stale_derefs t = t.stales
+let may_escape t l = IntSet.mem l t.escaping
+let stats t = (IntSet.cardinal t.escaping, t.n_locals)

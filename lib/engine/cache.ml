@@ -31,16 +31,20 @@ let stage name =
 let st_compile = stage "compile"
 let st_analysis = stage "analysis"
 let st_points_to = stage "points_to"
+let st_points_to_cs = stage "points_to_cs"
+let st_scope = stage "scope_escape"
 let st_elide = stage "elide"
 let st_elide_pt = stage "elide_pt"
+let st_elide_ctx = stage "elide_ctx"
 let st_instrument = stage "instrument"
 let st_validate = stage "validate"
 let st_outcome = stage "outcome"
 
 let stages =
   [
-    st_compile; st_analysis; st_points_to; st_elide; st_elide_pt;
-    st_instrument; st_validate; st_outcome;
+    st_compile; st_analysis; st_points_to; st_points_to_cs; st_scope;
+    st_elide; st_elide_pt; st_elide_ctx; st_instrument; st_validate;
+    st_outcome;
   ]
 
 let span st = Observe.Span.enter ("cache." ^ st.sg_name)
@@ -61,9 +65,15 @@ let duplicated st sp =
 type entry = {
   modul : Rsti_ir.Ir.modul;
   mutable analysis : Rsti_sti.Analysis.t option;
-  mutable points_to : Rsti_dataflow.Points_to.t option;
+  mutable points_to :
+    (Rsti_dataflow.Points_to.mode * Rsti_dataflow.Points_to.t) list;
+      (* one solve per precision mode (k is part of the mode key) *)
+  mutable scope :
+    (Rsti_dataflow.Points_to.mode * Rsti_dataflow.Scope_escape.t) list;
   mutable elide_pred : (Rsti_ir.Ir.slot -> bool) option;
   mutable elide_pred_pt : (Rsti_ir.Ir.slot -> bool) option;
+  mutable elide_pred_ctx : (int * (Rsti_ir.Ir.slot -> bool)) list;
+      (* context-mode predicates, keyed by k *)
   mutable instrumented :
     ((RT.mechanism * Elide.mode) * Rsti_rsti.Instrument.result) list;
   mutable validated :
@@ -139,9 +149,11 @@ let entry ?(count = true) ~file text =
           {
             modul = Rsti_ir.Lower.compile ~file text;
             analysis = None;
-            points_to = None;
+            points_to = [];
+            scope = [];
             elide_pred = None;
             elide_pred_pt = None;
+            elide_pred_ctx = [];
             instrumented = [];
             validated = [];
           }
@@ -236,6 +248,38 @@ let memo_field ~stage:st ~get ~set ~compute e =
   Observe.Span.exit sp;
   v
 
+(* Memoize one slot of an entry's association-list field; same
+   first-writer-wins discipline as {!memo_field}. *)
+let memo_assoc ~stage:st ~get ~add ~key:k ~compute e =
+  let sp = span st in
+  Mutex.lock lock;
+  let found = List.assoc_opt k (get e) in
+  Mutex.unlock lock;
+  let v =
+    match found with
+    | Some v ->
+        hit st sp;
+        v
+    | None ->
+        let v = compute e in
+        Mutex.lock lock;
+        let winner = List.assoc_opt k (get e) in
+        let v =
+          match winner with
+          | Some w -> w
+          | None ->
+              add e k v;
+              v
+        in
+        Mutex.unlock lock;
+        (match winner with
+        | Some _ -> duplicated st sp
+        | None -> miss st sp);
+        v
+  in
+  Observe.Span.exit sp;
+  v
+
 let analysis ~file text =
   if not (enabled ()) then
     Rsti_sti.Analysis.analyze (Rsti_ir.Lower.compile ~file text)
@@ -249,14 +293,42 @@ let analysis ~file text =
 let elide_of anal modul =
   Rsti_staticcheck.Elide.elide (Rsti_staticcheck.Elide.analyze anal modul)
 
-let points_to ~file text =
+(* Points-to solves are memoized per precision mode — [Cloning k]
+   carries its k in the key, so each (k, mode) pair is one stage slot.
+   The insensitive and cloned solves report under separate stage
+   counters. *)
+let points_to_mode ~file ~mode text =
   if not (enabled ()) then
-    Rsti_dataflow.Points_to.analyze (Rsti_ir.Lower.compile ~file text)
+    Rsti_dataflow.Points_to.analyze ~mode (Rsti_ir.Lower.compile ~file text)
   else
-    memo_field ~stage:st_points_to
+    let st =
+      match mode with
+      | Rsti_dataflow.Points_to.Insensitive -> st_points_to
+      | Rsti_dataflow.Points_to.Cloning _ -> st_points_to_cs
+    in
+    memo_assoc ~stage:st
       ~get:(fun e -> e.points_to)
-      ~set:(fun e v -> e.points_to <- Some v)
-      ~compute:(fun e -> Rsti_dataflow.Points_to.analyze e.modul)
+      ~add:(fun e k v -> e.points_to <- (k, v) :: e.points_to)
+      ~key:mode
+      ~compute:(fun e -> Rsti_dataflow.Points_to.analyze ~mode e.modul)
+      (entry ~count:false ~file text)
+
+let points_to ~file text =
+  points_to_mode ~file ~mode:Rsti_dataflow.Points_to.Insensitive text
+
+let scope ~file ~mode text =
+  if not (enabled ()) then
+    let m = Rsti_ir.Lower.compile ~file text in
+    Rsti_dataflow.Scope_escape.analyze
+      ~points_to:(Rsti_dataflow.Points_to.analyze ~mode m)
+      m
+  else
+    let pt = points_to_mode ~file ~mode text in
+    memo_assoc ~stage:st_scope
+      ~get:(fun e -> e.scope)
+      ~add:(fun e k v -> e.scope <- (k, v) :: e.scope)
+      ~key:mode
+      ~compute:(fun e -> Rsti_dataflow.Scope_escape.analyze ~points_to:pt e.modul)
       (entry ~count:false ~file text)
 
 let elide ~file text =
@@ -290,6 +362,28 @@ let elide_pt ~file text =
       (entry ~count:false ~file text)
   end
 
+let elide_ctx ~file ~k text =
+  let mode = Rsti_dataflow.Points_to.Cloning k in
+  if not (enabled ()) then begin
+    let m = Rsti_ir.Lower.compile ~file text in
+    let anal = Rsti_sti.Analysis.analyze m in
+    let pt = Rsti_dataflow.Points_to.analyze ~mode m in
+    let scope = Rsti_dataflow.Scope_escape.analyze ~points_to:pt m in
+    Elide.elide (Elide.analyze ~points_to:pt ~scope anal m)
+  end
+  else begin
+    let anal = analysis ~file text in
+    let pt = points_to_mode ~file ~mode text in
+    let sc = scope ~file ~mode text in
+    memo_assoc ~stage:st_elide_ctx
+      ~get:(fun e -> e.elide_pred_ctx)
+      ~add:(fun e k v -> e.elide_pred_ctx <- (k, v) :: e.elide_pred_ctx)
+      ~key:k
+      ~compute:(fun e ->
+        Elide.elide (Elide.analyze ~points_to:pt ~scope:sc anal e.modul))
+      (entry ~count:false ~file text)
+  end
+
 (* The elision predicate at a precision; [Off] means "no predicate" and
    instruments every candidate site. *)
 let elide_pred ~file ~mode text =
@@ -297,38 +391,7 @@ let elide_pred ~file ~mode text =
   | Elide.Off -> None
   | Elide.Syntactic -> Some (elide ~file text)
   | Elide.With_points_to -> Some (elide_pt ~file text)
-
-(* Memoize one slot of an entry's association-list field; same
-   first-writer-wins discipline as {!memo_field}. *)
-let memo_assoc ~stage:st ~get ~add ~key:k ~compute e =
-  let sp = span st in
-  Mutex.lock lock;
-  let found = List.assoc_opt k (get e) in
-  Mutex.unlock lock;
-  let v =
-    match found with
-    | Some v ->
-        hit st sp;
-        v
-    | None ->
-        let v = compute e in
-        Mutex.lock lock;
-        let winner = List.assoc_opt k (get e) in
-        let v =
-          match winner with
-          | Some w -> w
-          | None ->
-              add e k v;
-              v
-        in
-        Mutex.unlock lock;
-        (match winner with
-        | Some _ -> duplicated st sp
-        | None -> miss st sp);
-        v
-  in
-  Observe.Span.exit sp;
-  v
+  | Elide.With_context k -> Some (elide_ctx ~file ~k text)
 
 let instrumented ~file ~elision mech text =
   if not (enabled ()) then begin

@@ -6,8 +6,12 @@
 
     - [compiled]      key = digest
     - [analysis]      key = digest (analysis is a function of the module)
-    - [points_to]     key = digest (Andersen solve over the module)
+    - [points_to]     key = digest x precision mode (Andersen solve;
+                      [Cloning k] carries its k in the mode key)
+    - [scope]         key = digest x precision mode (scope-escape over
+                      the matching points-to solution)
     - [elide]/[elide_pt] key = digest (the proof is a function of both)
+    - [elide_ctx]     key = digest x k (context-precision proof)
     - [instrumented]  key = digest x (mechanism, elision mode)
     - [validation]    key = digest x (mechanism, elision mode)
     - [outcome]       key = caller-assembled (digest x base-ISA prices x
@@ -53,8 +57,9 @@ val stats : unit -> stats
 
 val stage_stats : unit -> (string * stats) list
 (** Per-stage counts in pipeline order: compile, analysis, points_to,
-    elide, elide_pt, instrument, validate, outcome. The same counters
-    back the [cache.<stage>.{hits,misses,duplicated}] entries of
+    points_to_cs, scope_escape, elide, elide_pt, elide_ctx, instrument,
+    validate, outcome. The same counters back the
+    [cache.<stage>.{hits,misses,duplicated}] entries of
     {!Rsti_observe.Observe.Metrics}. *)
 
 val source_key : file:string -> string -> string
@@ -82,7 +87,24 @@ val analysis : file:string -> string -> Rsti_sti.Analysis.t
 (** [Sti.Analysis.analyze] of {!compiled}, memoized. *)
 
 val points_to : file:string -> string -> Rsti_dataflow.Points_to.t
-(** The Andersen points-to analysis over {!compiled}, memoized. *)
+(** The insensitive Andersen points-to analysis over {!compiled},
+    memoized — shorthand for {!points_to_mode} at [Insensitive]. *)
+
+val points_to_mode :
+  file:string ->
+  mode:Rsti_dataflow.Points_to.mode ->
+  string ->
+  Rsti_dataflow.Points_to.t
+(** The points-to solve at a chosen precision mode, memoized per mode
+    (each [Cloning k] is its own slot). *)
+
+val scope :
+  file:string ->
+  mode:Rsti_dataflow.Points_to.mode ->
+  string ->
+  Rsti_dataflow.Scope_escape.t
+(** The scope-escape analysis over {!points_to_mode} at the same mode,
+    memoized per mode. *)
 
 val elide : file:string -> string -> Rsti_ir.Ir.slot -> bool
 (** The static checker's syntactic elision proof ([Staticcheck.Elide])
@@ -92,12 +114,18 @@ val elide_pt : file:string -> string -> Rsti_ir.Ir.slot -> bool
 (** The elision proof at points-to precision: {!elide}'s obligations
     discharged through {!points_to} confinement, memoized. *)
 
+val elide_ctx : file:string -> k:int -> string -> Rsti_ir.Ir.slot -> bool
+(** The elision proof at context precision: obligations discharged
+    through the [Cloning k] solution plus the scope-escape checker,
+    memoized per k. *)
+
 val elide_pred :
   file:string ->
   mode:Rsti_staticcheck.Elide.mode ->
   string ->
   (Rsti_ir.Ir.slot -> bool) option
-(** {!elide} / {!elide_pt} selected by elision mode; [None] when [Off]. *)
+(** {!elide} / {!elide_pt} / {!elide_ctx} selected by elision mode;
+    [None] when [Off]. *)
 
 val instrumented :
   file:string ->

@@ -67,11 +67,32 @@ let analyze ?(config = default) (c : compiled) =
   in
   { comp = c; anal }
 
-let points_to ?(config = default) (c : compiled) =
-  stage_span "pipeline.points_to" (fun () -> [ ("file", c.src.file) ])
+let points_to ?(config = default)
+    ?(mode = Rsti_dataflow.Points_to.Insensitive) (c : compiled) =
+  stage_span "pipeline.points_to"
+    (fun () ->
+      [
+        ("file", c.src.file);
+        ("mode", Rsti_dataflow.Points_to.mode_to_string mode);
+      ])
   @@ fun () ->
-  if config.cache then Cache.points_to ~file:c.src.file c.src.text
-  else Rsti_dataflow.Points_to.analyze c.modul
+  if config.cache then Cache.points_to_mode ~file:c.src.file ~mode c.src.text
+  else Rsti_dataflow.Points_to.analyze ~mode c.modul
+
+let scope_escape ?(config = default)
+    ?(mode = Rsti_dataflow.Points_to.Insensitive) (c : compiled) =
+  stage_span "pipeline.scope_escape"
+    (fun () ->
+      [
+        ("file", c.src.file);
+        ("mode", Rsti_dataflow.Points_to.mode_to_string mode);
+      ])
+  @@ fun () ->
+  if config.cache then Cache.scope ~file:c.src.file ~mode c.src.text
+  else
+    Rsti_dataflow.Scope_escape.analyze
+      ~points_to:(Rsti_dataflow.Points_to.analyze ~mode c.modul)
+      c.modul
 
 let elide_pred ?(config = default) ?(mode = Elide.Syntactic) (a : analyzed) =
   match mode with
@@ -84,6 +105,14 @@ let elide_pred ?(config = default) ?(mode = Elide.Syntactic) (a : analyzed) =
       else
         let pt = points_to ~config a.comp in
         Elide.elide (Elide.analyze ~points_to:pt a.anal a.comp.modul)
+  | Elide.With_context k ->
+      if config.cache then
+        Cache.elide_ctx ~file:a.comp.src.file ~k a.comp.src.text
+      else
+        let pmode = Rsti_dataflow.Points_to.Cloning k in
+        let pt = points_to ~config ~mode:pmode a.comp in
+        let scope = scope_escape ~config ~mode:pmode a.comp in
+        Elide.elide (Elide.analyze ~points_to:pt ~scope a.anal a.comp.modul)
 
 (* The PAC-typestate validator over an instrumented module: re-checks
    the rewriter's output against the signed-at-rest discipline. *)

@@ -33,7 +33,9 @@ type config = {
       (** instrumentation-elision precision: [Off] keeps every site,
           [Syntactic] applies the static checker's flow-component proof,
           [With_points_to] additionally discharges obligations through
-          the Andersen confinement proof *)
+          the Andersen confinement proof, [With_context k] discharges
+          through the k-limited call-site-cloned solution plus the
+          scope-escape checker *)
   validate : bool;
       (** run the PAC-typestate translation validator over every
           {!instrument} output and raise {!Validation_failed} if the
@@ -140,8 +142,21 @@ val result : instrumented -> Rsti_rsti.Instrument.result
 val instrumented_ir : instrumented -> Rsti_ir.Ir.modul
 val counts : instrumented -> Rsti_rsti.Instrument.static_counts
 
-val points_to : ?config:config -> compiled -> Rsti_dataflow.Points_to.t
-(** The Andersen points-to analysis over the module (cache-memoized). *)
+val points_to :
+  ?config:config ->
+  ?mode:Rsti_dataflow.Points_to.mode ->
+  compiled ->
+  Rsti_dataflow.Points_to.t
+(** The Andersen points-to analysis over the module at a chosen
+    precision mode (default [Insensitive]); cache-memoized per mode. *)
+
+val scope_escape :
+  ?config:config ->
+  ?mode:Rsti_dataflow.Points_to.mode ->
+  compiled ->
+  Rsti_dataflow.Scope_escape.t
+(** The static scope-escape analysis, consuming the {!points_to}
+    solution at the same mode; cache-memoized per mode. *)
 
 val elide_pred :
   ?config:config ->

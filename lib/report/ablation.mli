@@ -36,6 +36,29 @@ val elide_precision : unit -> string
     candidate counts, provably-safe counts at both precisions, and the
     delta the {!Rsti_dataflow.Points_to} confinement proof adds. *)
 
+type cs_row = {
+  cs_name : string;
+  cs_candidates : int;
+  cs_safe_syn : int;       (** provably-safe, syntactic proof only *)
+  cs_safe_pt : int;        (** + insensitive Andersen confinement *)
+  cs_safe_cs : int;        (** + k=2 cloning and scope-escape *)
+  cs_seconds_pt : float;   (** wall-clock of the insensitive pass *)
+  cs_seconds_cs : float;   (** wall-clock of the cloned pass *)
+}
+
+val elide_precision_cs_data : unit -> cs_row list
+(** The three-way precision ladder over SPEC2006 as data — what the
+    bench harness embeds in BENCH_fig9.json's [elide-precision-cs]
+    section. *)
+
+val render_elide_precision_cs : cs_row list -> string
+(** Render already-collected rows (the bench harness collects once and
+    shares the rows with its JSON summary). *)
+
+val elide_precision_cs : unit -> string
+(** {!elide_precision_cs_data} rendered: safe counts at all three
+    precisions, the cloning delta, and per-mode wall-clocks. *)
+
 val backend_comparison : unit -> string
 (** Section 7's "RSTI with mechanisms other than PAC", made concrete:
     the STWC policy enforced through a CCFI-style shadow MAC, compared

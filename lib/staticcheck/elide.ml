@@ -38,18 +38,27 @@ module Ir = Rsti_ir.Ir
 module Ctype = Rsti_minic.Ctype
 module Analysis = Rsti_sti.Analysis
 module Points_to = Rsti_dataflow.Points_to
+module Scope_escape = Rsti_dataflow.Scope_escape
 
-type mode = Off | Syntactic | With_points_to
+type mode = Off | Syntactic | With_points_to | With_context of int
 
 let mode_to_string = function
   | Off -> "off"
   | Syntactic -> "syntactic"
   | With_points_to -> "points-to"
+  | With_context k -> Printf.sprintf "context:%d" k
+
+let default_context_k = 2
 
 let mode_of_string = function
   | "off" -> Some Off
   | "syntactic" | "on" -> Some Syntactic
   | "points-to" | "points_to" | "pt" -> Some With_points_to
+  | "context" | "cs" -> Some (With_context default_context_k)
+  | s when String.length s > 8 && String.sub s 0 8 = "context:" -> (
+      match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
+      | Some k when k >= 0 -> Some (With_context k)
+      | _ -> None)
   | _ -> None
 
 type reason =
@@ -61,6 +70,9 @@ type reason =
   | Overflow_window    (* a writable global array precedes it in layout *)
   | Cast_in_component  (* values laundered through casts in the component *)
   | Component_escapes  (* flow component has escaping/heap members *)
+  | Scope_escapes      (* a local in the component provably outlives its
+                          frame (scope checker's refinement of a failed
+                          confinement discharge) *)
 
 type verdict = Provably_safe | Must_check of reason
 
@@ -73,6 +85,7 @@ let reason_to_string = function
   | Overflow_window -> "overflow-window"
   | Cast_in_component -> "cast-in-component"
   | Component_escapes -> "component-escapes"
+  | Scope_escapes -> "scope-escapes"
 
 let verdict_to_string = function
   | Provably_safe -> "provably-safe"
@@ -84,6 +97,7 @@ type t = {
   tainted : (string, unit) Hashtbl.t; (* component roots storing heap ptrs *)
   comp_cache : (string, reason option) Hashtbl.t;
   conf : Points_to.confinement option; (* attacker model, when points-to ran *)
+  scope : Scope_escape.t option; (* scope checker, in context mode *)
 }
 
 (* Does a global of this type open a forward-overflow window over the
@@ -101,7 +115,7 @@ let rec has_writable_array lookup ty =
 
 let opens_window m ty = has_writable_array (Ir.struct_lookup m) ty
 
-let analyze ?points_to anal (m : Ir.modul) : t =
+let analyze ?points_to ?scope anal (m : Ir.modul) : t =
   let windowed = Hashtbl.create 16 in
   let window_open = ref false in
   List.iter
@@ -159,7 +173,7 @@ let analyze ?points_to anal (m : Ir.modul) : t =
         let windowed_ids = Hashtbl.fold (fun id () acc -> id :: acc) windowed [] in
         Some (Points_to.confinement ~windowed:windowed_ids pt)
   in
-  { anal; windowed; tainted; comp_cache = Hashtbl.create 64; conf }
+  { anal; windowed; tainted; comp_cache = Hashtbl.create 64; conf; scope }
 
 (* The component-level obligations, cached per component root. *)
 let component_reason t slot =
@@ -217,7 +231,8 @@ let syntactic_verdict t (slot : Ir.slot) : verdict =
 let dischargeable = function
   | Heap_reachable | Address_escapes | Cast_in_component | Component_escapes ->
       true
-  | Code_pointer | Const_slot | Heap_value | Overflow_window -> false
+  | Code_pointer | Const_slot | Heap_value | Overflow_window | Scope_escapes ->
+      false
 
 (* The categorical obligations re-checked on the discharge path: the
    syntactic verdict reports the *first* failing obligation, so an
@@ -236,6 +251,32 @@ let categorical_reason t (slot : Ir.slot) : reason option =
         Some Overflow_window
     | _ -> None
 
+(* The scope checker's diagnostic refinement: when a discharge fails
+   and some local in the slot's flow component provably outlives its
+   frame, the blanket "escapes somewhere" reason becomes the concrete
+   frame-exit. Never changes the safe/must-check partition — the scope
+   lattice is coarser than the attacker closure on exactly the
+   obligations elision discharges, so confinement subsumes it as a
+   gate; what it adds is the *which scope ended* answer. *)
+let scope_reason t (slot : Ir.slot) : reason option =
+  match t.scope with
+  | None -> None
+  | Some sc ->
+      let members = Analysis.component_of_slot t.anal slot in
+      if
+        List.exists
+          (fun (si : Analysis.slot_info) ->
+            match si.slot with
+            | Ir.Svar id -> (
+                (match si.kind with
+                | Analysis.Klocal | Analysis.Kparam -> true
+                | _ -> false)
+                && Scope_escape.may_escape sc id)
+            | _ -> false)
+          members
+      then Some Scope_escapes
+      else None
+
 let verdict t (slot : Ir.slot) : verdict =
   let v = syntactic_verdict t slot in
   match (v, t.conf) with
@@ -246,7 +287,8 @@ let verdict t (slot : Ir.slot) : verdict =
         match categorical_reason t aslot with
         | Some r' -> Must_check r'
         | None -> Provably_safe
-      else v)
+      else
+        match scope_reason t aslot with Some r' -> Must_check r' | None -> v)
   | Must_check _, Some _ -> v
 
 let elide t slot = verdict t slot = Provably_safe
@@ -283,6 +325,7 @@ let summary t =
       [
         Heap_reachable; Address_escapes; Code_pointer; Const_slot;
         Heap_value; Overflow_window; Cast_in_component; Component_escapes;
+        Scope_escapes;
       ]
   in
   {
@@ -312,9 +355,10 @@ let summary_to_string s =
 let tally t =
   if Rsti_observe.Observe.enabled () then begin
     let prefix =
-      match t.conf with
-      | None -> "elide.syntactic."
-      | Some _ -> "elide.points_to."
+      match (t.conf, t.scope) with
+      | None, _ -> "elide.syntactic."
+      | Some _, None -> "elide.points_to."
+      | Some _, Some _ -> "elide.context."
     in
     let add name n =
       Rsti_observe.Observe.Metrics.add
@@ -327,8 +371,8 @@ let tally t =
     List.iter (fun (r, n) -> add ("reason." ^ reason_to_string r) n) s.reasons
   end
 
-let analyze ?points_to anal m =
-  let t = analyze ?points_to anal m in
+let analyze ?points_to ?scope anal m =
+  let t = analyze ?points_to ?scope anal m in
   tally t;
   t
 
@@ -341,3 +385,7 @@ let pred mode anal (m : Ir.modul) : (Ir.slot -> bool) option =
   | With_points_to ->
       let pt = Points_to.analyze m in
       Some (elide (analyze ~points_to:pt anal m))
+  | With_context k ->
+      let pt = Points_to.analyze ~mode:(Points_to.Cloning k) m in
+      let scope = Scope_escape.analyze ~points_to:pt m in
+      Some (elide (analyze ~points_to:pt ~scope anal m))

@@ -21,11 +21,19 @@
 
 (** Elision precision: [Off] instruments everything, [Syntactic] uses
     the flow-component rules alone, [With_points_to] additionally
-    discharges obligations by points-to confinement. *)
-type mode = Off | Syntactic | With_points_to
+    discharges obligations by points-to confinement, and
+    [With_context k] discharges with the k-limited call-site-cloned
+    solution ({!Rsti_dataflow.Points_to.mode} [Cloning k]) plus the
+    {!Rsti_dataflow.Scope_escape} checker — a strictly sharper attacker
+    closure, so its safe set always contains [With_points_to]'s. *)
+type mode = Off | Syntactic | With_points_to | With_context of int
 
 val mode_to_string : mode -> string
+(** ["off"], ["syntactic"], ["points-to"], or ["context:K"]. *)
+
 val mode_of_string : string -> mode option
+(** Accepts the {!mode_to_string} spellings plus ["on"]/["pt"]/["cs"]
+    aliases; bare ["context"] means [With_context 2]. *)
 
 type reason =
   | Heap_reachable
@@ -36,6 +44,11 @@ type reason =
   | Overflow_window
   | Cast_in_component
   | Component_escapes
+  | Scope_escapes
+      (** a local in the flow component provably outlives its frame —
+          the scope checker's refinement of a failed discharge (only
+          reported when a {!Rsti_dataflow.Scope_escape} result was
+          supplied; never changes the safe/must-check partition) *)
 
 type verdict = Provably_safe | Must_check of reason
 
@@ -51,6 +64,7 @@ val opens_window : Rsti_ir.Ir.modul -> Rsti_minic.Ctype.t -> bool
 
 val analyze :
   ?points_to:Rsti_dataflow.Points_to.t ->
+  ?scope:Rsti_dataflow.Scope_escape.t ->
   Rsti_sti.Analysis.t ->
   Rsti_ir.Ir.modul ->
   t
@@ -58,7 +72,11 @@ val analyze :
     overflow windows from declaration-order layout and caches
     per-flow-component obligations). With [?points_to], builds the
     attacker-confinement closure (seeded with the overflow-window
-    victims) and discharges dischargeable obligations through it. *)
+    victims) and discharges dischargeable obligations through it — any
+    {!Rsti_dataflow.Points_to.mode}'s solution works, and a cloned one
+    discharges at least as many slots. With [?scope], failed discharges
+    whose component contains a provably frame-escaping local report
+    [Scope_escapes] instead of the blanket escape reason. *)
 
 val verdict : t -> Rsti_ir.Ir.slot -> verdict
 (** Classification of a slot (after alias resolution). Unknown slots are

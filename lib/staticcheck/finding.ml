@@ -26,6 +26,17 @@ type kind =
       victims : string list;   (* pointer slots laid out behind it *)
     }
   | Extern_ingress of { callee : string; slot : string }
+  | Scope_escape of {
+      local : string;      (* the stack slot whose address escapes *)
+      decl_func : string;  (* its defining function *)
+      sink : string;       (* how it outlives the frame *)
+    }
+  | Stale_frame_deref of {
+      local : string;
+      decl_func : string;
+      use_func : string;   (* where the dead-frame pointer is dereferenced *)
+      must : bool;         (* every may-target is a dead frame *)
+    }
 
 type t = {
   kind : kind;
@@ -50,6 +61,8 @@ let kind_name = function
   | Missing_dbg _ -> "missing-dbg"
   | Overflow_window _ -> "overflow-window"
   | Extern_ingress _ -> "extern-pointer-ingress"
+  | Scope_escape _ -> "scope-escape"
+  | Stale_frame_deref _ -> "stale-frame-deref"
 
 (* Deterministic report order: location first, then kind, then message
    (the qcheck determinism property compares whole sorted lists). *)
@@ -95,6 +108,19 @@ let kind_fields = function
       ]
   | Extern_ingress { callee; slot } ->
       [ ("callee", Json.Str callee); ("slot", Json.Str slot) ]
+  | Scope_escape { local; decl_func; sink } ->
+      [
+        ("local", Json.Str local);
+        ("decl_function", Json.Str decl_func);
+        ("sink", Json.Str sink);
+      ]
+  | Stale_frame_deref { local; decl_func; use_func; must } ->
+      [
+        ("local", Json.Str local);
+        ("decl_function", Json.Str decl_func);
+        ("use_function", Json.Str use_func);
+        ("must", Json.Bool must);
+      ]
 
 let to_json ?(file = "<module>") f =
   Json.Obj

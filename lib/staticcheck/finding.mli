@@ -51,6 +51,22 @@ type kind =
           signed domain at this store (§4.6): the window between the
           return and the sign is unprotected, and every such heap
           pointer has same-typed substitution donors on the heap. *)
+  | Scope_escape of { local : string; decl_func : string; sink : string }
+      (** A stack slot's address provably outlives its defining scope
+          (stored into longer-lived memory, returned, or passed to
+          external code) — the static counterpart of the paper's runtime
+          scope enforcement, from {!Rsti_dataflow.Scope_escape}. *)
+  | Stale_frame_deref of {
+      local : string;
+      decl_func : string;
+      use_func : string;
+      must : bool;
+    }
+      (** A dereference in [use_func] of a pointer that may target a
+          local of [decl_func] although [decl_func] cannot be an active
+          caller — the frame has provably ended. [must] when every
+          may-target is a dead frame (severity error); otherwise a
+          may-warning. *)
 
 type t = {
   kind : kind;

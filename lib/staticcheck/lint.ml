@@ -471,9 +471,77 @@ let ingress_findings (m : Ir.modul) =
     m.m_funcs;
   !out
 
+(* ---------------------- rule 9: scope escapes ------------------------ *)
+
+(* Stack slots whose address provably outlives the defining scope, from
+   the dataflow layer's scope-escape analysis. The paper enforces scope
+   at runtime (the location term dies with the frame); this rule reports
+   statically where that enforcement is load-bearing. *)
+let scope_findings (scope : Rsti_dataflow.Scope_escape.t) =
+  List.map
+    (fun (e : Rsti_dataflow.Scope_escape.escape) ->
+      let sink = Rsti_dataflow.Scope_escape.sink_to_string e.sink in
+      {
+        Finding.kind =
+          Finding.Scope_escape
+            { local = e.local_name; decl_func = e.func; sink };
+        severity = Finding.Warning;
+        func = e.func;
+        line = e.line;
+        message =
+          Printf.sprintf
+            "address of local %s (frame of %s) may outlive its scope: %s"
+            e.local_name e.func sink;
+        consequence =
+          "the slot's RSTI-type location term dies with the frame, so a \
+           later auth through the escaped address traps on legitimate runs \
+           under STL — and the frame slot it re-uses becomes a \
+           substitution donor meanwhile";
+      })
+    (Rsti_dataflow.Scope_escape.escapes scope)
+
+(* ------------------- rule 10: stale-frame derefs --------------------- *)
+
+let stale_findings (scope : Rsti_dataflow.Scope_escape.t) =
+  List.map
+    (fun (s : Rsti_dataflow.Scope_escape.stale) ->
+      {
+        Finding.kind =
+          Finding.Stale_frame_deref
+            {
+              local = s.local_name;
+              decl_func = s.decl_func;
+              use_func = s.use_func;
+              must = s.must;
+            };
+        severity = (if s.must then Finding.Error else Finding.Warning);
+        func = s.use_func;
+        line = s.use_line;
+        message =
+          Printf.sprintf
+            "%s dereferences a pointer that %s target local %s of %s, whose \
+             frame has provably ended (%s is never an active caller of %s)"
+            s.use_func
+            (if s.must then "can only" else "may")
+            s.local_name s.decl_func s.decl_func s.use_func;
+        consequence =
+          "the access touches a dead frame: whatever now occupies the slot \
+           is read or clobbered, and under scope enforcement the stale \
+           location term makes every auth here trap — fix the source";
+      })
+    (Rsti_dataflow.Scope_escape.stale_derefs scope)
+
+(* The dataflow-derived findings alone — what `rstic analyze
+   --format=sarif` reports without the full lint battery. *)
+let dataflow_findings (scope : Rsti_dataflow.Scope_escape.t) : Finding.t list =
+  scope_findings scope @ stale_findings scope
+  |> List.sort_uniq (fun a b ->
+         let c = Finding.compare_finding a b in
+         if c <> 0 then c else compare a b)
+
 (* ------------------------------ driver ------------------------------- *)
 
-let run anal (m : Ir.modul) : Finding.t list =
+let run ?scope anal (m : Ir.modul) : Finding.t list =
   cast_findings anal m
   @ const_store_findings anal m
   @ pp_findings anal
@@ -482,6 +550,9 @@ let run anal (m : Ir.modul) : Finding.t list =
   @ dbg_findings m
   @ window_findings m
   @ ingress_findings m
+  @ (match scope with
+    | None -> []
+    | Some s -> scope_findings s @ stale_findings s)
   |> List.sort_uniq (fun a b ->
          let c = Finding.compare_finding a b in
          if c <> 0 then c else compare a b)
@@ -532,6 +603,12 @@ let sarif_rules =
        linear-overflow attacker window" );
     ( "extern-pointer-ingress",
       "Raw external pointer return enters the signed domain unprotected" );
+    ( "scope-escape",
+      "Address of a stack slot may outlive its defining scope, making the \
+       runtime scope check load-bearing" );
+    ( "stale-frame-deref",
+      "Dereference of a pointer targeting a local whose frame has provably \
+       ended" );
   ]
 
 let sarif_level = function

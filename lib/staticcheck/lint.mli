@@ -18,12 +18,23 @@
     - writable arrays laid out before pointer slots — the linear-overflow
       attacker window of every Table-1 scenario ([overflow-window]);
     - raw external pointer returns entering the signed domain
-      ([extern-pointer-ingress]).
+      ([extern-pointer-ingress]);
+    - with [?scope], stack-slot addresses that may outlive their scope
+      ([scope-escape]) and dereferences of provably-dead frames
+      ([stale-frame-deref]), from {!Rsti_dataflow.Scope_escape}.
 
     Findings are deterministic: sorted by (function, line, kind,
     message), duplicates removed. *)
 
-val run : Rsti_sti.Analysis.t -> Rsti_ir.Ir.modul -> Finding.t list
+val run :
+  ?scope:Rsti_dataflow.Scope_escape.t ->
+  Rsti_sti.Analysis.t ->
+  Rsti_ir.Ir.modul ->
+  Finding.t list
+
+val dataflow_findings : Rsti_dataflow.Scope_escape.t -> Finding.t list
+(** Only the [scope-escape] / [stale-frame-deref] findings, sorted and
+    deduplicated — what [rstic analyze --format=sarif] emits. *)
 
 val render_text : file:string -> Finding.t list -> string
 (** Human-readable report, one two-line entry per finding plus a

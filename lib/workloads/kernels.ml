@@ -26,6 +26,20 @@ struct payload {
   long a;
   long b;
 };
+/* Statistics registry: two same-typed counter cells whose pointers are
+   routed through one helper. Only the public cell is handed to external
+   code, and only the private cell is dereferenced locally — so an
+   insensitive points-to merges the two return channels and taints the
+   private side, while a call-site-cloned solve keeps them apart. The
+   real perlbench/xalancbmk interpreters share this registry idiom. */
+struct stat_counter {
+  long hits;
+  long misses;
+};
+extern void report_stats(struct stat_counter** slot);
+struct stat_counter pub_stats;
+struct stat_counter priv_stats;
+struct stat_counter** pick(struct stat_counter** a) { return a; }
 struct entry* table[%d];
 long hash(long key) {
   /* FNV-style byte-at-a-time hash: the scalar work real interpreters do */
@@ -73,6 +87,13 @@ int main(void) {
       sum = sum + p->a + p->b;
     }
   }
+  struct stat_counter* sp = &pub_stats;
+  struct stat_counter* lp = &priv_stats;
+  struct stat_counter** spp = pick(&sp);
+  struct stat_counter** lpp = pick(&lp);
+  if (sum < 0) { report_stats(spp); }
+  struct stat_counter* t = *lpp;
+  t->hits = t->hits + 1;
   printf("hash checksum %%ld\n", sum);
   return 0;
 }

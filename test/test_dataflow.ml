@@ -179,10 +179,240 @@ let test_points_to_confinement () =
   checkb "analysis saw objects" true (st.Points_to.objects > 0);
   checkb "fixpoint took at least one pass" true (st.Points_to.iterations >= 1)
 
+(* ------------------- context-sensitive points-to ------------------- *)
+
+module Context = Rsti_dataflow.Context
+module Scope_escape = Rsti_dataflow.Scope_escape
+
+(* Two same-typed registry entries routed through one helper: the
+   insensitive solve merges the return channels (both escape through
+   [report_stats]), k-limited cloning keeps them apart. *)
+let registry_src =
+  {|
+struct stat_counter { long hits; long misses; };
+extern void report_stats(struct stat_counter** slot);
+struct stat_counter pub_stats;
+struct stat_counter priv_stats;
+struct stat_counter** pick(struct stat_counter** a) { return a; }
+int main(void) {
+  struct stat_counter* sp = &pub_stats;
+  struct stat_counter* lp = &priv_stats;
+  struct stat_counter** spp = pick(&sp);
+  struct stat_counter** lpp = pick(&lp);
+  long sum = 0;
+  if (sum < 0) { report_stats(spp); }
+  struct stat_counter* t = *lpp;
+  t->hits = t->hits + 1;
+  return 0;
+}
+|}
+
+let recursion_src =
+  {|
+int depth(int n) { if (n > 0) { return depth(n - 1) + 1; } return 0; }
+int main(void) { return depth(3) + depth(5); }
+|}
+
+let test_context_call_strings () =
+  let m = compile registry_src in
+  let cg = Callgraph.of_modul m in
+  let c = Context.build ~k:2 m cg in
+  (* pick: the empty context plus one per call site in main *)
+  let pick_ctxs = Context.contexts_of c "pick" in
+  checki "pick context count" 3 (List.length pick_ctxs);
+  checkb "empty context always present" true
+    (List.mem Context.empty_ctx pick_ctxs);
+  Alcotest.(check string)
+    "empty context keeps the bare name" "pick"
+    (Context.clone_name c "pick" Context.empty_ctx);
+  (* the two extends from main resolve to distinct non-empty contexts *)
+  let s0 = Context.site c ~caller:"main" 0 in
+  let s1 = Context.site c ~caller:"main" 1 in
+  let c0 =
+    Context.extend c ~caller:"main" ~ctx:Context.empty_ctx ~site:s0
+      ~callee:"pick"
+  in
+  let c1 =
+    Context.extend c ~caller:"main" ~ctx:Context.empty_ctx ~site:s1
+      ~callee:"pick"
+  in
+  checkb "distinct sites, distinct contexts" true (c0 <> c1);
+  checkb "extended contexts are non-empty" true
+    (c0 <> Context.empty_ctx && c1 <> Context.empty_ctx);
+  (* k = 0: every function keeps only the empty context *)
+  let c_k0 = Context.build ~k:0 m cg in
+  List.iter
+    (fun fn ->
+      checki (fn ^ " contexts at k=0") 1
+        (List.length (Context.contexts_of c_k0 fn)))
+    [ "pick"; "main" ]
+
+let test_context_scc_collapse () =
+  let m = compile recursion_src in
+  let cg = Callgraph.of_modul m in
+  let c = Context.build ~k:2 m cg in
+  (* the recursive SCC does not extend call strings: depth's contexts
+     are the empty one plus main's two entry sites, nothing deeper *)
+  let ctxs = Context.contexts_of c "depth" in
+  checki "depth context count" 3 (List.length ctxs);
+  List.iter
+    (fun ctx ->
+      let s = Context.site c ~caller:"depth" 0 in
+      checki
+        (Printf.sprintf "SCC-internal extend keeps ctx %d" ctx)
+        ctx
+        (Context.extend c ~caller:"depth" ~ctx ~site:s ~callee:"depth"))
+    ctxs
+
+let subset label smaller bigger =
+  List.iter
+    (fun o ->
+      checkb
+        (Printf.sprintf "%s: %s refined away" label (Points_to.obj_to_string o))
+        true (List.mem o bigger))
+    smaller
+
+(* Soundness of the cloning mode as a refinement: after projecting
+   clones down to base objects, [Cloning k] never adds facts over
+   [Insensitive], and [Cloning 0] is pointwise identical. *)
+let prop_cloning_refines =
+  QCheck.Test.make ~name:"points-to: cloning refines insensitive" ~count:12
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let src = Rsti_workloads.Generator.generate ~seed:(Int64.of_int seed) () in
+      let m = Rsti_ir.Lower.compile ~file:"g.c" src in
+      let pt_i = Points_to.analyze m in
+      let pt_c = Points_to.analyze ~mode:(Points_to.Cloning 2) m in
+      let pt_0 = Points_to.analyze ~mode:(Points_to.Cloning 0) m in
+      subset "escaped" (Points_to.escaped_objects pt_c)
+        (Points_to.escaped_objects pt_i);
+      Alcotest.(check (list string))
+        "k=0 escapes identical"
+        (List.map Points_to.obj_to_string (Points_to.escaped_objects pt_i))
+        (List.map Points_to.obj_to_string (Points_to.escaped_objects pt_0));
+      List.iter
+        (fun (f : Ir.func) ->
+          let fn = f.Ir.name in
+          subset (fn ^ " returns")
+            (Points_to.returns pt_c ~fn)
+            (Points_to.returns pt_i ~fn);
+          Alcotest.(check (list string))
+            (fn ^ " k=0 returns identical")
+            (List.map Points_to.obj_to_string (Points_to.returns pt_i ~fn))
+            (List.map Points_to.obj_to_string (Points_to.returns pt_0 ~fn)))
+        m.Ir.m_funcs;
+      (* attacker shrinks, so confinement verdicts only improve *)
+      let conf_i = Points_to.confinement pt_i in
+      let conf_c = Points_to.confinement pt_c in
+      List.iter
+        (fun (g : Ir.global_def) ->
+          let s = Ir.Svar g.Ir.gvar.Rsti_minic.Tast.v_id in
+          if Points_to.confined_slot conf_i s then
+            checkb
+              (Printf.sprintf "global %s stays confined under cloning"
+                 g.Ir.gvar.Rsti_minic.Tast.v_name)
+              true
+              (Points_to.confined_slot conf_c s))
+        m.Ir.m_globals;
+      true)
+
+let test_cloning_strict_gain () =
+  let m = compile registry_src in
+  let pt_i = Points_to.analyze m in
+  let pt_c = Points_to.analyze ~mode:(Points_to.Cloning 2) m in
+  checki "insensitive merges both registry cells" 2
+    (List.length (Points_to.escaped_objects pt_i));
+  checki "cloning separates the channels" 1
+    (List.length (Points_to.escaped_objects pt_c));
+  let sanon =
+    Ir.Sanon Rsti_minic.Ctype.(Ptr (Struct "stat_counter"))
+  in
+  checkb "class blocked at insensitive" false
+    (Points_to.confined_slot (Points_to.confinement pt_i) sanon);
+  checkb "class confined under cloning" true
+    (Points_to.confined_slot (Points_to.confinement pt_c) sanon)
+
+(* --------------------------- scope escape -------------------------- *)
+
+let scope_pos_src =
+  {|
+int *leak;
+int *give(void) { int slot; slot = 7; leak = &slot; return &slot; }
+int main(void) { int *p; p = give(); return *p; }
+|}
+
+let scope_neg_src =
+  {|
+int fill(int *dst) { *dst = 5; return 0; }
+int main(void) { int local; local = 0; fill(&local); return local; }
+|}
+
+let test_scope_escape_positive () =
+  let m = compile scope_pos_src in
+  let pt = Points_to.analyze m in
+  let sc = Scope_escape.analyze ~points_to:pt m in
+  let escapes = Scope_escape.escapes sc in
+  checkb "slot escapes" true
+    (List.exists
+       (fun (e : Scope_escape.escape) -> e.Scope_escape.local_name = "slot")
+       escapes);
+  checkb "a stored sink is reported" true
+    (List.exists
+       (fun e ->
+         match e.Scope_escape.sink with Scope_escape.Stored _ -> true | _ -> false)
+       escapes);
+  checkb "the return sink is reported" true
+    (List.exists (fun e -> e.Scope_escape.sink = Scope_escape.Returned) escapes);
+  let stales = Scope_escape.stale_derefs sc in
+  checkb "main derefs the dead frame" true
+    (List.exists
+       (fun s ->
+         s.Scope_escape.use_func = "main" && s.Scope_escape.decl_func = "give"
+         && s.Scope_escape.must)
+       stales)
+
+let test_scope_escape_negative () =
+  let m = compile scope_neg_src in
+  let pt = Points_to.analyze m in
+  let sc = Scope_escape.analyze ~points_to:pt m in
+  checki "downward &local is no escape" 0
+    (List.length (Scope_escape.escapes sc));
+  checki "no stale derefs" 0 (List.length (Scope_escape.stale_derefs sc))
+
+(* ------------------ elision precision on workloads ----------------- *)
+
+(* The headline acceptance property: provably-safe counts are monotone
+   along the precision ladder on every SPEC2006 workload, and k=2
+   cloning is a strict improvement where the insensitive solve merges
+   registry-style return channels. *)
+let test_elide_precision_monotone () =
+  let strict = ref [] in
+  List.iter
+    (fun (w : Rsti_workloads.Workload.t) ->
+      let src = Rsti_workloads.Workload.analysis_source w in
+      let m = Rsti_ir.Lower.compile ~file:(w.name ^ ".c") src in
+      let anal = Analysis.analyze m in
+      let safe e = (Elide.summary e).Elide.safe in
+      let syn = safe (Elide.analyze anal m) in
+      let pt = safe (Elide.analyze ~points_to:(Points_to.analyze m) anal m) in
+      let pt_c = Points_to.analyze ~mode:(Points_to.Cloning 2) m in
+      let scope = Scope_escape.analyze ~points_to:pt_c m in
+      let cs = safe (Elide.analyze ~points_to:pt_c ~scope anal m) in
+      checkb (w.name ^ ": points-to >= syntactic") true (pt >= syn);
+      checkb (w.name ^ ": cloning >= points-to") true (cs >= pt);
+      if cs > pt then strict := w.name :: !strict)
+    Rsti_workloads.Spec2006.all;
+  List.iter
+    (fun w ->
+      checkb (w ^ ": cloning strictly gains") true (List.mem w !strict))
+    [ "perlbench"; "xalancbmk" ]
+
 (* ------------------------ validator: green ------------------------- *)
 
 let mechanisms = [ RT.Stwc; RT.Stc; RT.Stl ]
-let modes = [ Elide.Off; Elide.Syntactic; Elide.With_points_to ]
+
+let modes =
+  [ Elide.Off; Elide.Syntactic; Elide.With_points_to; Elide.With_context 2 ]
 
 (* Every module Instrument produces — all SPEC2006 workloads, all three
    PAC mechanisms, all three elision precisions — satisfies the
@@ -264,6 +494,19 @@ let tests =
       test_callgraph_bottom_up;
     Alcotest.test_case "points-to: confinement separates escapees" `Quick
       test_points_to_confinement;
+    Alcotest.test_case "context: call strings and k=0 degeneration" `Quick
+      test_context_call_strings;
+    Alcotest.test_case "context: recursion collapses to one context" `Quick
+      test_context_scc_collapse;
+    QCheck_alcotest.to_alcotest prop_cloning_refines;
+    Alcotest.test_case "points-to: cloning splits merged return channels"
+      `Quick test_cloning_strict_gain;
+    Alcotest.test_case "scope-escape: leaked local and stale deref" `Quick
+      test_scope_escape_positive;
+    Alcotest.test_case "scope-escape: downward pass is clean" `Quick
+      test_scope_escape_negative;
+    Alcotest.test_case "elide: precision ladder monotone on SPEC2006" `Slow
+      test_elide_precision_monotone;
     Alcotest.test_case
       "validate: green on all workloads x mechanisms x elide modes" `Slow
       test_validator_green_on_workloads;

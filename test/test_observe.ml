@@ -296,8 +296,11 @@ let test_cache_stage_stats () =
         "compile";
         "analysis";
         "points_to";
+        "points_to_cs";
+        "scope_escape";
         "elide";
         "elide_pt";
+        "elide_ctx";
         "instrument";
         "validate";
         "outcome";

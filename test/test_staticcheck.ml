@@ -112,7 +112,7 @@ let test_lint_sarif () =
                   rules
             | _ -> Alcotest.fail "rules is not a list"
           in
-          checki "eight declared rules" 8 (List.length rule_ids);
+          checki "ten declared rules" 10 (List.length rule_ids);
           (match List.assoc "results" run with
           | J.List results ->
               checki "one result per finding" (List.length findings)
@@ -128,6 +128,96 @@ let test_lint_sarif () =
                   | _ -> Alcotest.fail "result is not an object")
                 results
           | _ -> Alcotest.fail "results is not a list")
+      | _ -> Alcotest.fail "runs is not a one-element list")
+  | Ok _ -> Alcotest.fail "SARIF document is not an object"
+
+(* --------------- lint: scope-escape / stale-frame rules ------------- *)
+
+let scope_of m =
+  Rsti_dataflow.Scope_escape.analyze
+    ~points_to:(Rsti_dataflow.Points_to.analyze m) m
+
+let scope_positive_src =
+  {|
+int *leak;
+int *give(void) { int slot; slot = 7; leak = &slot; return &slot; }
+int main(void) { int *p; p = give(); return *p; }
+|}
+
+let scope_negative_src =
+  {|
+int fill(int *dst) { *dst = 5; return 0; }
+int main(void) { int local; local = 0; fill(&local); return local; }
+|}
+
+let test_lint_scope_rules_positive () =
+  let m, anal = analyze scope_positive_src in
+  let findings = Lint.run ~scope:(scope_of m) anal m in
+  let of_kind k =
+    List.filter (fun (f : Finding.t) -> Finding.kind_name f.kind = k) findings
+  in
+  checkb "scope-escape fires" true (of_kind "scope-escape" <> []);
+  List.iter
+    (fun (f : Finding.t) ->
+      checkb "scope-escape is a warning" true (f.severity = Finding.Warning))
+    (of_kind "scope-escape");
+  (match of_kind "stale-frame-deref" with
+  | [] -> Alcotest.fail "stale-frame-deref did not fire"
+  | fs ->
+      checkb "must-deref of a dead frame is an error" true
+        (List.exists (fun (f : Finding.t) -> f.severity = Finding.Error) fs));
+  (* without ?scope the two rules stay silent *)
+  List.iter
+    (fun (f : Finding.t) ->
+      let k = Finding.kind_name f.kind in
+      checkb ("no " ^ k ^ " without scope input") true
+        (k <> "scope-escape" && k <> "stale-frame-deref"))
+    (Lint.run anal m)
+
+let test_lint_scope_rules_negative () =
+  let m, anal = analyze scope_negative_src in
+  List.iter
+    (fun (f : Finding.t) ->
+      let k = Finding.kind_name f.kind in
+      checkb ("clean program has no " ^ k) true
+        (k <> "scope-escape" && k <> "stale-frame-deref"))
+    (Lint.run ~scope:(scope_of m) anal m)
+
+(* The analyze --format=sarif path: only the dataflow findings, round-
+   tripped through the JSON parser, with declared ruleIds and the stale
+   must-deref at error level. *)
+let test_dataflow_findings_sarif_roundtrip () =
+  let module J = Rsti_staticcheck.Json in
+  let m, _ = analyze scope_positive_src in
+  let findings = Lint.dataflow_findings (scope_of m) in
+  checkb "dataflow findings exist" true (findings <> []);
+  let doc = Lint.render_sarif [ ("p.c", findings) ] in
+  match J.of_string doc with
+  | Error e -> Alcotest.failf "SARIF does not parse: %s" e
+  | Ok (J.Obj fields) -> (
+      match List.assoc "runs" fields with
+      | J.List [ J.Obj run ] ->
+          let results =
+            match List.assoc "results" run with
+            | J.List rs -> rs
+            | _ -> Alcotest.fail "results is not a list"
+          in
+          checki "one result per finding" (List.length findings)
+            (List.length results);
+          let seen_error = ref false in
+          List.iter
+            (function
+              | J.Obj r ->
+                  (match List.assoc "ruleId" r with
+                  | J.Str id ->
+                      checkb ("dataflow ruleId: " ^ id) true
+                        (id = "scope-escape" || id = "stale-frame-deref")
+                  | _ -> Alcotest.fail "ruleId is not a string");
+                  if List.assoc_opt "level" r = Some (J.Str "error") then
+                    seen_error := true
+              | _ -> Alcotest.fail "result is not an object")
+            results;
+          checkb "the must stale-deref renders at error level" true !seen_error
       | _ -> Alcotest.fail "runs is not a one-element list")
   | Ok _ -> Alcotest.fail "SARIF document is not an object"
 
@@ -193,6 +283,35 @@ let test_table1_detected_under_pt_elision () =
           let r = Scenario.run ~elision:Elide.With_points_to sc mech in
           Alcotest.(check string)
             (Printf.sprintf "%s under %s+elide:points-to" sc.id
+               (RT.mechanism_to_string mech))
+            "detected"
+            (Scenario.verdict_to_string r.Scenario.verdict))
+        RT.all_mechanisms)
+    Rsti_attacks.Catalog.all
+
+let prop_elide_cs_preserves_verdicts =
+  let n = List.length sub_scenarios in
+  let mechs = RT.all_mechanisms in
+  QCheck.Test.make ~name:"context elision preserves substitution verdicts"
+    ~count:(n * List.length mechs)
+    QCheck.(pair (int_bound (n - 1)) (int_bound (List.length mechs - 1)))
+    (fun (i, j) ->
+      let sc = List.nth sub_scenarios i in
+      let mech = List.nth mechs j in
+      let full = (Scenario.run sc mech).Scenario.verdict in
+      let elided =
+        (Scenario.run ~elision:(Elide.With_context 2) sc mech).Scenario.verdict
+      in
+      full = elided)
+
+let test_table1_detected_under_cs_elision () =
+  List.iter
+    (fun (sc : Scenario.t) ->
+      List.iter
+        (fun mech ->
+          let r = Scenario.run ~elision:(Elide.With_context 2) sc mech in
+          Alcotest.(check string)
+            (Printf.sprintf "%s under %s+elide:context" sc.id
                (RT.mechanism_to_string mech))
             "detected"
             (Scenario.verdict_to_string r.Scenario.verdict))
@@ -387,13 +506,22 @@ let tests =
       test_lint_locations;
     Alcotest.test_case "lint: SARIF document well-formed" `Quick
       test_lint_sarif;
+    Alcotest.test_case "lint: scope rules fire on the leaky frame" `Quick
+      test_lint_scope_rules_positive;
+    Alcotest.test_case "lint: scope rules silent on downward pass" `Quick
+      test_lint_scope_rules_negative;
+    Alcotest.test_case "lint: dataflow findings SARIF round-trip" `Quick
+      test_dataflow_findings_sarif_roundtrip;
     QCheck_alcotest.to_alcotest prop_elide_preserves_verdicts;
     QCheck_alcotest.to_alcotest prop_elide_pt_preserves_verdicts;
+    QCheck_alcotest.to_alcotest prop_elide_cs_preserves_verdicts;
     QCheck_alcotest.to_alcotest prop_elide_sound_monotone;
     Alcotest.test_case "elide: Table 1 still detected" `Slow
       test_table1_detected_under_elision;
     Alcotest.test_case "elide: Table 1 still detected (points-to)" `Slow
       test_table1_detected_under_pt_elision;
+    Alcotest.test_case "elide: Table 1 still detected (context)" `Slow
+      test_table1_detected_under_cs_elision;
     Alcotest.test_case "elide: sound-monotone on SPEC2006" `Quick
       test_monotone_on_spec2006;
     Alcotest.test_case "lint: window per nearest opener (globals)" `Quick
