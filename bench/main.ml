@@ -16,7 +16,7 @@
    Sections: table1 table2 table3 fig9 fig10 pp-census parts correlation
              ablation-pac ablation-merge ablation-stl ablation-ce
              ablation-pac-width backend elide elide-precision
-             elide-precision-cs validate micro
+             elide-precision-cs validate attack-surface micro
 
    Every run also writes a machine-readable summary (BENCH_fig9.json by
    default): per-benchmark overheads and geomeans when the perf sections
@@ -40,6 +40,11 @@ let perf = lazy (Perf.collect ())
 (* Captured when the elide-precision-cs section runs so json_summary can
    embed the per-mode safe counts and wall-clocks. *)
 let cs_rows : Rsti_report.Ablation.cs_row list ref = ref []
+
+(* Captured when the attack-surface section runs: the per-workload class
+   metrics and the static/dynamic cross-validation summary. *)
+let as_rows : Rsti_report.Attack_surface.row list ref = ref []
+let as_crossval : Rsti_attacks.Crossval.summary option ref = ref None
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per reproduced table or
@@ -203,6 +208,15 @@ let sections : (string * string * (unit -> unit)) list =
         print_endline (Rsti_report.Ablation.render_elide_precision_cs rows) );
     ( "validate", "PAC-typestate translation validation",
       fun () -> print_endline (Rsti_report.Security.validation ()) );
+    ( "attack-surface", "Static substitution attack surface + cross-validation",
+      fun () ->
+        let rows = Rsti_report.Attack_surface.collect () in
+        as_rows := rows;
+        print_endline (Rsti_report.Attack_surface.render rows);
+        section "Static/dynamic cross-validation";
+        let s = Rsti_report.Attack_surface.crossval_summary () in
+        as_crossval := Some s;
+        print_endline (Rsti_report.Attack_surface.render_crossval s) );
     ("micro", "Bechamel micro-benchmarks", run_bechamel);
   ]
 
@@ -289,6 +303,58 @@ let json_summary ~jobs ~wall_clock ~timed =
                  rows) );
         ]
   in
+  let as_fields =
+    match !as_rows with
+    | [] -> []
+    | rows ->
+        let mode_slug = function
+          | None -> "oracle"
+          | Some m -> Rsti_dataflow.Points_to.mode_to_string m
+        in
+        let row (r : Rsti_report.Attack_surface.row) =
+          let m = r.Rsti_report.Attack_surface.as_metrics in
+          J.Obj
+            [
+              ("workload", J.Str r.Rsti_report.Attack_surface.as_workload);
+              ("mech", J.Str (mech_slug r.Rsti_report.Attack_surface.as_mech));
+              ("mode", J.Str (mode_slug r.Rsti_report.Attack_surface.as_mode));
+              ("candidates", J.Int m.Rsti_dataflow.Equiv.m_candidates);
+              ("classes", J.Int m.Rsti_dataflow.Equiv.m_classes);
+              ("singletons", J.Int m.Rsti_dataflow.Equiv.m_singletons);
+              ("largest_class", J.Int m.Rsti_dataflow.Equiv.m_largest);
+              ("replay_edges", J.Int m.Rsti_dataflow.Equiv.m_replay_edges);
+              ("feasible_edges", J.Int m.Rsti_dataflow.Equiv.m_feasible_edges);
+            ]
+        in
+        let crossval =
+          match !as_crossval with
+          | None -> []
+          | Some s ->
+              [
+                ( "crossval",
+                  J.Obj
+                    [
+                      ("checks", J.Int s.Rsti_attacks.Crossval.s_checked);
+                      ( "disagreements",
+                        J.Int s.Rsti_attacks.Crossval.s_disagreements );
+                      ("skipped", J.Int s.Rsti_attacks.Crossval.s_skipped);
+                    ] );
+              ]
+        in
+        [
+          ( "attack-surface",
+            J.Obj
+              ([
+                 ("rows", J.List (List.map row rows));
+                 ( "monotone_refinement",
+                   J.Bool
+                     (Rsti_report.Attack_surface.class_refinement_ok rows
+                     && Rsti_report.Attack_surface.feasible_refinement_ok rows)
+                 );
+               ]
+              @ crossval) );
+        ]
+  in
   J.Obj
     ([
        ("schema", J.Str "rsti-bench-fig9/1");
@@ -308,7 +374,7 @@ let json_summary ~jobs ~wall_clock ~timed =
              ("duplicated", J.Int cache.Rsti_engine.Cache.duplicated);
            ] );
      ]
-    @ cs_fields @ perf_fields)
+    @ cs_fields @ as_fields @ perf_fields)
 
 (* ------------------------------------------------------------------ *)
 

@@ -17,10 +17,14 @@
      analyze   print the STI analysis: pointer variables, RSTI-types,
                equivalence-class statistics, pointer-to-pointer census
                (--format=json for machine-readable output; --points-to
-               adds the Andersen confinement verdicts)
+               adds the Andersen confinement verdicts; --attack-surface
+               switches to the substitution-attack-surface analysis:
+               modifier equivalence classes and the gadget graph)
      lint      run the whole-program static STI checker over a file or
                a directory of MiniC sources (--format=text|json|sarif);
-               exits 1 when any error-severity finding is reported
+               --attack-surface adds the modifier-collision and
+               feasible-substitution rules; exits 1 when any
+               error-severity finding is reported
      attacks   run the paper's attack catalog
      report    print one of the paper-reproduction reports *)
 
@@ -149,7 +153,22 @@ let run_cmd =
             "Check the instrumented module with the PAC-typestate \
              translation validator before running; exit 1 on any issue.")
   in
-  let action () obs file mech stats elision validate profile =
+  let run_pt_flag =
+    Rsti_engine_cli.points_to_term ~bare:(Rsti_dataflow.Points_to.Cloning 2)
+      ~doc:
+        "Shorthand selecting the points-to-backed elision precision: \
+         $(b,insensitive) is $(b,--elide=points-to), $(b,cloning:K) is \
+         $(b,--elide=context:K) (the bare flag means $(b,cloning:2)). \
+         Takes precedence over $(b,--elide)."
+      ()
+  in
+  let action () obs file mech stats elision validate profile pt_mode =
+    let elision =
+      match pt_mode with
+      | None -> elision
+      | Some Rsti_dataflow.Points_to.Insensitive -> Elide.With_points_to
+      | Some (Rsti_dataflow.Points_to.Cloning k) -> Elide.With_context k
+    in
     let _, inst = compile_instrumented ~elision ~validate file mech in
     let o = Pipeline.run ~profile inst in
     let r = Pipeline.result inst in
@@ -187,7 +206,7 @@ let run_cmd =
     Term.(
       const action $ Rsti_engine_cli.setup_jobs_term
       $ Rsti_engine_cli.observe_term $ file_arg $ mech_arg $ stats
-      $ elide_flag $ validate_flag $ profile_flag)
+      $ elide_flag $ validate_flag $ profile_flag $ run_pt_flag)
 
 let emit_ir_cmd =
   let doc = "Print the (optionally instrumented) IR of a MiniC program." in
@@ -197,37 +216,69 @@ let emit_ir_cmd =
   in
   Cmd.v (Cmd.info "emit-ir" ~doc) Term.(const action $ file_arg $ mech_arg)
 
-let pt_mode_conv =
-  let parse s =
-    match Rsti_dataflow.Points_to.mode_of_string s with
-    | Some m -> Ok m
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf
-               "unknown points-to mode %S (insensitive|cloning[:K])" s))
-  in
-  let print fmt m =
-    Format.pp_print_string fmt (Rsti_dataflow.Points_to.mode_to_string m)
-  in
-  Arg.conv (parse, print)
+(* attack-surface text view: per-mechanism metrics plus the non-singleton
+   classes (the substitution gadget classes), members by name *)
+let print_attack_surface file (results : Rsti_dataflow.Equiv.result list) =
+  let module Equiv = Rsti_dataflow.Equiv in
+  Printf.printf "Substitution attack surface: %s\n" file;
+  List.iter
+    (fun (r : Equiv.result) ->
+      let m = r.Equiv.r_metrics in
+      Printf.printf
+        "\n%s: %d slots in %d classes (%d singletons, largest %d); \
+         replay edges %d, feasible %d\n"
+        (RT.mechanism_to_string r.Equiv.r_mech)
+        m.Equiv.m_candidates m.Equiv.m_classes m.Equiv.m_singletons
+        m.Equiv.m_largest m.Equiv.m_replay_edges m.Equiv.m_feasible_edges;
+      let collisions =
+        List.filter
+          (fun (c : Equiv.cls) -> List.length c.Equiv.c_members > 1)
+          r.Equiv.r_classes
+      in
+      let shown = List.filteri (fun i _ -> i < 8) collisions in
+      List.iter
+        (fun (c : Equiv.cls) ->
+          Printf.printf "  modifier %016Lx [%s] %s: %s\n" c.Equiv.c_modifier
+            (Rsti_pa.Key.which_to_string c.Equiv.c_pa_key)
+            c.Equiv.c_label
+            (String.concat ", "
+               (List.map
+                  (fun (mb : Equiv.member) ->
+                    Rsti_ir.Ir.slot_to_string mb.Equiv.mb_info.Rsti_sti.Analysis.slot)
+                  c.Equiv.c_members)))
+        shown;
+      if List.length collisions > List.length shown then
+        Printf.printf "  ... %d more collision classes\n"
+          (List.length collisions - List.length shown))
+    results
 
 let analyze_cmd =
   let doc = "Print the STI analysis of a MiniC program." in
   let pt_flag =
+    Rsti_engine_cli.points_to_term
+      ~doc:
+        "Run the Andersen points-to analysis at MODE ($(b,insensitive), \
+         the bare-flag default, or $(b,cloning:K) for k-limited \
+         call-site cloning; bare $(b,cloning) means K=2) and report each \
+         pointer variable's confinement verdict and the matching elision \
+         classification alongside the syntactic one. A cloning mode also \
+         runs the scope-escape checker. With $(b,--attack-surface), \
+         additionally refines gadget feasibility at MODE."
+      ()
+  in
+  let surface_flag =
     Arg.(
-      value
-      & opt ~vopt:(Some Rsti_dataflow.Points_to.Insensitive)
-          (some pt_mode_conv) None
-      & info [ "points-to" ] ~docv:"MODE"
+      value & flag
+      & info [ "attack-surface" ]
           ~doc:
-            "Run the Andersen points-to analysis at MODE \
-             ($(b,insensitive), the bare-flag default, or \
-             $(b,cloning:K) for k-limited call-site cloning; bare \
-             $(b,cloning) means K=2) and report each pointer variable's \
-             confinement verdict and the matching elision \
-             classification alongside the syntactic one. A cloning mode \
-             also runs the scope-escape checker.")
+            "Print the static substitution-attack-surface analysis \
+             instead: per mechanism (stwc/stc/stl/parts), the modifier \
+             equivalence classes, gadget metrics, and (with \
+             $(b,--format=json)) the full substitution-gadget graph; \
+             $(b,--format=sarif) carries the modifier-collision and \
+             feasible-substitution findings. $(b,--points-to) refines \
+             feasibility; without it the unconfined attacker model is \
+             used.")
   in
   let analyze_format_arg =
     let fmt_conv =
@@ -255,10 +306,29 @@ let analyze_cmd =
              scope-escape and stale-frame-deref — at the requested \
              points-to mode).")
   in
-  let action () file format pt_mode =
+  let action () file format pt_mode surface =
     let a = analyzed_of_path file in
     let m = Pipeline.analyzed_ir a and anal = Pipeline.analysis a in
     let comp = Pipeline.compiled_of_analyzed a in
+    if surface then begin
+      let results =
+        List.map
+          (fun mech -> Pipeline.attack_surface ?mode:pt_mode mech a)
+          Rsti_staticcheck.Attack_surface.mechanisms
+      in
+      match format with
+      | `Text -> print_attack_surface file results
+      | `Json ->
+          print_string
+            (Rsti_staticcheck.Json.to_string
+               (Rsti_staticcheck.Attack_surface.graph_json m results));
+          print_newline ()
+      | `Sarif ->
+          print_string
+            (Rsti_staticcheck.Lint.render_sarif
+               [ (file, Rsti_staticcheck.Attack_surface.findings m results) ])
+    end
+    else
     (match format with
     | `Sarif ->
         (* the SARIF view is the dataflow findings; default to the
@@ -394,7 +464,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
       const action $ Rsti_engine_cli.setup_jobs_term $ file_arg
-      $ analyze_format_arg $ pt_flag)
+      $ analyze_format_arg $ pt_flag $ surface_flag)
 
 let lint_cmd =
   let doc =
@@ -435,16 +505,27 @@ let lint_cmd =
              linted file).")
   in
   let lint_pt_flag =
+    Rsti_engine_cli.points_to_term ~bare:(Rsti_dataflow.Points_to.Cloning 2)
+      ~doc:
+        "Also run the points-to-backed dataflow rules \
+         ($(b,scope-escape), $(b,stale-frame-deref)) at MODE \
+         ($(b,insensitive) or $(b,cloning:K); the bare flag means \
+         $(b,cloning:2)). With $(b,--attack-surface), also refines \
+         gadget feasibility at MODE."
+      ()
+  in
+  let lint_surface_flag =
     Arg.(
-      value
-      & opt ~vopt:(Some (Rsti_dataflow.Points_to.Cloning 2))
-          (some pt_mode_conv) None
-      & info [ "points-to" ] ~docv:"MODE"
+      value & flag
+      & info [ "attack-surface" ]
           ~doc:
-            "Also run the points-to-backed dataflow rules \
-             ($(b,scope-escape), $(b,stale-frame-deref)) at MODE \
-             ($(b,insensitive) or $(b,cloning:K); the bare flag means \
-             $(b,cloning:2)).")
+            "Also run the substitution-attack-surface rules: \
+             $(b,modifier-collision) (warning: a modifier equivalence \
+             class with two or more slots) and \
+             $(b,feasible-substitution) (error: a gadget edge the \
+             confined attacker can actually reach). Feasibility uses \
+             $(b,--points-to) when given, the unconfined model \
+             otherwise.")
   in
   let rec collect path =
     if Sys.is_directory path then
@@ -453,7 +534,7 @@ let lint_cmd =
     else if Filename.check_suffix path ".c" then [ path ]
     else []
   in
-  let action () target format pt_mode =
+  let action () target format pt_mode surface =
     if not (Sys.file_exists target) then begin
       Printf.eprintf "rstic lint: no such file or directory: %s\n" target;
       exit 2
@@ -475,8 +556,17 @@ let lint_cmd =
                 Pipeline.scope_escape ~mode (Pipeline.compiled_of_analyzed a))
               pt_mode
           in
+          let attack_surface =
+            if not surface then None
+            else
+              Some
+                (List.map
+                   (fun mech -> Pipeline.attack_surface ?mode:pt_mode mech a)
+                   Rsti_staticcheck.Attack_surface.mechanisms)
+          in
           let findings =
-            Rsti_staticcheck.Lint.run ?scope (Pipeline.analysis a)
+            Rsti_staticcheck.Lint.run ?scope ?attack_surface
+              (Pipeline.analysis a)
               (Pipeline.analyzed_ir a)
           in
           (file, findings))
@@ -506,7 +596,7 @@ let lint_cmd =
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
       const action $ Rsti_engine_cli.setup_jobs_term $ target_arg
-      $ lint_format_arg $ lint_pt_flag)
+      $ lint_format_arg $ lint_pt_flag $ lint_surface_flag)
 
 let attacks_cmd =
   let doc = "Run the paper's attack catalog (Tables 1 and 2)." in
@@ -527,7 +617,7 @@ let report_cmd =
             "One of: table1, table2, table3, fig9, fig10, pp-census, parts, \
              correlation, ablation-pac, ablation-merge, ablation-stl, \
              ablation-ce, elide, elide-precision, elide-precision-cs, \
-             validate.")
+             validate, attack-surface.")
   in
   let action () which =
     match which with
@@ -560,6 +650,8 @@ let report_cmd =
           (Rsti_report.Security.elide_safety
              ~elision:(Rsti_staticcheck.Elide.With_context 2) ())
     | "validate" -> print_endline (Rsti_report.Security.validation ())
+    | "attack-surface" ->
+        print_endline (Rsti_report.Attack_surface.report ())
     | s ->
         Printf.eprintf "unknown report %S\n" s;
         exit 2

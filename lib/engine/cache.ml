@@ -39,12 +39,13 @@ let st_elide_ctx = stage "elide_ctx"
 let st_instrument = stage "instrument"
 let st_validate = stage "validate"
 let st_outcome = stage "outcome"
+let st_equiv = stage "attack_surface"
 
 let stages =
   [
     st_compile; st_analysis; st_points_to; st_points_to_cs; st_scope;
     st_elide; st_elide_pt; st_elide_ctx; st_instrument; st_validate;
-    st_outcome;
+    st_outcome; st_equiv;
   ]
 
 let span st = Observe.Span.enter ("cache." ^ st.sg_name)
@@ -78,6 +79,12 @@ type entry = {
     ((RT.mechanism * Elide.mode) * Rsti_rsti.Instrument.result) list;
   mutable validated :
     ((RT.mechanism * Elide.mode) * Rsti_dataflow.Validate.report) list;
+  mutable equiv :
+    ((RT.mechanism * Rsti_dataflow.Points_to.mode option)
+    * Rsti_dataflow.Equiv.result)
+    list;
+      (* attack-surface partitions, keyed per (mechanism, confinement
+         precision); [None] is the unconfined oracle model *)
 }
 
 let lock = Mutex.create ()
@@ -156,6 +163,7 @@ let entry ?(count = true) ~file text =
             elide_pred_ctx = [];
             instrumented = [];
             validated = [];
+            equiv = [];
           }
         in
         Mutex.lock lock;
@@ -409,6 +417,42 @@ let instrumented ~file ~elision mech text =
       ~key:(mech, elision)
       ~compute:(fun e ->
         Rsti_rsti.Instrument.instrument ?elide:pred mech anal e.modul)
+      (entry ~count:false ~file text)
+  end
+
+(* Attack-surface partitions ({!Rsti_dataflow.Equiv}), keyed per
+   (mechanism, points-to precision). [mode = None] computes the paper's
+   unconfined attacker model (what the dynamic oracle cross-validates);
+   [Some mode] refines feasibility with points-to confinement and scope
+   escape at that precision. *)
+let equiv ~file ~mode mech text =
+  let compute anal m =
+    match mode with
+    | None -> Rsti_dataflow.Equiv.analyze anal m mech
+    | Some pt_mode ->
+        let pt = Rsti_dataflow.Points_to.analyze ~mode:pt_mode m in
+        let sc = Rsti_dataflow.Scope_escape.analyze ~points_to:pt m in
+        Rsti_dataflow.Equiv.analyze ~points_to:pt ~scope:sc anal m mech
+  in
+  if not (enabled ()) then begin
+    let m = Rsti_ir.Lower.compile ~file text in
+    compute (Rsti_sti.Analysis.analyze m) m
+  end
+  else begin
+    let anal = analysis ~file text in
+    let compute_cached e =
+      match mode with
+      | None -> Rsti_dataflow.Equiv.analyze anal e.modul mech
+      | Some pt_mode ->
+          let pt = points_to_mode ~file ~mode:pt_mode text in
+          let sc = scope ~file ~mode:pt_mode text in
+          Rsti_dataflow.Equiv.analyze ~points_to:pt ~scope:sc anal e.modul mech
+    in
+    memo_assoc ~stage:st_equiv
+      ~get:(fun e -> e.equiv)
+      ~add:(fun e k v -> e.equiv <- (k, v) :: e.equiv)
+      ~key:(mech, mode)
+      ~compute:compute_cached
       (entry ~count:false ~file text)
   end
 

@@ -14,6 +14,9 @@
     - [elide_ctx]     key = digest x k (context-precision proof)
     - [instrumented]  key = digest x (mechanism, elision mode)
     - [validation]    key = digest x (mechanism, elision mode)
+    - [equiv]         key = digest x (mechanism, points-to mode option) —
+                      the attack-surface partition; [None] is the
+                      unconfined oracle model
     - [outcome]       key = caller-assembled (digest x base-ISA prices x
                       machine knobs) — attack-free runs only; the
                       machine is deterministic, so the outcome is a pure
@@ -58,7 +61,7 @@ val stats : unit -> stats
 val stage_stats : unit -> (string * stats) list
 (** Per-stage counts in pipeline order: compile, analysis, points_to,
     points_to_cs, scope_escape, elide, elide_pt, elide_ctx, instrument,
-    validate, outcome. The same counters back the
+    validate, outcome, attack_surface. The same counters back the
     [cache.<stage>.{hits,misses,duplicated}] entries of
     {!Rsti_observe.Observe.Metrics}. *)
 
@@ -144,3 +147,17 @@ val validation :
   Rsti_dataflow.Validate.report
 (** The PAC-typestate validator's report over {!instrumented}, memoized
     per (mechanism, elision mode) stage key. *)
+
+val equiv :
+  file:string ->
+  mode:Rsti_dataflow.Points_to.mode option ->
+  Rsti_sti.Rsti_type.mechanism ->
+  string ->
+  Rsti_dataflow.Equiv.result
+(** The substitution-attack-surface partition
+    ({!Rsti_dataflow.Equiv.analyze}) over {!analysis}, memoized per
+    (mechanism, points-to mode) stage key. [mode = None] computes the
+    paper's unconfined attacker model — the configuration the dynamic
+    oracle cross-validates; [Some m] refines feasibility with
+    {!points_to_mode} confinement and {!scope} escape results at that
+    precision. *)

@@ -18,6 +18,27 @@ let setup_jobs_term = Term.(const apply $ jobs_term)
 
 let resolved_jobs () = Rsti_engine.Scheduler.default_jobs ()
 
+let pt_mode_conv =
+  let parse s =
+    match Rsti_dataflow.Points_to.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown points-to mode %S (insensitive|cloning[:K])"
+               s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt (Rsti_dataflow.Points_to.mode_to_string m)
+  in
+  Arg.conv (parse, print)
+
+let points_to_term ?(bare = Rsti_dataflow.Points_to.Insensitive) ~doc () =
+  Arg.(
+    value
+    & opt ~vopt:(Some bare) (some pt_mode_conv) None
+    & info [ "points-to" ] ~docv:"MODE" ~doc)
+
 let trace_term =
   Arg.(
     value

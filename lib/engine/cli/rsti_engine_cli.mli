@@ -1,6 +1,7 @@
-(** The one shared [--jobs] cmdliner term: both [rstic] (run / analyze /
-    lint / report) and [bench/main.exe] reuse it, so the flag parses and
-    routes into the engine identically everywhere. *)
+(** The shared cmdliner terms: both [rstic] (run / analyze / lint /
+    report) and [bench/main.exe] reuse them, so [--jobs], [--points-to]
+    and the telemetry flags parse and route into the engine identically
+    everywhere. *)
 
 val jobs_term : int option Cmdliner.Term.t
 (** [--jobs N] / [-j N]: number of worker domains. Unset defers to
@@ -14,6 +15,20 @@ val setup_jobs_term : unit Cmdliner.Term.t
 
 val resolved_jobs : unit -> int
 (** The job count the engine will use after term evaluation. *)
+
+val pt_mode_conv : Rsti_dataflow.Points_to.mode Cmdliner.Arg.conv
+(** Parses [insensitive] and [cloning[:K]] (bare [cloning] means K=2) —
+    the one points-to precision syntax every subcommand accepts. *)
+
+val points_to_term :
+  ?bare:Rsti_dataflow.Points_to.mode ->
+  doc:string ->
+  unit ->
+  Rsti_dataflow.Points_to.mode option Cmdliner.Term.t
+(** The shared [--points-to MODE] flag. [None] when absent; the bare
+    flag (no [MODE]) means [bare] (default [Insensitive] — lint passes
+    [Cloning 2], its historical bare-flag meaning). [doc] is the
+    per-command manpage text. *)
 
 type observe = string option * string option
 (** Evaluated telemetry flags: [(trace_file, metrics_file)]. *)

@@ -94,6 +94,33 @@ let scope_escape ?(config = default)
       ~points_to:(Rsti_dataflow.Points_to.analyze ~mode c.modul)
       c.modul
 
+(* The static substitution-attack-surface partition for one mechanism.
+   [mode = None] is the unconfined (oracle) attacker model; [Some m]
+   refines feasibility with points-to confinement and scope escape at
+   that precision. Cached per (mechanism, mode). *)
+let attack_surface ?(config = default) ?mode mech (a : analyzed) =
+  stage_span "pipeline.attack_surface"
+    (fun () ->
+      [
+        ("file", a.comp.src.file);
+        ("mech", RT.mechanism_to_string mech);
+        ( "mode",
+          match mode with
+          | None -> "oracle"
+          | Some m -> Rsti_dataflow.Points_to.mode_to_string m );
+      ])
+  @@ fun () ->
+  if config.cache then
+    Cache.equiv ~file:a.comp.src.file ~mode mech a.comp.src.text
+  else
+    match mode with
+    | None -> Rsti_dataflow.Equiv.analyze a.anal a.comp.modul mech
+    | Some pt_mode ->
+        let pt = points_to ~config ~mode:pt_mode a.comp in
+        let sc = scope_escape ~config ~mode:pt_mode a.comp in
+        Rsti_dataflow.Equiv.analyze ~points_to:pt ~scope:sc a.anal a.comp.modul
+          mech
+
 let elide_pred ?(config = default) ?(mode = Elide.Syntactic) (a : analyzed) =
   match mode with
   | Elide.Off -> fun _ -> false

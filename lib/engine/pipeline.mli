@@ -173,3 +173,16 @@ val validation :
 (** The PAC-typestate validator's report for an instrumented stage value
     (cache-memoized). [config.validate] runs this automatically inside
     {!instrument}. *)
+
+val attack_surface :
+  ?config:config ->
+  ?mode:Rsti_dataflow.Points_to.mode ->
+  Rsti_sti.Rsti_type.mechanism ->
+  analyzed ->
+  Rsti_dataflow.Equiv.result
+(** The static substitution-attack-surface partition
+    ({!Rsti_dataflow.Equiv.analyze}) for one mechanism; cache-memoized
+    per (mechanism, mode). Without [mode] the partition uses the paper's
+    unconfined attacker model — the configuration the dynamic oracle
+    cross-validates; with it, feasibility is refined by the points-to
+    confinement and scope-escape results at that precision. *)

@@ -122,26 +122,11 @@ let fresh st =
   st.next_reg <- r + 1;
   r
 
-(* Which slots carry PAC instrumentation. Memory that -O2 register-
-   promotes (parameters, non-escaping locals) has no load/store traffic
-   in the paper's optimized builds and so is not instrumented — except
-   under STL, which must materialize every argument at its new location
-   (section 4.6), and under PARTS, whose unoptimized codegen instruments
-   everything. *)
+(* Which slots carry PAC instrumentation: the criterion lives in
+   {!Analysis.instrument_candidate} so the attack-surface analysis
+   enumerates exactly the population the rewriter instruments. *)
 let should_instrument mech anal ty slot =
-  Ctype.is_pointer ty
-  &&
-  match mech with
-  | Rsti_type.Nop -> false
-  | Rsti_type.Parts -> true
-  | Rsti_type.Stwc | Rsti_type.Stc | Rsti_type.Stl -> (
-      match slot with
-      | Ir.Sfield _ | Ir.Sanon _ -> true
-      | Ir.Svar id -> (
-          match (Analysis.slot_info anal slot).kind with
-          | Analysis.Kglobal | Analysis.Kfield _ | Analysis.Kanon -> true
-          | Analysis.Klocal -> Analysis.address_taken anal id
-          | Analysis.Kparam -> Analysis.address_taken anal id))
+  Analysis.instrument_candidate anal mech ty slot
 
 (* The slot address rides along on every sign/auth: the PAC backend only
    consumes it for STL's Mloc modifiers, but the shadow-MAC backend

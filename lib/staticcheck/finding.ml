@@ -37,6 +37,17 @@ type kind =
       use_func : string;   (* where the dead-frame pointer is dereferenced *)
       must : bool;         (* every may-target is a dead frame *)
     }
+  | Modifier_collision of {
+      mech : Rsti_sti.Rsti_type.mechanism;
+      modifier : string;   (* the shared PA modifier (hex) *)
+      members : string list;
+      replay_edges : int;  (* gadget edges under the paper's attacker *)
+    }
+  | Feasible_substitution of {
+      mech : Rsti_sti.Rsti_type.mechanism;
+      donor : string;      (* signed slot the attacker harvests *)
+      victim : string;     (* same-modifier slot that authenticates it *)
+    }
 
 type t = {
   kind : kind;
@@ -63,6 +74,8 @@ let kind_name = function
   | Extern_ingress _ -> "extern-pointer-ingress"
   | Scope_escape _ -> "scope-escape"
   | Stale_frame_deref _ -> "stale-frame-deref"
+  | Modifier_collision _ -> "modifier-collision"
+  | Feasible_substitution _ -> "feasible-substitution"
 
 (* Deterministic report order: location first, then kind, then message
    (the qcheck determinism property compares whole sorted lists). *)
@@ -120,6 +133,19 @@ let kind_fields = function
         ("decl_function", Json.Str decl_func);
         ("use_function", Json.Str use_func);
         ("must", Json.Bool must);
+      ]
+  | Modifier_collision { mech; modifier; members; replay_edges } ->
+      [
+        ("mechanism", Json.Str (Rsti_sti.Rsti_type.mechanism_to_string mech));
+        ("modifier", Json.Str modifier);
+        ("members", Json.List (List.map (fun m -> Json.Str m) members));
+        ("replay_edges", Json.Int replay_edges);
+      ]
+  | Feasible_substitution { mech; donor; victim } ->
+      [
+        ("mechanism", Json.Str (Rsti_sti.Rsti_type.mechanism_to_string mech));
+        ("donor", Json.Str donor);
+        ("victim", Json.Str victim);
       ]
 
 let to_json ?(file = "<module>") f =

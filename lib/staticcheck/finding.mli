@@ -67,6 +67,29 @@ type kind =
           caller — the frame has provably ended. [must] when every
           may-target is a dead frame (severity error); otherwise a
           may-warning. *)
+  | Modifier_collision of {
+      mech : Rsti_sti.Rsti_type.mechanism;
+      modifier : string;
+      members : string list;
+      replay_edges : int;
+    }
+      (** ≥ 2 instrumented slots sign under the same PA (key, modifier)
+          pair under [mech] — the exact runtime collision class from
+          {!Rsti_dataflow.Equiv}, sharper than [Substitution_window]'s
+          RSTI-type view because it is computed on the modifier the
+          hardware actually checks (and so also covers PARTS).
+          [replay_edges] counts the (donor, victim) replays the class
+          admits under the paper's arbitrary-write attacker. *)
+  | Feasible_substitution of {
+      mech : Rsti_sti.Rsti_type.mechanism;
+      donor : string;
+      victim : string;
+    }
+      (** A replay the {e confined} linear-overflow attacker of
+          {!Rsti_dataflow.Points_to.confinement} can actually execute:
+          same-modifier pair, the donor is signed and live, and the
+          victim's storage is backed by attacker-writable memory — a
+          concrete substitution gadget, hence an error. *)
 
 type t = {
   kind : kind;

@@ -541,7 +541,7 @@ let dataflow_findings (scope : Rsti_dataflow.Scope_escape.t) : Finding.t list =
 
 (* ------------------------------ driver ------------------------------- *)
 
-let run ?scope anal (m : Ir.modul) : Finding.t list =
+let run ?scope ?attack_surface anal (m : Ir.modul) : Finding.t list =
   cast_findings anal m
   @ const_store_findings anal m
   @ pp_findings anal
@@ -553,6 +553,9 @@ let run ?scope anal (m : Ir.modul) : Finding.t list =
   @ (match scope with
     | None -> []
     | Some s -> scope_findings s @ stale_findings s)
+  @ (match attack_surface with
+    | None -> []
+    | Some results -> Attack_surface.findings m results)
   |> List.sort_uniq (fun a b ->
          let c = Finding.compare_finding a b in
          if c <> 0 then c else compare a b)
@@ -609,6 +612,12 @@ let sarif_rules =
     ( "stale-frame-deref",
       "Dereference of a pointer targeting a local whose frame has provably \
        ended" );
+    ( "modifier-collision",
+      "Instrumented slots share one PA (key, modifier) pair, admitting \
+       undetected signed-pointer replay within the class" );
+    ( "feasible-substitution",
+      "A same-modifier replay the confined linear-overflow attacker can \
+       execute: donor signed and live, victim storage attacker-writable" );
   ]
 
 let sarif_level = function

@@ -21,13 +21,18 @@
       ([extern-pointer-ingress]);
     - with [?scope], stack-slot addresses that may outlive their scope
       ([scope-escape]) and dereferences of provably-dead frames
-      ([stale-frame-deref]), from {!Rsti_dataflow.Scope_escape}.
+      ([stale-frame-deref]), from {!Rsti_dataflow.Scope_escape};
+    - with [?attack_surface], the modifier-collision equivalence classes
+      and feasible substitution gadgets of a computed
+      {!Attack_surface.surface} ([modifier-collision],
+      [feasible-substitution]).
 
     Findings are deterministic: sorted by (function, line, kind,
     message), duplicates removed. *)
 
 val run :
   ?scope:Rsti_dataflow.Scope_escape.t ->
+  ?attack_surface:Rsti_dataflow.Equiv.result list ->
   Rsti_sti.Analysis.t ->
   Rsti_ir.Ir.modul ->
   Finding.t list

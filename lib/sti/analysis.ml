@@ -462,6 +462,26 @@ let modifier_of t mech slot =
 
 let key_for ty = if Ctype.is_code_pointer ty then Rsti_pa.Key.IA else Rsti_pa.Key.DA
 
+(* The instrumented-slot criterion, shared by the instrumenter and the
+   static attack-surface analysis so both enumerate exactly the same
+   sign/auth population. Memory that -O2 register-promotes (parameters,
+   non-escaping locals) has no load/store traffic in the paper's
+   optimized builds and so is not instrumented — except under PARTS,
+   whose unoptimized codegen instruments everything. *)
+let instrument_candidate t mech ty slot =
+  Ctype.is_pointer ty
+  &&
+  match mech with
+  | Rsti_type.Nop -> false
+  | Rsti_type.Parts -> true
+  | Rsti_type.Stwc | Rsti_type.Stc | Rsti_type.Stl -> (
+      match slot with
+      | Ir.Sfield _ | Ir.Sanon _ -> true
+      | Ir.Svar id -> (
+          match (slot_info t slot).kind with
+          | Kglobal | Kfield _ | Kanon -> true
+          | Klocal | Kparam -> Hashtbl.mem t.addr_taken id))
+
 let casts t = List.rev t.cast_list
 
 let pointer_vars t =

@@ -60,6 +60,17 @@ val address_taken : t -> int -> bool
 val key_for : Rsti_minic.Ctype.t -> Rsti_pa.Key.which
 (** Code pointers use the IA key, data pointers DA (section 2.4). *)
 
+val instrument_candidate :
+  t -> Rsti_type.mechanism -> Rsti_minic.Ctype.t -> Rsti_ir.Ir.slot -> bool
+(** Whether an access of type [ty] through this slot carries PAC
+    instrumentation under the mechanism — the single criterion shared by
+    {!Rsti_rsti.Instrument} and the attack-surface analysis
+    ({!Rsti_dataflow.Equiv}), so the static sign/auth population and the
+    instrumenter's never drift apart. Fields and anonymous deref targets
+    always qualify; locals and parameters only when their address
+    escapes ({!address_taken}); [Parts] instruments every pointer slot;
+    [Nop] none. *)
+
 val casts : t -> (string * string * string) list
 (** All pointer casts: (function, from-type, to-type). *)
 

@@ -332,6 +332,97 @@ let test_cloning_strict_gain () =
   checkb "class confined under cloning" true
     (Points_to.confined_slot (Points_to.confinement pt_c) sanon)
 
+(* ------------------ equivalence-class refinement -------------------- *)
+
+module Equiv = Rsti_dataflow.Equiv
+
+(* The modifier-partition refinement laws, over generated programs:
+   pointwise, STL splits STWC splits STC (a finer mechanism never merges
+   two slots a coarser one separates), so the class counts are monotone
+   classes(STC) <= classes(STWC) <= classes(STL). The direction is fixed
+   by construction — STC folds cast-merged types into one modifier, STL
+   appends the storage address — and the analyzer must reproduce it on
+   arbitrary inputs, not just the catalog. *)
+let prop_equiv_refinement =
+  QCheck.Test.make ~name:"equiv: STL refines STWC refines STC" ~count:12
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let src = Rsti_workloads.Generator.generate ~seed:(Int64.of_int seed) () in
+      let m = Rsti_ir.Lower.compile ~file:"g.c" src in
+      let anal = Analysis.analyze m in
+      let run mech = Equiv.analyze anal m mech in
+      let stwc = run RT.Stwc and stc = run RT.Stc and stl = run RT.Stl in
+      let class_of (r : Equiv.result) =
+        let tbl = Hashtbl.create 64 in
+        List.iteri
+          (fun i (c : Equiv.cls) ->
+            List.iter
+              (fun (mb : Equiv.member) ->
+                Hashtbl.replace tbl
+                  (Ir.slot_to_string mb.Equiv.mb_info.Analysis.slot)
+                  i)
+              c.Equiv.c_members)
+          r.Equiv.r_classes;
+        tbl
+      in
+      let pointwise label fine coarse =
+        let coarse_of = class_of coarse in
+        List.iter
+          (fun (c : Equiv.cls) ->
+            let key (mb : Equiv.member) =
+              Ir.slot_to_string mb.Equiv.mb_info.Analysis.slot
+            in
+            match c.Equiv.c_members with
+            | [] -> ()
+            | first :: rest ->
+                let c0 = Hashtbl.find coarse_of (key first) in
+                List.iter
+                  (fun mb ->
+                    checki
+                      (Printf.sprintf "%s: seed %d splits a class" label seed)
+                      c0
+                      (Hashtbl.find coarse_of (key mb)))
+                  rest)
+          fine.Equiv.r_classes
+      in
+      pointwise "STL within STWC" stl stwc;
+      pointwise "STL within STC" stl stc;
+      pointwise "STWC within STC" stwc stc;
+      checkb "classes STC <= STWC" true
+        (stc.Equiv.r_metrics.Equiv.m_classes
+        <= stwc.Equiv.r_metrics.Equiv.m_classes);
+      checkb "classes STWC <= STL" true
+        (stwc.Equiv.r_metrics.Equiv.m_classes
+        <= stl.Equiv.r_metrics.Equiv.m_classes);
+      true)
+
+(* Feasible gadget edges refine replay edges: every points-to precision
+   can only shrink the attack surface, and sharper contexts shrink it
+   further — feasible(Cloning 2) <= feasible(Insensitive) <= replay. *)
+let prop_equiv_feasible_ladder =
+  QCheck.Test.make ~name:"equiv: feasible edges refine replay edges"
+    ~count:12
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let src = Rsti_workloads.Generator.generate ~seed:(Int64.of_int seed) () in
+      let m = Rsti_ir.Lower.compile ~file:"g.c" src in
+      let anal = Analysis.analyze m in
+      let pt_i = Points_to.analyze m in
+      let pt_c = Points_to.analyze ~mode:(Points_to.Cloning 2) m in
+      List.iter
+        (fun mech ->
+          let oracle = Equiv.analyze anal m mech in
+          let ins = Equiv.analyze ~points_to:pt_i anal m mech in
+          let ctx = Equiv.analyze ~points_to:pt_c anal m mech in
+          let feas (r : Equiv.result) = r.Equiv.r_metrics.Equiv.m_feasible_edges in
+          let name = RT.mechanism_to_string mech in
+          checkb (name ^ ": cloning <= insensitive") true
+            (feas ctx <= feas ins);
+          checkb (name ^ ": insensitive <= replay") true
+            (feas ins <= oracle.Equiv.r_metrics.Equiv.m_replay_edges))
+        [ RT.Stwc; RT.Stc; RT.Stl; RT.Parts ];
+      true)
+
 (* --------------------------- scope escape -------------------------- *)
 
 let scope_pos_src =
@@ -501,6 +592,8 @@ let tests =
     QCheck_alcotest.to_alcotest prop_cloning_refines;
     Alcotest.test_case "points-to: cloning splits merged return channels"
       `Quick test_cloning_strict_gain;
+    QCheck_alcotest.to_alcotest prop_equiv_refinement;
+    QCheck_alcotest.to_alcotest prop_equiv_feasible_ladder;
     Alcotest.test_case "scope-escape: leaked local and stale deref" `Quick
       test_scope_escape_positive;
     Alcotest.test_case "scope-escape: downward pass is clean" `Quick

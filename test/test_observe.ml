@@ -304,6 +304,7 @@ let test_cache_stage_stats () =
         "instrument";
         "validate";
         "outcome";
+        "attack_surface";
       ]);
   let find n = List.assoc n st in
   checki "one compile miss" 1 (find "compile").Cache.misses;

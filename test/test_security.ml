@@ -216,10 +216,59 @@ let test_detected_requires_auth_failure () =
   let o = Pipeline.run_baseline (Pipeline.compile (Pipeline.source ~file:"t.c" src)) in
   checkb "null-deref crash is not detection" false (Interp.detected o)
 
+(* ------------------ static/dynamic cross-validation ----------------- *)
+
+(* The static analyzer's replay verdicts against the machine oracle:
+   every catalog substitution scenario and every generated candidate
+   (same-class replays plus cross-class controls, over the catalog
+   programs and the crossval corpus) must agree — zero disagreements is
+   the acceptance bar, not a statistic. *)
+let test_crossval_zero_disagreements () =
+  let module X = Rsti_attacks.Crossval in
+  let s = X.summarize () in
+  checkb "some comparisons ran" true (s.X.s_checked > 0);
+  Alcotest.(check int) "zero disagreements" 0 s.X.s_disagreements;
+  List.iter
+    (fun (r : X.catalog_row) ->
+      checkb
+        (Printf.sprintf "catalog %s/%s agrees" r.X.cr_scenario
+           (RT.mechanism_to_string r.X.cr_mech))
+        true r.X.cr_agree)
+    s.X.s_catalog;
+  (* The generated pool must exercise both directions: same-class
+     replays that the static side predicts, and cross-class controls.
+     Every executed cross-class control must trap — in particular the
+     STL rows, where every class is a singleton, check the
+     singleton-class => dynamic-trap direction. *)
+  let same, cross =
+    List.partition (fun (g : X.gen_row) -> g.X.g_kind = X.Same_class)
+      s.X.s_generated
+  in
+  checkb "same-class candidates generated" true (same <> []);
+  checkb "cross-class controls generated" true (cross <> []);
+  List.iter
+    (fun (g : X.gen_row) ->
+      checkb
+        (Printf.sprintf "%s/%s: %s over %s not predicted" g.X.g_program
+           (RT.mechanism_to_string g.X.g_mech) g.X.g_donor g.X.g_victim)
+        false g.X.g_predicted;
+      match g.X.g_detected with
+      | Some d ->
+          checkb
+            (Printf.sprintf "%s/%s: cross-class replay of %s over %s traps"
+               g.X.g_program
+               (RT.mechanism_to_string g.X.g_mech)
+               g.X.g_donor g.X.g_victim)
+            true d
+      | None -> ())
+    cross
+
 let tests =
   catalog_tests @ substitution_tests @ memory_safety_tests @ cfi_tests
   @ shadow_backend_tests
   @ [
+      Alcotest.test_case "crossval: static = dynamic, zero disagreements"
+        `Slow test_crossval_zero_disagreements;
       Alcotest.test_case "non-FPAC: crash at use" `Quick test_without_fpac_crash_at_use;
       Alcotest.test_case "FPAC: synchronous trap" `Quick test_fpac_traps_synchronously;
       Alcotest.test_case "table1: twelve rows" `Quick test_table1_has_twelve_rows;

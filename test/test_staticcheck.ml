@@ -112,7 +112,7 @@ let test_lint_sarif () =
                   rules
             | _ -> Alcotest.fail "rules is not a list"
           in
-          checki "ten declared rules" 10 (List.length rule_ids);
+          checki "twelve declared rules" 12 (List.length rule_ids);
           (match List.assoc "results" run with
           | J.List results ->
               checki "one result per finding" (List.length findings)
@@ -130,6 +130,54 @@ let test_lint_sarif () =
           | _ -> Alcotest.fail "results is not a list")
       | _ -> Alcotest.fail "runs is not a one-element list")
   | Ok _ -> Alcotest.fail "SARIF document is not an object"
+
+(* ------------------ lint: attack-surface opt-in --------------------- *)
+
+(* Two same-typed global pointers share one (key, modifier) class under
+   STWC, so the attack-surface pass must report the collision (warning)
+   and, since globals are attacker-writable in the oracle model, at
+   least one concrete feasible-substitution gadget (error). The base
+   battery never emits either rule: they are opt-in. *)
+let collision_src =
+  {|
+char buf[4];
+char *a;
+char *b;
+int main(void) {
+  char n;
+  buf[0] = 65;
+  a = buf;
+  b = buf;
+  n = *a;
+  n = *b;
+  return n;
+}
+|}
+
+let test_attack_surface_opt_in () =
+  let m, anal = analyze collision_src in
+  let has kind fs =
+    List.exists (fun (f : Finding.t) -> Finding.kind_name f.kind = kind) fs
+  in
+  let base = Lint.run anal m in
+  checkb "base lint has no modifier-collision" false
+    (has "modifier-collision" base);
+  checkb "base lint has no feasible-substitution" false
+    (has "feasible-substitution" base);
+  let surface = Rsti_staticcheck.Attack_surface.surface anal m in
+  let fs = Lint.run ~attack_surface:surface anal m in
+  checkb "opt-in reports modifier-collision" true (has "modifier-collision" fs);
+  checkb "opt-in reports feasible-substitution" true
+    (has "feasible-substitution" fs);
+  List.iter
+    (fun (f : Finding.t) ->
+      match Finding.kind_name f.kind with
+      | "modifier-collision" ->
+          checkb "collision is a warning" true (f.severity = Finding.Warning)
+      | "feasible-substitution" ->
+          checkb "substitution is an error" true (f.severity = Finding.Error)
+      | _ -> ())
+    fs
 
 (* --------------- lint: scope-escape / stale-frame rules ------------- *)
 
@@ -506,6 +554,8 @@ let tests =
       test_lint_locations;
     Alcotest.test_case "lint: SARIF document well-formed" `Quick
       test_lint_sarif;
+    Alcotest.test_case "lint: attack-surface rules are opt-in" `Quick
+      test_attack_surface_opt_in;
     Alcotest.test_case "lint: scope rules fire on the leaky frame" `Quick
       test_lint_scope_rules_positive;
     Alcotest.test_case "lint: scope rules silent on downward pass" `Quick
