@@ -16,7 +16,8 @@
    Sections: table1 table2 table3 fig9 fig10 pp-census parts correlation
              ablation-pac ablation-merge ablation-stl ablation-ce
              ablation-pac-width backend elide elide-precision
-             elide-precision-cs validate attack-surface micro
+             elide-precision-cs validate attack-surface detection-latency
+             micro
 
    Every run also writes a machine-readable summary (BENCH_fig9.json by
    default): per-benchmark overheads and geomeans when the perf sections
@@ -45,6 +46,10 @@ let cs_rows : Rsti_report.Ablation.cs_row list ref = ref []
    metrics and the static/dynamic cross-validation summary. *)
 let as_rows : Rsti_report.Attack_surface.row list ref = ref []
 let as_crossval : Rsti_attacks.Crossval.summary option ref = ref None
+
+(* Captured when the detection-latency section runs: the incident
+   coverage map behind the latency histograms and the event log. *)
+let inc_cov : Rsti_attacks.Incident.coverage option ref = ref None
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per reproduced table or
@@ -217,6 +222,13 @@ let sections : (string * string * (unit -> unit)) list =
         let s = Rsti_report.Attack_surface.crossval_summary () in
         as_crossval := Some s;
         print_endline (Rsti_report.Attack_surface.render_crossval s) );
+    ( "detection-latency",
+      "Security-event forensics: detection latency + coverage map",
+      fun () ->
+        let cov = Rsti_attacks.Incident.collect () in
+        inc_cov := Some cov;
+        Rsti_attacks.Incident.emit_events cov;
+        print_endline (Rsti_report.Incidents.render cov) );
     ("micro", "Bechamel micro-benchmarks", run_bechamel);
   ]
 
@@ -355,6 +367,75 @@ let json_summary ~jobs ~wall_clock ~timed =
               @ crossval) );
         ]
   in
+  let inc_fields =
+    match !inc_cov with
+    | None -> []
+    | Some cov ->
+        let module Incident = Rsti_attacks.Incident in
+        let hist samples =
+          let q p =
+            match samples with
+            | [] -> J.Null
+            | _ ->
+                J.Float
+                  (Rsti_util.Stats.quantile p
+                     (List.map float_of_int samples))
+          in
+          J.Obj
+            [
+              ("count", J.Int (List.length samples));
+              ( "min",
+                match samples with
+                | [] -> J.Null
+                | x :: _ -> J.Int x );
+              ( "max",
+                match List.rev samples with
+                | [] -> J.Null
+                | x :: _ -> J.Int x );
+              ("p50", q 0.5);
+              ("p90", q 0.9);
+              ("p99", q 0.99);
+            ]
+        in
+        let mech_obj (mc : Incident.mech_cov) =
+          J.Obj
+            [
+              ("mech", J.Str (mech_slug mc.Incident.mc_mech));
+              ("runs", J.Int mc.Incident.mc_runs);
+              ("detected", J.Int mc.Incident.mc_detected);
+              ("incidents", J.Int mc.Incident.mc_incidents);
+              ("mapped", J.Int mc.Incident.mc_mapped);
+              ("replays", J.Int mc.Incident.mc_replays);
+              ("raw_overwrites", J.Int mc.Incident.mc_raw);
+              ("latency_cycles", hist mc.Incident.mc_latency_cycles);
+              ("latency_instrs", hist mc.Incident.mc_latency_instrs);
+              ( "static_replay_edges",
+                J.Int mc.Incident.mc_static_replay_edges );
+              ( "static_feasible_edges",
+                J.Int mc.Incident.mc_static_feasible_edges );
+              ("replayable_total", J.Int mc.Incident.mc_replayable_total);
+              ( "replayable_exercised",
+                J.Int mc.Incident.mc_replayable_exercised );
+              ("nonedges_checked", J.Int mc.Incident.mc_nonedges_checked);
+            ]
+        in
+        [
+          ( "detection-latency",
+            J.Obj
+              [
+                ("flight", J.Int cov.Incident.cov_flight);
+                ("detected", J.Int cov.Incident.cov_detected);
+                ("incidents", J.Int cov.Incident.cov_incidents);
+                ("unmapped", J.Int cov.Incident.cov_unmapped);
+                ( "missing",
+                  J.Int (List.length cov.Incident.cov_missing) );
+                ( "verdict",
+                  J.Str (if Incident.ok cov then "OK" else "FAIL") );
+                ( "mechanisms",
+                  J.List (List.map mech_obj cov.Incident.cov_mechs) );
+              ] );
+        ]
+  in
   J.Obj
     ([
        ("schema", J.Str "rsti-bench-fig9/1");
@@ -374,7 +455,7 @@ let json_summary ~jobs ~wall_clock ~timed =
              ("duplicated", J.Int cache.Rsti_engine.Cache.duplicated);
            ] );
      ]
-    @ cs_fields @ as_fields @ perf_fields)
+    @ cs_fields @ as_fields @ inc_fields @ perf_fields)
 
 (* ------------------------------------------------------------------ *)
 
@@ -408,6 +489,18 @@ let metrics_path_arg =
           "Where to write the telemetry counter registry (always \
            written; the counters are always-on).")
 
+let events_path_arg =
+  Arg.(
+    value
+    & opt string "BENCH_events.jsonl"
+    & info [ "events" ] ~docv:"PATH"
+        ~doc:
+          "Where to write the rsti-events/1 security-event log (always \
+           written; populated by the $(b,detection-latency) section, a \
+           header-only document otherwise). One compact JSON object per \
+           line, lexicographically sorted — byte-identical at any \
+           $(b,--jobs).")
+
 let sections_arg =
   Arg.(
     value
@@ -417,7 +510,7 @@ let sections_arg =
           "Sections to run (default: all). $(b,list) prints the section \
            names and exits.")
 
-let main () json_path trace_path metrics_path requested =
+let main () json_path trace_path metrics_path events_path requested =
   if trace_path <> None then Rsti_observe.Observe.set_enabled true;
   if requested = [ "list" ] then begin
     List.iter (fun (name, _, _) -> print_endline name) sections;
@@ -450,6 +543,7 @@ let main () json_path trace_path metrics_path requested =
   close_out oc;
   Option.iter Rsti_engine_cli.write_trace trace_path;
   Rsti_engine_cli.write_metrics metrics_path;
+  Rsti_engine_cli.write_events events_path;
   Printf.printf "\n[bench] %d section(s) in %.2f s at %d job(s); summary: %s\n"
     (List.length !timed) wall_clock jobs json_path
 
@@ -461,4 +555,5 @@ let () =
        (Cmd.v info
           Term.(
             const main $ Rsti_engine_cli.setup_jobs_term $ json_path_arg
-            $ trace_path_arg $ metrics_path_arg $ sections_arg)))
+            $ trace_path_arg $ metrics_path_arg $ events_path_arg
+            $ sections_arg)))

@@ -162,15 +162,34 @@ let run_cmd =
          Takes precedence over $(b,--elide)."
       ()
   in
-  let action () obs file mech stats elision validate profile pt_mode =
+  let flight_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flight" ] ~docv:"N"
+          ~doc:
+            "PAC flight-recorder ring capacity: keep the last $(docv) \
+             sign/auth/strip operations per run and attach a structured \
+             incident record (failing site, expected vs observed signer, \
+             detection latency, last-N window) to any authentication \
+             failure. Defaults to 16 when $(b,--events) is given, off \
+             otherwise.")
+  in
+  let action () obs events file mech stats elision validate profile pt_mode
+      flight =
     let elision =
       match pt_mode with
       | None -> elision
       | Some Rsti_dataflow.Points_to.Insensitive -> Elide.With_points_to
       | Some (Rsti_dataflow.Points_to.Cloning k) -> Elide.With_context k
     in
+    let flight =
+      match flight with
+      | Some n -> n
+      | None -> if events <> None then Rsti_attacks.Incident.default_flight else 0
+    in
     let _, inst = compile_instrumented ~elision ~validate file mech in
-    let o = Pipeline.run ~profile inst in
+    let o = Pipeline.run ~profile ~flight inst in
     let r = Pipeline.result inst in
     print_string o.Interp.output;
     if profile then print_string (Interp.profile_report o);
@@ -195,6 +214,31 @@ let run_cmd =
       Printf.printf "hot functions: %s\n" (top o.call_profile);
       Printf.printf "libc calls:    %s\n" (top o.extern_profile)
     end;
+    (match events with
+    | None -> ()
+    | Some path ->
+        let module Observe = Rsti_observe.Observe in
+        List.iter
+          (fun inc ->
+            Observe.Events.emit ~cat:"incident" ~name:(Filename.basename file)
+              (Rsti_attacks.Incident.incident_fields inc))
+          o.Interp.incidents;
+        Observe.Events.emit ~cat:"run" ~name:(Filename.basename file)
+          [
+            ("mech", Observe.Json.Str (RT.mechanism_to_string mech));
+            ("cycles", Observe.Json.Int o.Interp.cycles);
+            ("instrs", Observe.Json.Int o.Interp.counts.Interp.instrs);
+            ("pac_signs", Observe.Json.Int o.Interp.counts.Interp.pac_signs);
+            ("pac_auths", Observe.Json.Int o.Interp.counts.Interp.pac_auths);
+            ( "incidents",
+              Observe.Json.Int (List.length o.Interp.incidents) );
+            ( "status",
+              Observe.Json.Str
+                (match o.Interp.status with
+                | Interp.Exited c -> Printf.sprintf "exit:%Ld" c
+                | Interp.Trapped tr -> "trap:" ^ Interp.trap_to_string tr) );
+          ];
+        Rsti_engine_cli.write_events path);
     Rsti_engine_cli.finish_observe obs;
     match o.Interp.status with
     | Interp.Exited code -> exit (Int64.to_int code land 0xFF)
@@ -205,8 +249,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const action $ Rsti_engine_cli.setup_jobs_term
-      $ Rsti_engine_cli.observe_term $ file_arg $ mech_arg $ stats
-      $ elide_flag $ validate_flag $ profile_flag $ run_pt_flag)
+      $ Rsti_engine_cli.observe_term $ Rsti_engine_cli.events_term $ file_arg
+      $ mech_arg $ stats $ elide_flag $ validate_flag $ profile_flag
+      $ run_pt_flag $ flight_flag)
 
 let emit_ir_cmd =
   let doc = "Print the (optionally instrumented) IR of a MiniC program." in
@@ -617,7 +662,7 @@ let report_cmd =
             "One of: table1, table2, table3, fig9, fig10, pp-census, parts, \
              correlation, ablation-pac, ablation-merge, ablation-stl, \
              ablation-ce, elide, elide-precision, elide-precision-cs, \
-             validate, attack-surface.")
+             validate, attack-surface, incidents.")
   in
   let action () which =
     match which with
@@ -652,6 +697,7 @@ let report_cmd =
     | "validate" -> print_endline (Rsti_report.Security.validation ())
     | "attack-surface" ->
         print_endline (Rsti_report.Attack_surface.report ())
+    | "incidents" -> print_endline (Rsti_report.Incidents.report ())
     | s ->
         Printf.eprintf "unknown report %S\n" s;
         exit 2

@@ -36,10 +36,10 @@ let analyzed_victim scenario config =
     (Pipeline.compile ~config
        (Pipeline.source ~file:(scenario.id ^ ".c") scenario.program))
 
-let run ?(elision = Rsti_staticcheck.Elide.Off) scenario mech =
+let run ?(elision = Rsti_staticcheck.Elide.Off) ?(flight = 0) scenario mech =
   let config = { Pipeline.default with Pipeline.elision } in
   let inst = Pipeline.instrument ~config mech (analyzed_victim scenario config) in
-  let outcome = Pipeline.run ~config ~attacks:scenario.attacks inst in
+  let outcome = Pipeline.run ~config ~attacks:scenario.attacks ~flight inst in
   let verdict =
     if Interp.detected outcome then Detected
     else if scenario.success outcome then Attack_succeeded

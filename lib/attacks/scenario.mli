@@ -44,6 +44,7 @@ type run_result = {
 
 val run :
   ?elision:Rsti_staticcheck.Elide.mode ->
+  ?flight:int ->
   t ->
   Rsti_sti.Rsti_type.mechanism ->
   run_result
@@ -52,7 +53,9 @@ val run :
     (default [Off]) selects the precision of the static checker's
     proof-based instrumentation elision ({!Rsti_staticcheck.Elide}) —
     the safety invariant the report module asserts is that neither
-    precision ever changes a verdict. *)
+    precision ever changes a verdict. [~flight] (default 0 = off) sets
+    the machine's PAC flight-recorder capacity, so a [Detected] run's
+    outcome carries its {!Rsti_machine.Interp.incident} records. *)
 
 val run_baseline : t -> run_result
 (** [run] with no instrumentation — must yield [Attack_succeeded] for a

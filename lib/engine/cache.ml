@@ -40,12 +40,13 @@ let st_instrument = stage "instrument"
 let st_validate = stage "validate"
 let st_outcome = stage "outcome"
 let st_equiv = stage "attack_surface"
+let st_incident = stage "incident"
 
 let stages =
   [
     st_compile; st_analysis; st_points_to; st_points_to_cs; st_scope;
     st_elide; st_elide_pt; st_elide_ctx; st_instrument; st_validate;
-    st_outcome; st_equiv;
+    st_outcome; st_equiv; st_incident;
   ]
 
 let span st = Observe.Span.enter ("cache." ^ st.sg_name)
@@ -92,6 +93,10 @@ let table : (string, entry) Hashtbl.t = Hashtbl.create 64
 let outcomes :
     (string, Rsti_machine.Interp.outcome * Rsti_machine.Cost.t) Hashtbl.t =
   Hashtbl.create 64
+(* Serialized incident-extraction artifacts, keyed like {!outcome} by a
+   caller-assembled string. Values are opaque payload strings (rendered
+   JSON) because the incident types live above this library. *)
+let incidents_tbl : (string, string) Hashtbl.t = Hashtbl.create 64
 let enabled_flag = Atomic.make true
 
 let set_enabled b = Atomic.set enabled_flag b
@@ -101,6 +106,7 @@ let clear () =
   Mutex.lock lock;
   Hashtbl.reset table;
   Hashtbl.reset outcomes;
+  Hashtbl.reset incidents_tbl;
   Mutex.unlock lock;
   List.iter
     (fun st ->
@@ -227,6 +233,44 @@ let outcome ~key:k compute =
     in
     Observe.Span.exit sp;
     o
+  end
+
+(* Incident extraction (replaying an attack scenario with the flight
+   recorder on and correlating the incident against the static class
+   partition) is deterministic like every stage, so its serialized
+   artifact memoizes under the caller's key with the same first-writer-
+   wins discipline as {!outcome}. *)
+let incident ~key:k compute =
+  if not (enabled ()) then compute ()
+  else begin
+    let sp = span st_incident in
+    Mutex.lock lock;
+    let found = Hashtbl.find_opt incidents_tbl k in
+    Mutex.unlock lock;
+    let v =
+      match found with
+      | Some v ->
+          hit st_incident sp;
+          v
+      | None ->
+          let v = compute () in
+          Mutex.lock lock;
+          let winner = Hashtbl.find_opt incidents_tbl k in
+          let v =
+            match winner with
+            | Some w -> w
+            | None ->
+                Hashtbl.replace incidents_tbl k v;
+                v
+          in
+          Mutex.unlock lock;
+          (match winner with
+          | Some _ -> duplicated st_incident sp
+          | None -> miss st_incident sp);
+          v
+    in
+    Observe.Span.exit sp;
+    v
   end
 
 (* Fill a memoized field of an entry. The compute runs outside the lock

@@ -61,8 +61,8 @@ val stats : unit -> stats
 val stage_stats : unit -> (string * stats) list
 (** Per-stage counts in pipeline order: compile, analysis, points_to,
     points_to_cs, scope_escape, elide, elide_pt, elide_ctx, instrument,
-    validate, outcome, attack_surface. The same counters back the
-    [cache.<stage>.{hits,misses,duplicated}] entries of
+    validate, outcome, attack_surface, incident. The same counters back
+    the [cache.<stage>.{hits,misses,duplicated}] entries of
     {!Rsti_observe.Observe.Metrics}. *)
 
 val source_key : file:string -> string -> string
@@ -85,6 +85,14 @@ val outcome :
     is re-priced ({!Rsti_machine.Interp.reprice}) instead of
     re-simulated. Callers must bypass this for runs with attacks
     installed — attack closures are not part of any key. *)
+
+val incident : key:string -> (unit -> string) -> string
+(** Memoize a serialized incident-extraction artifact (an opaque
+    marshalled payload — the incident types live above this library,
+    so the caller serializes) under a caller-assembled key. Attack replays are deterministic, so the
+    extraction is a pure function of (scenario, mechanism, flight
+    capacity) and memoizes like every other stage, under the
+    ["incident"] stage counters. *)
 
 val analysis : file:string -> string -> Rsti_sti.Analysis.t
 (** [Sti.Analysis.analyze] of {!compiled}, memoized. *)

@@ -73,6 +73,22 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
+let events_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Write the structured security-event log (schema \
+           $(b,rsti-events/1): one compact JSON object per line, \
+           lexicographically sorted, byte-identical at any $(b,--jobs)) \
+           to $(docv) on exit. Incident events carry the failing PAC \
+           site, expected vs observed signer, detection latency, and \
+           the static-class mapping.")
+
+let write_events path =
+  write_file path (Rsti_observe.Observe.Events.to_jsonl ())
+
 let write_trace path =
   write_file path
     (Rsti_observe.Observe.Json.to_string ~indent:false

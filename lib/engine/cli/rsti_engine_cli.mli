@@ -39,6 +39,17 @@ val observe_term : observe Cmdliner.Term.t
     disabled default stays a no-op on hot paths). Compose it into a
     command and pass the evaluated value to {!finish_observe} at exit. *)
 
+val events_term : string option Cmdliner.Term.t
+(** [--events FILE]: write the [rsti-events/1] JSONL security-event log
+    on exit. The sink is not gated on observability being enabled —
+    events are emitted only from rare paths (incidents, coverage
+    summaries) and written only when this flag asks for them. *)
+
+val write_events : string -> unit
+(** Write {!Rsti_observe.Observe.Events.to_jsonl} to the path: a
+    [{"schema":"rsti-events/1",...}] header line followed by one
+    compact, lexicographically sorted JSON object per event. *)
+
 val write_trace : string -> unit
 (** Write the recorded spans as a Chrome trace-event JSON document
     ([{"traceEvents": [...]}], microsecond timestamps) to the path. *)

@@ -222,7 +222,7 @@ let cached_run ~key ~costs ~backend exec =
   end
 
 let run ?(config = default) ?(attacks = []) ?seed ?fpac ?backend ?entry
-    ?(profile = false) (i : instrumented) =
+    ?(profile = false) ?(flight = 0) (i : instrumented) =
   stage_span "pipeline.run"
     (fun () ->
       [
@@ -233,7 +233,7 @@ let run ?(config = default) ?(attacks = []) ?seed ?fpac ?backend ?entry
   let exec () =
     let vm =
       Rsti_machine.Interp.create ~costs:config.costs ?seed ?fpac ?backend
-        ~profile
+        ~profile ~flight
         ~pp_table:i.result.Rsti_rsti.Instrument.pp_table
         i.result.Rsti_rsti.Instrument.modul
     in
@@ -251,20 +251,22 @@ let run ?(config = default) ?(attacks = []) ?seed ?fpac ?backend ?entry
           Elide.mode_to_string i.elision;
           cost_key config.costs;
           knobs_key ?seed ?fpac ?backend ?entry ();
-          (* a profiled outcome carries sites an unprofiled one lacks *)
+          (* a profiled outcome carries sites an unprofiled one lacks;
+             likewise a flight-recorded one carries incidents *)
           (if profile then "prof" else "-");
+          (if flight > 0 then "fl" ^ string_of_int flight else "-");
         ]
     in
     cached_run ~key ~costs:config.costs ~backend exec
 
 let run_baseline ?(config = default) ?(attacks = []) ?seed ?fpac ?cfi ?backend
-    ?entry ?(profile = false) (c : compiled) =
+    ?entry ?(profile = false) ?(flight = 0) (c : compiled) =
   stage_span "pipeline.run_baseline" (fun () -> [ ("file", c.src.file) ])
   @@ fun () ->
   let exec () =
     let vm =
       Rsti_machine.Interp.create ~costs:config.costs ?seed ?fpac ?cfi ?backend
-        ~profile c.modul
+        ~profile ~flight c.modul
     in
     Rsti_machine.Interp.run ~attacks ?entry vm
   in
@@ -282,6 +284,7 @@ let run_baseline ?(config = default) ?(attacks = []) ?seed ?fpac ?cfi ?backend
           cost_key config.costs;
           knobs_key ?seed ?fpac ?cfi ?backend ?entry ();
           (if profile then "prof" else "-");
+          (if flight > 0 then "fl" ^ string_of_int flight else "-");
         ]
     in
     cached_run ~key ~costs:config.costs ~backend exec

@@ -93,13 +93,17 @@ val run :
   ?backend:[ `Pac | `Shadow_mac ] ->
   ?entry:string ->
   ?profile:bool ->
+  ?flight:int ->
   instrumented ->
   Rsti_machine.Interp.outcome
 (** Load the instrumented module (with its pointer-to-pointer table)
     into a fresh machine under [config.costs] and execute it.
     [profile] (default false) turns on the machine's exact hot-site
     profiler ({!Rsti_machine.Interp.outcome.sites}); profiled and
-    unprofiled outcomes memoize under distinct keys. *)
+    unprofiled outcomes memoize under distinct keys. [flight] (default
+    0 = off) is the PAC flight recorder's ring capacity
+    ({!Rsti_machine.Interp.outcome.incidents}); flight-recorded
+    outcomes likewise memoize under their own keys. *)
 
 val run_baseline :
   ?config:config ->
@@ -110,10 +114,11 @@ val run_baseline :
   ?backend:[ `Pac | `Shadow_mac ] ->
   ?entry:string ->
   ?profile:bool ->
+  ?flight:int ->
   compiled ->
   Rsti_machine.Interp.outcome
 (** Execute the uninstrumented module ([cfi] enables the signature-CFI
-    baseline machine). [profile] as in {!run}. *)
+    baseline machine). [profile] and [flight] as in {!run}. *)
 
 (** {2 Stage accessors} *)
 

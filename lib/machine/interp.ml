@@ -67,6 +67,59 @@ type site = {
   mutable s_pp_calls : int;
 }
 
+(* One PAC-unit operation captured by the flight recorder. [op_static_mod]
+   is the modifier *constant* carried by the instruction (Mconst c and
+   Mloc c both record c, before any slot-address XOR), which is exactly
+   the class identity the static Equiv partition uses — incidents
+   correlate with their static class through it. [op_modifier] is the
+   runtime modifier actually fed to the PAC unit. *)
+type op_kind =
+  | Op_sign
+  | Op_auth
+  | Op_resign
+  | Op_strip
+  | Op_pp_sign
+  | Op_pp_auth
+
+type pac_op = {
+  op_kind : op_kind;
+  op_func : string;
+  op_line : int;        (* 0 when the instruction carries no !dbg location *)
+  op_key : Rsti_pa.Key.which;
+  op_static_mod : int64;
+  op_modifier : int64;
+  op_src : int64;
+  op_result : int64;
+  op_ok : bool;         (* false only for a failing auth/resign *)
+  op_cycle : int;
+  op_instr : int;
+}
+
+(* The structured security-event record emitted at a failing auth. The
+   expected signer is the failing site's own (static modifier, key) —
+   the discipline says whoever signed this slot must have used exactly
+   that pair; the observed signer is the sign operation that actually
+   produced the failing pointer value ([None] = the value was never
+   signed in this run: a raw overwrite). Detection latency is measured
+   from the first attacker store (scenarios tag it through the intruder
+   API) to the failing auth, in both cycles and instructions; [None]
+   when no corruption was tagged (an organic failure). *)
+type incident = {
+  inc_func : string;
+  inc_line : int;
+  inc_key : Rsti_pa.Key.which;
+  inc_static_mod : int64;
+  inc_modifier : int64;
+  inc_ptr : int64;
+  inc_signer : pac_op option;
+  inc_window : pac_op list;  (* last-N flight-recorder ops, oldest first *)
+  inc_cycle : int;
+  inc_instr : int;
+  inc_corrupt : (int * int) option;  (* (cycle, instr) of the first tagged store *)
+  inc_latency_cycles : int option;
+  inc_latency_instrs : int option;
+}
+
 type outcome = {
   status : status;
   cycles : int;
@@ -79,6 +132,8 @@ type outcome = {
       (* simulated-libc call counts, descending *)
   sites : site list;
       (* hot-site profile, cycles descending; [] unless profiling *)
+  incidents : incident list;
+      (* chronological; [] unless flight recording *)
 }
 
 let detected (o : outcome) =
@@ -198,6 +253,21 @@ type t = {
   profiling : bool;
   prof_sites : (string * int, site) Hashtbl.t;
   mutable cur_site : site;
+  (* PAC flight recorder; same discipline as the profiler — when off
+     ([recording] = false), every PAC op pays one boolean test and
+     nothing allocates. When on, the last [Array.length fr_buf] ops are
+     kept in a preallocated ring. *)
+  recording : bool;
+  fr_buf : pac_op array;
+  mutable fr_next : int;  (* total ops recorded; slot = fr_next mod cap *)
+  signers : (int64, pac_op) Hashtbl.t;
+      (* signed value -> the sign op that produced it (latest wins), so
+         the observed signer survives even after falling out of the ring *)
+  mutable incidents : incident list;  (* reverse *)
+  mutable corrupt_at : (int * int) option;
+      (* (cycle, instr) of the first intruder store, the corruption
+         point detection latency is measured from *)
+  mutable cur_line : int;  (* !dbg line of the dispatching instruction *)
 }
 
 exception Trap_exn of trap
@@ -228,8 +298,25 @@ let boot_site () =
     s_pp_calls = 0;
   }
 
+(* Ring slots are overwritten before they are ever read, so the filler
+   op is never observable. *)
+let dummy_op =
+  {
+    op_kind = Op_strip;
+    op_func = "";
+    op_line = 0;
+    op_key = Rsti_pa.Key.DA;
+    op_static_mod = 0L;
+    op_modifier = 0L;
+    op_src = 0L;
+    op_result = 0L;
+    op_ok = true;
+    op_cycle = 0;
+    op_instr = 0;
+  }
+
 let create ?(costs = Cost.default) ?(seed = 0xC0FFEEL) ?(pp_table = []) ?(fpac = true)
-    ?(cfi = false) ?(backend = `Pac) ?(profile = false) (m : Ir.modul) =
+    ?(cfi = false) ?(backend = `Pac) ?(profile = false) ?(flight = 0) (m : Ir.modul) =
   let mem = Memory.create () in
   let pac = Rsti_pa.Pac.make ~seed () in
   let funcs_by_name = Hashtbl.create 64 in
@@ -337,6 +424,13 @@ let create ?(costs = Cost.default) ?(seed = 0xC0FFEEL) ?(pp_table = []) ?(fpac =
        if profile then Hashtbl.replace h ("_start", 0) boot;
        h);
     cur_site = boot;
+    recording = flight > 0;
+    fr_buf = (if flight > 0 then Array.make flight dummy_op else [||]);
+    fr_next = 0;
+    signers = Hashtbl.create (if flight > 0 then 64 else 1);
+    incidents = [];
+    corrupt_at = None;
+    cur_line = 0;
   }
 
 let pp_meta_base = Int64.add Layout.rodata_base 0x8000L
@@ -357,12 +451,25 @@ let func_addr t name =
 (* Attacker hooks                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Every scenario corruption goes through the intruder's store hooks, so
+   tagging the first one here marks the corruption point detection
+   latency is measured from — no per-scenario bookkeeping needed. *)
+let tag_corruption t =
+  if t.corrupt_at = None then
+    t.corrupt_at <- Some (t.cycles, t.counts.instrs)
+
 let intruder_of t =
   {
     read_word = (fun a -> Memory.read_u64 t.mem a);
-    write_word = (fun a v -> Memory.write_u64_raw t.mem a v);
+    write_word =
+      (fun a v ->
+        tag_corruption t;
+        Memory.write_u64_raw t.mem a v);
     read_string = (fun a -> Memory.read_cstring t.mem a);
-    write_string = (fun a s -> Memory.write_cstring t.mem a s);
+    write_string =
+      (fun a s ->
+        tag_corruption t;
+        Memory.write_cstring t.mem a s);
     global_addr = (fun n -> global_addr t n);
     func_addr = (fun n -> func_addr t n);
     heap_allocs = (fun () -> t.allocs);
@@ -428,6 +535,79 @@ let prof_strip t =
 
 let prof_pp t =
   if t.profiling then t.cur_site.s_pp_calls <- t.cur_site.s_pp_calls + 1
+
+(* ------------------------------------------------------------------ *)
+(* PAC flight recorder                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The modifier constant an instruction carries, before the runtime
+   slot-address XOR: the static Equiv class identity. *)
+let static_modifier (m : Ir.modifier) =
+  match m with Ir.Mconst c | Ir.Mloc c -> c
+
+let op_kind_to_string = function
+  | Op_sign -> "sign"
+  | Op_auth -> "auth"
+  | Op_resign -> "resign"
+  | Op_strip -> "strip"
+  | Op_pp_sign -> "pp_sign"
+  | Op_pp_auth -> "pp_auth"
+
+(* Callers guard on [t.recording]; this allocates one op record. *)
+let record_op t ~kind ~func ~key ~static_mod ~modifier ~src ~result ~ok =
+  let op =
+    {
+      op_kind = kind;
+      op_func = func;
+      op_line = t.cur_line;
+      op_key = key;
+      op_static_mod = static_mod;
+      op_modifier = modifier;
+      op_src = src;
+      op_result = result;
+      op_ok = ok;
+      op_cycle = t.cycles;
+      op_instr = t.counts.instrs;
+    }
+  in
+  t.fr_buf.(t.fr_next mod Array.length t.fr_buf) <- op;
+  t.fr_next <- t.fr_next + 1;
+  (match kind with
+  | Op_sign | Op_pp_sign | Op_resign ->
+      if ok then Hashtbl.replace t.signers result op
+  | Op_auth | Op_pp_auth | Op_strip -> ());
+  op
+
+let flight_window t =
+  let cap = Array.length t.fr_buf in
+  let n = min t.fr_next cap in
+  List.init n (fun i -> t.fr_buf.((t.fr_next - n + i) mod cap))
+
+(* Build and store the incident for a failing auth. The failing op has
+   already been pushed into the ring, so the window ends with it. *)
+let record_incident t ~func ~key ~static_mod ~modifier ~ptr =
+  let corrupt = t.corrupt_at in
+  let latency f =
+    Option.map (fun (cy, ins) -> f (t.cycles, t.counts.instrs) (cy, ins)) corrupt
+  in
+  let inc =
+    {
+      inc_func = func;
+      inc_line = t.cur_line;
+      inc_key = key;
+      inc_static_mod = static_mod;
+      inc_modifier = modifier;
+      inc_ptr = ptr;
+      inc_signer = Hashtbl.find_opt t.signers ptr;
+      inc_window = flight_window t;
+      inc_cycle = t.cycles;
+      inc_instr = t.counts.instrs;
+      inc_corrupt = corrupt;
+      inc_latency_cycles = latency (fun (now, _) (cy, _) -> now - cy);
+      inc_latency_instrs = latency (fun (_, now) (_, ins) -> now - ins);
+    }
+  in
+  t.incidents <- inc :: t.incidents
 
 let guard_mem t func f =
   try f ()
@@ -716,6 +896,11 @@ and exec_shadow_mac t fname regs (p : Ir.pac) =
       prof_pac t 1;
       if Int64.equal src 0L then Hashtbl.remove t.shadow slot
       else Hashtbl.replace t.shadow slot (mac_of t p.p_key ~modifier:m src);
+      if t.recording then
+        ignore
+          (record_op t ~kind:Op_sign ~func:fname ~key:p.p_key
+             ~static_mod:(static_modifier p.p_mod) ~modifier:m ~src ~result:src
+             ~ok:true);
       regs.(p.p_dst) <- src
   | Ir.Kauth ->
       charge t (t.costs.pac + t.costs.load);
@@ -729,10 +914,25 @@ and exec_shadow_mac t fname regs (p : Ir.pac) =
           | Some expected -> Int64.equal expected (mac_of t p.p_key ~modifier:m src)
           | None -> false
       in
-      if ok then regs.(p.p_dst) <- src
+      if ok then begin
+        if t.recording then
+          ignore
+            (record_op t ~kind:Op_auth ~func:fname ~key:p.p_key
+               ~static_mod:(static_modifier p.p_mod) ~modifier:m ~src
+               ~result:src ~ok:true);
+        regs.(p.p_dst) <- src
+      end
       else begin
         t.auth_failed <- true;
         emit_event t (Ev_auth_fail { func = fname; modifier = m; ptr = src });
+        if t.recording then begin
+          ignore
+            (record_op t ~kind:Op_auth ~func:fname ~key:p.p_key
+               ~static_mod:(static_modifier p.p_mod) ~modifier:m ~src
+               ~result:src ~ok:false);
+          record_incident t ~func:fname ~key:p.p_key
+            ~static_mod:(static_modifier p.p_mod) ~modifier:m ~ptr:src
+        end;
         if t.fpac then
           raise (Trap_exn (Pac_auth_failure { func = fname; modifier = m; ptr = src }));
         regs.(p.p_dst) <- Rsti_pa.Vaddr.corrupt (Rsti_pa.Pac.layout t.pac) src
@@ -744,11 +944,21 @@ and exec_shadow_mac t fname regs (p : Ir.pac) =
       t.counts.pac_signs <- t.counts.pac_signs + 1;
       t.counts.pac_charges <- t.counts.pac_charges + 2;
       prof_pac t 2;
+      if t.recording then
+        ignore
+          (record_op t ~kind:Op_resign ~func:fname ~key:p.p_key
+             ~static_mod:(static_modifier p.p_mod) ~modifier:m ~src ~result:src
+             ~ok:true);
       regs.(p.p_dst) <- src
   | Ir.Kstrip ->
       charge t t.costs.strip;
       t.counts.pac_strips <- t.counts.pac_strips + 1;
       prof_strip t;
+      if t.recording then
+        ignore
+          (record_op t ~kind:Op_strip ~func:fname ~key:p.p_key
+             ~static_mod:(static_modifier p.p_mod)
+             ~modifier:(static_modifier p.p_mod) ~src ~result:src ~ok:true);
       regs.(p.p_dst) <- src
 
 and exec_pac t fname regs (p : Ir.pac) =
@@ -756,9 +966,15 @@ and exec_pac t fname regs (p : Ir.pac) =
   else begin
   let src = eval t regs p.p_src in
   let key = p.p_key in
-  let record_fail modifier ptr =
+  let record_fail ~kind ~static_mod ~result modifier ptr =
     t.auth_failed <- true;
     emit_event t (Ev_auth_fail { func = fname; modifier; ptr });
+    if t.recording then begin
+      ignore
+        (record_op t ~kind ~func:fname ~key ~static_mod ~modifier ~src:ptr
+           ~result ~ok:false);
+      record_incident t ~func:fname ~key ~static_mod ~modifier ~ptr
+    end;
     (* ARMv8.6 FPAC (implemented by the M1): a failing aut* traps
        synchronously instead of leaving a corrupted pointer behind.
        Without it, a later xpac strip could launder the corruption. *)
@@ -772,7 +988,13 @@ and exec_pac t fname regs (p : Ir.pac) =
       t.counts.pac_charges <- t.counts.pac_charges + 1;
       prof_pac t 1;
       let m = modifier_value t regs p.p_mod p.p_slot_addr in
-      regs.(p.p_dst) <- Rsti_pa.Pac.sign t.pac ~key ~modifier:m src
+      let signed = Rsti_pa.Pac.sign t.pac ~key ~modifier:m src in
+      if t.recording then
+        ignore
+          (record_op t ~kind:Op_sign ~func:fname ~key
+             ~static_mod:(static_modifier p.p_mod) ~modifier:m ~src
+             ~result:signed ~ok:true);
+      regs.(p.p_dst) <- signed
   | Ir.Kauth -> (
       charge t (t.costs.pac + t.costs.pac_spill);
       t.counts.pac_auths <- t.counts.pac_auths + 1;
@@ -780,9 +1002,16 @@ and exec_pac t fname regs (p : Ir.pac) =
       prof_pac t 1;
       let m = modifier_value t regs p.p_mod p.p_slot_addr in
       match Rsti_pa.Pac.auth t.pac ~key ~modifier:m src with
-      | Ok v -> regs.(p.p_dst) <- v
+      | Ok v ->
+          if t.recording then
+            ignore
+              (record_op t ~kind:Op_auth ~func:fname ~key
+                 ~static_mod:(static_modifier p.p_mod) ~modifier:m ~src
+                 ~result:v ~ok:true);
+          regs.(p.p_dst) <- v
       | Error corrupted ->
-          record_fail m src;
+          record_fail ~kind:Op_auth ~static_mod:(static_modifier p.p_mod)
+            ~result:corrupted m src;
           regs.(p.p_dst) <- corrupted)
   | Ir.Kresign -> (
       charge t (2 * (t.costs.pac + t.costs.pac_spill));
@@ -793,21 +1022,45 @@ and exec_pac t fname regs (p : Ir.pac) =
       (* Fused aut+pac. In this codebase's discipline in-flight values are
          raw (canonical), so the pair acts as a checked identity; a signed
          value (the pp mechanism) gets a real authenticate + re-sign. *)
-      if not (Rsti_pa.Pac.is_signed t.pac src) then regs.(p.p_dst) <- src
+      if not (Rsti_pa.Pac.is_signed t.pac src) then begin
+        if t.recording then
+          ignore
+            (record_op t ~kind:Op_resign ~func:fname ~key
+               ~static_mod:(static_modifier p.p_mod)
+               ~modifier:(modifier_value t regs p.p_mod p.p_slot_addr)
+               ~src ~result:src ~ok:true);
+        regs.(p.p_dst) <- src
+      end
       else begin
         let mf = modifier_value t regs p.p_mod_from p.p_slot_addr in
         let mt = modifier_value t regs p.p_mod p.p_slot_addr in
         match Rsti_pa.Pac.auth t.pac ~key ~modifier:mf src with
-        | Ok v -> regs.(p.p_dst) <- Rsti_pa.Pac.sign t.pac ~key ~modifier:mt v
+        | Ok v ->
+            let resigned = Rsti_pa.Pac.sign t.pac ~key ~modifier:mt v in
+            if t.recording then
+              ignore
+                (record_op t ~kind:Op_resign ~func:fname ~key
+                   ~static_mod:(static_modifier p.p_mod) ~modifier:mt ~src
+                   ~result:resigned ~ok:true);
+            regs.(p.p_dst) <- resigned
         | Error corrupted ->
-            record_fail mf src;
+            record_fail ~kind:Op_resign
+              ~static_mod:(static_modifier p.p_mod_from) ~result:corrupted mf
+              src;
             regs.(p.p_dst) <- corrupted
       end)
   | Ir.Kstrip ->
       charge t t.costs.strip;
       t.counts.pac_strips <- t.counts.pac_strips + 1;
       prof_strip t;
-      regs.(p.p_dst) <- Rsti_pa.Pac.strip t.pac src
+      let stripped = Rsti_pa.Pac.strip t.pac src in
+      if t.recording then
+        ignore
+          (record_op t ~kind:Op_strip ~func:fname ~key
+             ~static_mod:(static_modifier p.p_mod)
+             ~modifier:(static_modifier p.p_mod) ~src ~result:stripped
+             ~ok:true);
+      regs.(p.p_dst) <- stripped
   end
 
 and exec_pp t fname regs (pp : Ir.pp_call) =
@@ -820,22 +1073,44 @@ and exec_pp t fname regs (pp : Ir.pp_call) =
   match pp with
   | Ir.Pp_add _ -> () (* table is static in our model; cost only *)
   | Ir.Pp_sign { dst; src; ce; slot_addr } ->
-      let m = Int64.logxor (fe_modifier ce) (eval t regs slot_addr) in
+      let fe = fe_modifier ce in
+      let m = Int64.logxor fe (eval t regs slot_addr) in
       t.counts.pac_signs <- t.counts.pac_signs + 1;
-      regs.(dst) <- Rsti_pa.Pac.sign t.pac ~key:Rsti_pa.Key.DA ~modifier:m
-                      (eval t regs src)
+      let signed =
+        Rsti_pa.Pac.sign t.pac ~key:Rsti_pa.Key.DA ~modifier:m
+          (eval t regs src)
+      in
+      if t.recording then
+        ignore
+          (record_op t ~kind:Op_pp_sign ~func:fname ~key:Rsti_pa.Key.DA
+             ~static_mod:fe ~modifier:m ~src:(eval t regs src) ~result:signed
+             ~ok:true);
+      regs.(dst) <- signed
   | Ir.Pp_add_tbi { dst; src; ce } ->
       regs.(dst) <- Rsti_pa.Vaddr.with_top_byte (eval t regs src) ce
   | Ir.Pp_auth { dst; src; slot_addr } -> (
       let v = eval t regs src in
       let ce = Rsti_pa.Vaddr.top_byte v in
-      let m = Int64.logxor (fe_modifier ce) (eval t regs slot_addr) in
+      let fe = fe_modifier ce in
+      let m = Int64.logxor fe (eval t regs slot_addr) in
       t.counts.pac_auths <- t.counts.pac_auths + 1;
       match Rsti_pa.Pac.auth t.pac ~key:Rsti_pa.Key.DA ~modifier:m v with
-      | Ok ok -> regs.(dst) <- Rsti_pa.Vaddr.with_top_byte ok 0
+      | Ok ok ->
+          if t.recording then
+            ignore
+              (record_op t ~kind:Op_pp_auth ~func:fname ~key:Rsti_pa.Key.DA
+                 ~static_mod:fe ~modifier:m ~src:v ~result:ok ~ok:true);
+          regs.(dst) <- Rsti_pa.Vaddr.with_top_byte ok 0
       | Error corrupted ->
           t.auth_failed <- true;
           emit_event t (Ev_auth_fail { func = fname; modifier = m; ptr = v });
+          if t.recording then begin
+            ignore
+              (record_op t ~kind:Op_pp_auth ~func:fname ~key:Rsti_pa.Key.DA
+                 ~static_mod:fe ~modifier:m ~src:v ~result:corrupted ~ok:false);
+            record_incident t ~func:fname ~key:Rsti_pa.Key.DA ~static_mod:fe
+              ~modifier:m ~ptr:v
+          end;
           if t.fpac then
             raise (Trap_exn (Pac_auth_failure { func = fname; modifier = m; ptr = v }));
           regs.(dst) <- corrupted)
@@ -947,6 +1222,9 @@ and exec_blocks t (fn : Ir.func) regs : int64 =
 
 and exec_instr t (fn : Ir.func) regs (ins : Ir.instr) : unit =
   if t.profiling then set_site t fn ins;
+  if t.recording then
+    t.cur_line <-
+      (match ins.dbg with Some d -> d.Rsti_ir.Dinfo.dl_line | None -> 0);
   step t;
   match ins.i with
   | Ir.Alloca { dst; ty; _ } ->
@@ -1087,6 +1365,7 @@ let run ?(attacks = []) ?step_limit ?(entry = "main") t =
     call_profile = profile t.call_counts;
     extern_profile = profile t.extern_counts;
     sites;
+    incidents = List.rev t.incidents;
   }
 
 (* A perf-report-style rendering of {!outcome.sites}. The percentage

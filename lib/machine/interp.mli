@@ -64,6 +64,65 @@ type site = {
   mutable s_pp_calls : int;
 }
 
+(** One PAC-unit operation captured by the flight recorder
+    ([create ~flight:n]). *)
+type op_kind =
+  | Op_sign
+  | Op_auth
+  | Op_resign
+  | Op_strip
+  | Op_pp_sign
+  | Op_pp_auth
+
+val op_kind_to_string : op_kind -> string
+
+type pac_op = {
+  op_kind : op_kind;
+  op_func : string;
+  op_line : int;  (** 0 when the instruction carries no !dbg location *)
+  op_key : Rsti_pa.Key.which;
+  op_static_mod : int64;
+      (** the modifier {e constant} the instruction carries ([Mconst c]
+          and [Mloc c] both record [c], before any slot-address XOR) —
+          exactly the class identity of the static [Equiv] partition, so
+          flight-recorder ops correlate with their static class *)
+  op_modifier : int64;  (** the runtime modifier fed to the PAC unit *)
+  op_src : int64;
+  op_result : int64;
+  op_ok : bool;  (** [false] only for a failing auth/resign *)
+  op_cycle : int;
+  op_instr : int;
+}
+
+(** The structured security-event record emitted at a failing auth.
+    The {e expected} signer is the failing site's own
+    ([inc_static_mod], [inc_key]) pair — the signed-at-rest discipline
+    says whoever produced this slot's value must have signed with
+    exactly that pair. The {e observed} signer [inc_signer] is the sign
+    operation that actually produced the failing pointer value, tracked
+    for the whole run (not just the window); [None] means the value was
+    never signed at all — a raw overwrite. Detection latency runs from
+    the first intruder store (tagged automatically by the attacker API)
+    to the failing auth; [None] when no corruption was tagged. *)
+type incident = {
+  inc_func : string;
+  inc_line : int;
+  inc_key : Rsti_pa.Key.which;
+  inc_static_mod : int64;
+  inc_modifier : int64;  (** runtime modifier of the failing auth *)
+  inc_ptr : int64;       (** the pointer value that failed to authenticate *)
+  inc_signer : pac_op option;
+  inc_window : pac_op list;
+      (** the last-N flight-recorder ops, oldest first; ends with the
+          failing op itself *)
+  inc_cycle : int;
+  inc_instr : int;
+  inc_corrupt : (int * int) option;
+      (** (cycle, instr) of the first intruder store *)
+  inc_latency_cycles : int option;
+  inc_latency_instrs : int option;
+}
+
 type outcome = {
   status : status;
   cycles : int;
@@ -77,6 +136,10 @@ type outcome = {
   sites : site list;
       (** hot-site profile, cycles descending (ties by site); [] unless
           the machine was created with [~profile:true] *)
+  incidents : incident list;
+      (** chronological; [] unless the machine was created with a
+          [flight] capacity (under FPAC a run holds at most one, since
+          the first failing auth traps) *)
 }
 
 val detected : outcome -> bool
@@ -136,6 +199,7 @@ val create :
   ?cfi:bool ->
   ?backend:[ `Pac | `Shadow_mac ] ->
   ?profile:bool ->
+  ?flight:int ->
   Rsti_ir.Ir.modul ->
   t
 (** Load a module: lay out globals/strings/code, generate PA keys from
@@ -154,7 +218,16 @@ val create :
     with pointers left raw. Same STI policy, different mechanism.
     [profile] (default false) turns on the exact hot-site profiler;
     when off, profiling costs one boolean test per charge and allocates
-    nothing. *)
+    nothing.
+    [flight] (default 0 = off) is the PAC flight recorder's ring
+    capacity: every sign/auth/resign/strip/pp op is captured as a
+    {!pac_op}, the last [flight] of them are kept, and a failing auth
+    emits an {!incident} carrying that window plus detection latency.
+    Same discipline as the profiler: when off, each PAC op pays one
+    boolean test and nothing allocates. Flight timestamps are cycle
+    numbers under the run's own costs; {!reprice} does not rewrite
+    them (flight runs carry attacks, which the outcome cache refuses
+    anyway). *)
 
 val pac_ctx : t -> Rsti_pa.Pac.ctx
 (** The machine's PA context (tests use it to forge/inspect PACs). *)

@@ -116,9 +116,21 @@ module Span = struct
     { s_id = -1; s_parent = -1; s_name = ""; s_attrs = []; s_start = 0L;
       s_domain = 0 }
 
+  (* A point-in-time mark (Chrome "i" instant event). Security events
+     use their own category so trace viewers can filter them out of the
+     pipeline-stage tracks. *)
+  type instant_record = {
+    i_name : string;
+    i_cat : string;
+    i_attrs : (string * string) list;
+    i_ts_ns : int64;
+    i_domain : int;
+  }
+
   let next_id = Atomic.make 0
   let lock = Mutex.create ()
   let finished : record list ref = ref []        (* reverse completion order *)
+  let instants_rev : instant_record list ref = ref []
 
   (* Innermost-open-span stack per domain; the int at the bottom is the
      installed cross-domain context (-1 = root). *)
@@ -182,6 +194,22 @@ module Span = struct
     let sp = enter ?attrs name in
     Fun.protect ~finally:(fun () -> exit sp) (fun () -> f sp)
 
+  let instant ?(cat = "rsti") ?(attrs = []) name =
+    if enabled () then begin
+      let r =
+        {
+          i_name = name;
+          i_cat = cat;
+          i_attrs = attrs;
+          i_ts_ns = now_ns ();
+          i_domain = (Domain.self () :> int);
+        }
+      in
+      Mutex.lock lock;
+      instants_rev := r :: !instants_rev;
+      Mutex.unlock lock
+    end
+
   let records () =
     Mutex.lock lock;
     let rs = !finished in
@@ -193,9 +221,21 @@ module Span = struct
         | c -> c)
       rs
 
+  let instants () =
+    Mutex.lock lock;
+    let rs = !instants_rev in
+    Mutex.unlock lock;
+    List.sort
+      (fun a b ->
+        match Int64.compare a.i_ts_ns b.i_ts_ns with
+        | 0 -> compare (a.i_cat, a.i_name) (b.i_cat, b.i_name)
+        | c -> c)
+      rs
+
   let reset () =
     Mutex.lock lock;
     finished := [];
+    instants_rev := [];
     Mutex.unlock lock
 
   (* Chrome trace-event JSON: "X" (complete) events, microsecond
@@ -218,9 +258,30 @@ module Span = struct
               :: List.map (fun (k, v) -> (k, Json.Str v)) r.attrs) );
         ]
     in
+    (* Instant ("i") events keep the same key set as the complete ones
+       (dur = 0) so a sink that iterates events uniformly never has to
+       special-case them; viewers ignore dur on "i". *)
+    let instant_event (r : instant_record) =
+      Json.Obj
+        [
+          ("name", Json.Str r.i_name);
+          ("cat", Json.Str r.i_cat);
+          ("ph", Json.Str "i");
+          ("s", Json.Str "t");
+          ("ts", Json.Float (us r.i_ts_ns));
+          ("dur", Json.Float 0.0);
+          ("pid", Json.Int 1);
+          ("tid", Json.Int r.i_domain);
+          ( "args",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) r.i_attrs) );
+        ]
+    in
     Json.Obj
       [
-        ("traceEvents", Json.List (List.map event (records ())));
+        ( "traceEvents",
+          Json.List
+            (List.map event (records ())
+            @ List.map instant_event (instants ())) );
         ("displayTimeUnit", Json.Str "ns");
       ]
 
@@ -310,6 +371,7 @@ module Metrics = struct
     mutable h_sum : float;
     mutable h_min : float;
     mutable h_max : float;
+    mutable h_samples : float list;  (* reverse observation order *)
   }
 
   type histogram = hist
@@ -357,7 +419,9 @@ module Metrics = struct
   let histogram name =
     register name
       (fun () ->
-        Histogram { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity })
+        Histogram
+          { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity;
+            h_samples = [] })
       (fun name -> function
         | Histogram h -> h
         | _ ->
@@ -369,7 +433,32 @@ module Metrics = struct
     h.h_sum <- h.h_sum +. x;
     if x < h.h_min then h.h_min <- x;
     if x > h.h_max then h.h_max <- x;
+    h.h_samples <- x :: h.h_samples;
     Mutex.unlock lock
+
+  (* Type-7 quantile (the R default, matching Rsti_util.Stats.quantile,
+     which this library cannot depend on): linear interpolation between
+     order statistics of the retained samples. *)
+  let quantile_of_sorted (xs : float array) q =
+    let n = Array.length xs in
+    if n = 1 then xs.(0)
+    else begin
+      let h = q *. float_of_int (n - 1) in
+      let i = min (n - 2) (int_of_float (Float.floor h)) in
+      let frac = h -. float_of_int i in
+      xs.(i) +. (frac *. (xs.(i + 1) -. xs.(i)))
+    end
+
+  let percentile h q =
+    Mutex.lock lock;
+    let samples = h.h_samples in
+    Mutex.unlock lock;
+    match samples with
+    | [] -> nan
+    | samples ->
+        let xs = Array.of_list samples in
+        Array.sort compare xs;
+        quantile_of_sorted xs q
 
   let sorted_fold f =
     Mutex.lock lock;
@@ -392,7 +481,8 @@ module Metrics = struct
             h.h_count <- 0;
             h.h_sum <- 0.0;
             h.h_min <- infinity;
-            h.h_max <- neg_infinity)
+            h.h_max <- neg_infinity;
+            h.h_samples <- [])
       registry;
     Mutex.unlock lock
 
@@ -410,6 +500,13 @@ module Metrics = struct
     let hists =
       sorted_fold (function
         | name, Histogram h ->
+            let pct q =
+              if h.h_count = 0 then Json.Null
+              else
+                let xs = Array.of_list h.h_samples in
+                Array.sort compare xs;
+                Json.Float (quantile_of_sorted xs q)
+            in
             Some
               ( name,
                 Json.Obj
@@ -418,6 +515,9 @@ module Metrics = struct
                     ("sum", Json.Float h.h_sum);
                     ("min", if h.h_count = 0 then Json.Null else Json.Float h.h_min);
                     ("max", if h.h_count = 0 then Json.Null else Json.Float h.h_max);
+                    ("p50", pct 0.50);
+                    ("p90", pct 0.90);
+                    ("p99", pct 0.99);
                   ] )
         | _ -> None)
     in
@@ -430,6 +530,64 @@ module Metrics = struct
       ]
 end
 
+(* --------------------------- event log ----------------------------- *)
+
+module Events = struct
+  type event = {
+    ev_cat : string;
+    ev_name : string;
+    ev_fields : (string * Json.t) list;
+  }
+
+  let lock = Mutex.create ()
+  let buffered : event list ref = ref []
+
+  let emit ~cat ~name fields =
+    let ev = { ev_cat = cat; ev_name = name; ev_fields = fields } in
+    Mutex.lock lock;
+    buffered := ev :: !buffered;
+    Mutex.unlock lock
+
+  let count () =
+    Mutex.lock lock;
+    let n = List.length !buffered in
+    Mutex.unlock lock;
+    n
+
+  let reset () =
+    Mutex.lock lock;
+    buffered := [];
+    Mutex.unlock lock
+
+  (* One compact JSON object per line, header first. Determinism at any
+     --jobs: events from parallel workers arrive in scheduling order, so
+     the sink orders the *rendered lines* lexicographically — content,
+     not arrival, decides the byte stream. Events must therefore carry
+     only deterministic payloads (simulated cycles, not wall clock). *)
+  let to_jsonl () =
+    Mutex.lock lock;
+    let evs = !buffered in
+    Mutex.unlock lock;
+    let line ev =
+      Json.to_string ~indent:false
+        (Json.Obj
+           (("cat", Json.Str ev.ev_cat)
+           :: ("name", Json.Str ev.ev_name)
+           :: ev.ev_fields))
+    in
+    let lines = List.sort compare (List.map line evs) in
+    let header =
+      Json.to_string ~indent:false
+        (Json.Obj
+           [
+             ("schema", Json.Str "rsti-events/1");
+             ("events", Json.Int (List.length lines));
+           ])
+    in
+    String.concat "\n" (header :: lines) ^ "\n"
+end
+
 let reset () =
   Span.reset ();
-  Metrics.reset ()
+  Metrics.reset ();
+  Events.reset ()

@@ -32,8 +32,9 @@ val set_enabled : bool -> unit
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** {!Span.reset} plus {!Metrics.reset}: drop recorded spans and zero
-    every metric (registrations survive). *)
+(** {!Span.reset} plus {!Metrics.reset} plus {!Events.reset}: drop
+    recorded spans, instants and events, zero every metric
+    (registrations survive). *)
 
 val now_ns : unit -> int64
 (** Monotonic clock, nanoseconds. *)
@@ -103,13 +104,22 @@ module Span : sig
   val records : unit -> record list
   (** Finished spans, ordered by start time (ties by id). *)
 
+  val instant : ?cat:string -> ?attrs:(string * string) list -> string -> unit
+  (** Record a point-in-time mark (a Chrome "i" instant event) under
+      category [cat] (default ["rsti"]). Security-event marks use their
+      own category (e.g. ["rsti-incident"]) so trace viewers can filter
+      them against the pipeline-stage tracks. No-op while disabled. *)
+
   val reset : unit -> unit
 
   val chrome_trace : unit -> Json.t
   (** The Chrome trace-event document ([{"traceEvents": [...]}], "X"
       complete events, one track per domain) — loadable in Perfetto and
       chrome://tracing. Span attributes appear under [args], including
-      the cross-domain [parent] id. *)
+      the cross-domain [parent] id. {!instant} marks follow the complete
+      events as "i"-phase entries under their own category, with the
+      same key set (dur = 0) so uniform consumers need no special
+      casing. *)
 
   val summary_tree : ?max_depth:int -> unit -> string
   (** Aggregated text tree: children grouped by name under their
@@ -141,7 +151,14 @@ module Metrics : sig
   val histogram : string -> histogram
 
   val observe : histogram -> float -> unit
-  (** Record one observation (count/sum/min/max are maintained). *)
+  (** Record one observation (count/sum/min/max are maintained, and the
+      sample is retained for percentile summaries). *)
+
+  val percentile : histogram -> float -> float
+  (** [percentile h q] with [q] in [\[0,1\]]: type-7 quantile (linear
+      interpolation between order statistics, the R default — matching
+      [Rsti_util.Stats.quantile]) over every retained sample. [nan] on
+      an empty histogram. *)
 
   val counters : unit -> (string * int) list
   (** Every registered counter with its value, sorted by name. *)
@@ -152,6 +169,31 @@ module Metrics : sig
   val to_json : unit -> Json.t
   (** The whole registry as one document:
       [{"schema": "rsti-metrics/1", "counters": {...}, "gauges": {...},
-        "histograms": {name: {count, sum, min, max}}}],
+        "histograms": {name: {count, sum, min, max, p50, p90, p99}}}],
       keys sorted, so equal registries render byte-identically. *)
+end
+
+(** The security-event log: a process-global buffer of structured
+    events rendered as one JSON-Lines document (schema [rsti-events/1]).
+    Unlike spans, emission is not gated on {!enabled} — callers emit
+    only from already-rare paths (incident extraction), and the sink is
+    written only when a consumer asks for it ([rstic run --events],
+    bench). Determinism contract: {!Events.to_jsonl} orders the rendered
+    lines lexicographically, so the byte stream is identical at any
+    [--jobs] provided event payloads are themselves deterministic
+    (simulated cycle counts, never wall-clock). *)
+module Events : sig
+  val emit : cat:string -> name:string -> (string * Json.t) list -> unit
+  (** Buffer one event. [cat]/[name] render as the first two fields of
+      the line. *)
+
+  val count : unit -> int
+  (** Events buffered so far. *)
+
+  val to_jsonl : unit -> string
+  (** The full document: a [{"schema":"rsti-events/1","events":N}]
+      header line followed by one compact JSON object per event, lines
+      sorted lexicographically, trailing newline. *)
+
+  val reset : unit -> unit
 end

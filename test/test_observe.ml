@@ -5,7 +5,12 @@
    identical whether a suite runs on one domain or four), the exact
    hot-site profiler (sites partition every global counter, and
    re-pricing a cached profiled run matches a fresh simulation
-   per-site), and the per-stage cache statistics. *)
+   per-site), the per-stage cache statistics, the histogram
+   percentiles, the sorted-JSONL event log (byte-identical at any job
+   count, including the full incident collection), the incident
+   coverage invariant (every detected attack maps into the static
+   attack surface), and a qcheck property tying flight-recorder
+   latency attribution to the exact profiler's counters. *)
 
 module Observe = Rsti_observe.Observe
 module Span = Observe.Span
@@ -305,6 +310,7 @@ let test_cache_stage_stats () =
         "validate";
         "outcome";
         "attack_surface";
+        "incident";
       ]);
   let find n = List.assoc n st in
   checki "one compile miss" 1 (find "compile").Cache.misses;
@@ -318,6 +324,209 @@ let test_cache_stage_stats () =
     (List.fold_left (fun acc (_, s) -> acc + s.Cache.misses) 0 st);
   checki "aggregate duplicated = stage sum" agg.Cache.duplicated
     (List.fold_left (fun acc (_, s) -> acc + s.Cache.duplicated) 0 st)
+
+(* --------------------- metrics percentiles -------------------------- *)
+
+(* The histogram's p50/p90/p99 use the same type-7 quantile as
+   Rsti_util.Stats, so the JSON summaries agree with the report
+   tables. *)
+let test_metrics_percentiles () =
+  M.reset ();
+  let h = M.histogram "test.lat" in
+  (* insert out of order; percentile must sort *)
+  List.iter (fun i -> M.observe h (float_of_int i)) [ 50; 10; 40; 20; 30 ];
+  let checkf what exp got =
+    Alcotest.(check (float 1e-9)) what exp got
+  in
+  checkf "p50 of 10..50" 30.0 (M.percentile h 0.5);
+  checkf "p50 matches Stats.quantile"
+    (Rsti_util.Stats.quantile 0.5 [ 10.; 20.; 30.; 40.; 50. ])
+    (M.percentile h 0.5);
+  checkf "p90 matches Stats.quantile"
+    (Rsti_util.Stats.quantile 0.9 [ 10.; 20.; 30.; 40.; 50. ])
+    (M.percentile h 0.9);
+  checkb "empty histogram percentile is nan" true
+    (Float.is_nan (M.percentile (M.histogram "test.empty") 0.5));
+  (match M.to_json () with
+  | Observe.Json.Obj fields -> (
+      match List.assoc "histograms" fields with
+      | Observe.Json.Obj hs -> (
+          match List.assoc "test.lat" hs with
+          | Observe.Json.Obj fs ->
+              checkb "p50 in document" true
+                (List.assoc "p50" fs = Observe.Json.Float 30.0);
+              checkb "p90 in document" true (List.mem_assoc "p90" fs);
+              checkb "p99 in document" true (List.mem_assoc "p99" fs)
+          | _ -> Alcotest.fail "histogram entry is not an object")
+      | _ -> Alcotest.fail "histograms is not an object")
+  | _ -> Alcotest.fail "metrics JSON is not an object");
+  M.reset ()
+
+(* --------------------------- event log ------------------------------ *)
+
+let jsonl_lines () =
+  String.split_on_char '\n' (Observe.Events.to_jsonl ())
+  |> List.filter (fun l -> l <> "")
+
+let test_events_jsonl () =
+  Observe.Events.reset ();
+  (* the sink is not gated on Observe.enabled *)
+  Observe.set_enabled false;
+  Observe.Events.emit ~cat:"zeta" ~name:"b" [ ("k", Observe.Json.Int 2) ];
+  Observe.Events.emit ~cat:"alpha" ~name:"a" [ ("k", Observe.Json.Int 1) ];
+  checki "two events buffered" 2 (Observe.Events.count ());
+  (match jsonl_lines () with
+  | header :: rest ->
+      checkb "header carries schema and count" true
+        (header = {|{"schema":"rsti-events/1","events":2}|});
+      checkb "lines lexicographically sorted" true
+        (rest = List.sort compare rest);
+      List.iter
+        (fun l ->
+          match J.of_string l with
+          | Ok (J.Obj fs) ->
+              checkb "cat first" true (fst (List.hd fs) = "cat")
+          | _ -> Alcotest.fail "event line does not parse")
+        rest
+  | [] -> Alcotest.fail "empty document");
+  Observe.Events.reset ();
+  checki "reset drops the buffer" 0 (Observe.Events.count ())
+
+(* The determinism contract end to end: the full incident collection's
+   event log is byte-identical at one worker domain and four. *)
+let test_events_identical_across_jobs () =
+  let doc jobs =
+    Observe.Events.reset ();
+    Cache.clear ();
+    let cov = Rsti_attacks.Incident.collect ~jobs () in
+    Rsti_attacks.Incident.emit_events cov;
+    let d = Observe.Events.to_jsonl () in
+    Observe.Events.reset ();
+    d
+  in
+  let d1 = doc 1 and d4 = doc 4 in
+  checkb "event log byte-identical jobs=1 vs 4" true (String.equal d1 d4)
+
+(* ------------------------ incident coverage ------------------------- *)
+
+(* The acceptance invariant: every Detected verdict across the Table-1/
+   Table-2 catalogs yields exactly one incident (FPAC traps on the first
+   failing auth) that maps into the static attack-surface graph. *)
+let test_incident_coverage_invariant () =
+  Cache.clear ();
+  let module Incident = Rsti_attacks.Incident in
+  let module Scenario = Rsti_attacks.Scenario in
+  let cov = Incident.collect () in
+  checkb "verdict OK" true (Incident.ok cov);
+  checki "zero unmapped incidents" 0 cov.Incident.cov_unmapped;
+  checki "no detection without a record" 0
+    (List.length cov.Incident.cov_missing);
+  checki "one incident per detection (FPAC)" cov.Incident.cov_detected
+    cov.Incident.cov_incidents;
+  List.iter
+    (fun (r : Incident.run_row) ->
+      checki
+        (Printf.sprintf "%s/%s: records match verdict" r.Incident.rr_scenario
+           (RT.mechanism_to_string r.Incident.rr_mech))
+        (if r.Incident.rr_verdict = Scenario.Detected then 1 else 0)
+        (List.length r.Incident.rr_records))
+    cov.Incident.cov_runs;
+  (* a substitution replay's incident observes the donor's signer and
+     maps it to a static class; a raw overwrite observes none *)
+  let find sid mech =
+    List.find
+      (fun (r : Incident.record) ->
+        r.Incident.r_scenario = sid && r.Incident.r_mech = mech)
+      cov.Incident.cov_records
+  in
+  let replay = find "sub-same-rsti" RT.Stl in
+  checkb "replay incident observes its signer" true
+    (replay.Incident.r_incident.Interp.inc_signer <> None);
+  checkb "replay signer maps to a donor class" true
+    (replay.Incident.r_donor_classes <> []);
+  let raw = find "newton-cscfi" RT.Stwc in
+  checkb "raw overwrite has no signer" true
+    (raw.Incident.r_incident.Interp.inc_signer = None);
+  List.iter
+    (fun (r : Incident.record) ->
+      let inc = r.Incident.r_incident in
+      checkb
+        (Printf.sprintf "%s/%s: latency attributed" r.Incident.r_scenario
+           (RT.mechanism_to_string r.Incident.r_mech))
+        true
+        (match inc.Interp.inc_latency_cycles with
+        | Some l -> l > 0
+        | None -> false);
+      checkb "window ends with the failing op" true
+        (match List.rev inc.Interp.inc_window with
+        | op :: _ -> (not op.Interp.op_ok) && op.Interp.op_cycle = inc.Interp.inc_cycle
+        | [] -> false))
+    cov.Incident.cov_records
+
+(* Latency attribution vs the exact profiler, over random catalog picks:
+   the corrupting store and the failing auth are both stamped with the
+   machine's cycle/instruction counters, so the latency is their exact
+   difference and can never exceed the profiler's totals for the same
+   run. *)
+let prop_incident_latency_consistent =
+  let scenarios =
+    Rsti_attacks.Catalog.all
+    @ List.map fst Rsti_attacks.Substitution.expected
+    @ List.map fst Rsti_attacks.Memory_safety.expected
+  in
+  let mechs = Rsti_attacks.Incident.mechanisms in
+  QCheck.Test.make ~name:"incident: latency consistent with profiler"
+    ~count:16
+    QCheck.(pair (int_range 0 (List.length scenarios - 1))
+              (int_range 0 (List.length mechs - 1)))
+    (fun (si, mi) ->
+      let sc = List.nth scenarios si and mech = List.nth mechs mi in
+      let config = { Pipeline.default with Pipeline.cache = false } in
+      let i =
+        Pipeline.instrument ~config mech
+          (Pipeline.analyze ~config
+             (Pipeline.compile ~config
+                (Pipeline.source ~file:(sc.Rsti_attacks.Scenario.id ^ ".c")
+                   sc.Rsti_attacks.Scenario.program)))
+      in
+      let o =
+        Pipeline.run ~config ~attacks:sc.Rsti_attacks.Scenario.attacks
+          ~flight:8 ~profile:true i
+      in
+      let site_cycles =
+        List.fold_left (fun acc s -> acc + s.Interp.s_cycles) 0 o.Interp.sites
+      in
+      checki "profiled sites partition cycles" o.Interp.cycles site_cycles;
+      List.iter
+        (fun (inc : Interp.incident) ->
+          checkb "incident cycle within run" true
+            (inc.Interp.inc_cycle <= o.Interp.cycles);
+          checkb "incident instr within run" true
+            (inc.Interp.inc_instr <= o.Interp.counts.Interp.instrs);
+          (match (inc.Interp.inc_corrupt, inc.Interp.inc_latency_cycles,
+                  inc.Interp.inc_latency_instrs) with
+          | Some (cc, ci), Some lc, Some li ->
+              checki "cycle latency is the exact delta" lc
+                (inc.Interp.inc_cycle - cc);
+              checki "instr latency is the exact delta" li
+                (inc.Interp.inc_instr - ci);
+              checkb "latency non-negative" true (lc >= 0 && li >= 0);
+              checkb "latency bounded by profiler totals" true
+                (lc <= o.Interp.cycles
+                && li <= o.Interp.counts.Interp.instrs)
+          | None, None, None -> () (* no corruption point: no latency *)
+          | _ -> Alcotest.fail "latency fields inconsistent");
+          let cycles_mono =
+            let rec go last = function
+              | [] -> true
+              | (op : Interp.pac_op) :: tl ->
+                  op.Interp.op_cycle >= last && go op.Interp.op_cycle tl
+            in
+            go 0 inc.Interp.inc_window
+          in
+          checkb "flight window cycles non-decreasing" true cycles_mono)
+        o.Interp.incidents;
+      true)
 
 let tests =
   [
@@ -335,4 +544,13 @@ let tests =
       test_profile_reprice_exact;
     Alcotest.test_case "cache: per-stage statistics" `Quick
       test_cache_stage_stats;
+    Alcotest.test_case "metrics: histogram percentiles" `Quick
+      test_metrics_percentiles;
+    Alcotest.test_case "events: sorted deterministic JSONL" `Quick
+      test_events_jsonl;
+    Alcotest.test_case "events: incident log jobs=1 vs 4" `Slow
+      test_events_identical_across_jobs;
+    Alcotest.test_case "incident: coverage maps every detection" `Slow
+      test_incident_coverage_invariant;
+    QCheck_alcotest.to_alcotest prop_incident_latency_consistent;
   ]
